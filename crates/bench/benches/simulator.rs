@@ -1,0 +1,117 @@
+//! Criterion micro-benchmarks for the simulator's hot paths: the machine
+//! access path, the NCRT, the coherence-recovery flush, TDG construction
+//! and the replacement logic.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use raccd_cache::TreePlru;
+use raccd_core::Ncrt;
+use raccd_mem::addr::VRange;
+use raccd_mem::{PAddr, VAddr};
+use raccd_runtime::{Dep, ProgramBuilder};
+use raccd_sim::{L1LookupResult, Machine, MachineConfig, RuntimeCosts};
+
+fn drive_access(m: &mut Machine, core: usize, vaddr: u64, write: bool, nc: bool, now: u64) {
+    let (paddr, _) = m.translate(core, VAddr(vaddr));
+    let block = paddr.block();
+    match m.l1_lookup(core, block, write, now) {
+        L1LookupResult::Hit { .. } => {}
+        L1LookupResult::Miss => {
+            m.miss_fill(core, block, write, nc, now);
+        }
+    }
+}
+
+fn bench_access_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("machine");
+    g.bench_function("l1_hit", |b| {
+        let mut m = Machine::new(MachineConfig::scaled());
+        drive_access(&mut m, 0, 0x10_0000, false, false, 0);
+        b.iter(|| drive_access(&mut m, 0, black_box(0x10_0000), false, false, 1))
+    });
+    g.bench_function("coherent_miss_stream", |b| {
+        let mut m = Machine::new(MachineConfig::scaled());
+        let mut addr = 0x10_0000u64;
+        b.iter(|| {
+            drive_access(&mut m, 0, black_box(addr), false, false, 1);
+            addr += 64;
+        })
+    });
+    g.bench_function("nc_miss_stream", |b| {
+        let mut m = Machine::new(MachineConfig::scaled());
+        let mut addr = 0x10_0000u64;
+        b.iter(|| {
+            drive_access(&mut m, 0, black_box(addr), false, true, 1);
+            addr += 64;
+        })
+    });
+    g.bench_function("flush_nc_512_lines", |b| {
+        let mut m = Machine::new(MachineConfig::scaled());
+        b.iter(|| {
+            for i in 0..64u64 {
+                drive_access(&mut m, 0, 0x10_0000 + i * 64, true, true, 1);
+            }
+            black_box(m.flush_nc(0, 2))
+        })
+    });
+    g.finish();
+}
+
+fn bench_ncrt(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ncrt");
+    g.bench_function("register_64_pages", |b| {
+        let mut m = Machine::new(MachineConfig::scaled());
+        let costs = RuntimeCosts::default();
+        b.iter(|| {
+            let mut n = Ncrt::new(32);
+            black_box(n.register_region(
+                &mut m,
+                0,
+                VRange::new(VAddr(0x10_0000), 64 * 4096),
+                &costs,
+            ))
+        })
+    });
+    g.bench_function("lookup_full_table", |b| {
+        let mut n = Ncrt::new(32);
+        for i in 0..32u64 {
+            n.insert(i * 0x10000, i * 0x10000 + 0x8000);
+        }
+        b.iter(|| black_box(n.lookup(PAddr(0x1F_4000))))
+    });
+    g.finish();
+}
+
+fn bench_plru(c: &mut Criterion) {
+    c.bench_function("plru_touch_victim_8way", |b| {
+        let mut p = TreePlru::new();
+        let mut i = 0usize;
+        b.iter(|| {
+            p.touch(i % 8, 8);
+            i += 1;
+            black_box(p.victim(8))
+        })
+    });
+}
+
+fn bench_tdg(c: &mut Criterion) {
+    c.bench_function("tdg_build_1000_chain", |b| {
+        b.iter(|| {
+            let mut builder = ProgramBuilder::new();
+            let buf = builder.alloc("v", 64 * 1024);
+            for i in 0..1000u64 {
+                let r = VRange::new(buf.start.offset((i % 16) * 4096), 4096);
+                builder.task("t", vec![Dep::inout(r)], |_| {});
+            }
+            black_box(builder.finish().graph.edges())
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_access_path,
+    bench_ncrt,
+    bench_plru,
+    bench_tdg
+);
+criterion_main!(benches);

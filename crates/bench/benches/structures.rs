@@ -1,0 +1,118 @@
+//! Criterion micro-benchmarks for the individual hardware structures:
+//! directory banks, ADR resizing, the mesh, the set-associative array, the
+//! TLB, simulated memory and the two compute-heavy workload kernels.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use raccd_cache::SetAssoc;
+use raccd_mem::{BlockAddr, PageNum, SimMemory, SplitMix64, Tlb};
+use raccd_noc::{Mesh, MsgClass};
+use raccd_protocol::{Adr, AdrConfig, DirEntry, DirectoryBank};
+
+fn bench_directory(c: &mut Criterion) {
+    let mut g = c.benchmark_group("directory");
+    g.bench_function("allocate_lookup_dealloc", |b| {
+        let mut d = DirectoryBank::new(2048, 8, 4);
+        let mut i = 0u64;
+        b.iter(|| {
+            let blk = BlockAddr(i * 16);
+            d.allocate(blk, i, DirEntry::uncached());
+            black_box(d.lookup(blk).is_some());
+            d.deallocate(blk, i + 1);
+            i += 1;
+        })
+    });
+    g.bench_function("thrash_with_evictions", |b| {
+        let mut d = DirectoryBank::new(64, 8, 0);
+        let mut i = 0u64;
+        b.iter(|| {
+            black_box(d.allocate(BlockAddr(i), i, DirEntry::uncached()));
+            i += 1;
+        })
+    });
+    g.bench_function("adr_resize_cycle", |b| {
+        b.iter(|| {
+            let mut d = DirectoryBank::new(1024, 8, 0);
+            let mut adr = Adr::new(AdrConfig::paper_defaults(1024, 8));
+            for i in 0..900u64 {
+                d.allocate(BlockAddr(i), i, DirEntry::uncached());
+                adr.maybe_resize(&mut d, i);
+            }
+            black_box(adr.reconfigurations())
+        })
+    });
+    g.finish();
+}
+
+fn bench_mesh(c: &mut Criterion) {
+    c.bench_function("mesh_send", |b| {
+        let mut m = Mesh::new(4, 1, 1, 16);
+        let mut i = 0usize;
+        b.iter(|| {
+            i += 1;
+            black_box(m.send(i % 16, (i * 7) % 16, MsgClass::DataResponse))
+        })
+    });
+}
+
+fn bench_set_assoc(c: &mut Criterion) {
+    c.bench_function("set_assoc_insert_probe", |b| {
+        let mut a: SetAssoc<u64> = SetAssoc::new(256, 8, 0);
+        let mut i = 0u64;
+        b.iter(|| {
+            a.insert(i % 4096, i);
+            black_box(a.probe((i * 3) % 4096));
+            i += 1;
+        })
+    });
+}
+
+fn bench_tlb(c: &mut Criterion) {
+    c.bench_function("tlb_lookup_fill_256", |b| {
+        let mut t = Tlb::new(256);
+        for i in 0..256u64 {
+            t.fill(PageNum(i), PageNum(i + 1000));
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            // 7/8 hits, 1/8 misses with LRU eviction.
+            let page = if i.is_multiple_of(8) { 1000 + i } else { i % 256 };
+            if t.lookup(PageNum(page)).is_none() {
+                t.fill(PageNum(page), PageNum(page + 1000));
+            }
+            i += 1;
+        })
+    });
+}
+
+fn bench_memory(c: &mut Criterion) {
+    c.bench_function("sim_memory_rw_f32", |b| {
+        let mut m = SimMemory::new();
+        let buf = m.alloc("b", 1 << 16);
+        let mut i = 0u64;
+        b.iter(|| {
+            let a = buf.start.offset((i % 16384) * 4);
+            m.write_f32(a, i as f32);
+            black_box(m.read_f32(a));
+            i += 1;
+        })
+    });
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    c.bench_function("md5_4k_buffer", |b| {
+        let mut rng = SplitMix64::new(1);
+        let data: Vec<u8> = (0..4096).map(|_| rng.next_u32() as u8).collect();
+        b.iter(|| black_box(raccd_workloads::md5::md5(&data)))
+    });
+}
+
+criterion_group!(
+    structures,
+    bench_directory,
+    bench_mesh,
+    bench_set_assoc,
+    bench_tlb,
+    bench_memory,
+    bench_kernels
+);
+criterion_main!(structures);

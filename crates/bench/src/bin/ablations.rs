@@ -1,0 +1,321 @@
+//! Ablation studies for the design choices DESIGN.md calls out.
+//!
+//! Usage: `ablations [--scale ...] [ncrt|wt|adr|stack|smt|jitterless]`
+//! (default: all sections). Each section varies one knob with everything
+//! else at the paper defaults:
+//!
+//! * `ncrt`  — NCRT capacity 4/8/16/32/64 entries: how much coverage is
+//!   lost to overflow (§III-C2's "if no space is available ... accesses
+//!   happen as in the baseline").
+//! * `wt`    — write-back vs write-through private caches (§III-C3):
+//!   recovery-flush cost vs per-store traffic.
+//! * `adr`   — ADR hysteresis thresholds (paper: θ_inc 80 %, θ_dec 20 %):
+//!   reconfiguration count vs energy saving.
+//! * `stack` — unannotated per-task scratch traffic: the knob that sets
+//!   RaCCD's residual directory-access floor.
+//! * `smt`   — 2-way SMT with selective vs whole-cache `raccd_invalidate`
+//!   (§III-E).
+//! * `jitterless` — scheduler jitter sensitivity: determinism of results
+//!   under the task-migration model.
+
+use raccd_bench::{config_for_scale, mean, scale_from_args};
+use raccd_core::{CoherenceMode, Experiment};
+use raccd_energy::EnergyModel;
+use raccd_sim::MachineConfig;
+use raccd_workloads::{all_benchmarks, Scale};
+
+/// Benchmarks used for ablations (a migration-heavy subset keeps runtime
+/// reasonable: Jacobi, Kmeans, Histo).
+const ABLATION_BENCHES: [usize; 3] = [3, 5, 2];
+
+fn run_all(cfg: MachineConfig, mode: CoherenceMode, scale: Scale) -> Vec<raccd_core::RunResult> {
+    ABLATION_BENCHES
+        .iter()
+        .map(|&b| {
+            let ws = all_benchmarks(scale);
+            let r = Experiment::new(cfg, mode).run(ws[b].as_ref());
+            assert!(r.verified, "{}: {:?}", ws[b].name(), r.verify_error);
+            r
+        })
+        .collect()
+}
+
+fn avg_cycles(rs: &[raccd_core::RunResult]) -> f64 {
+    mean(&rs.iter().map(|r| r.stats.cycles as f64).collect::<Vec<_>>())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = scale_from_args(&args);
+    let base = config_for_scale(scale);
+    let sections = [
+        "ncrt",
+        "wt",
+        "adr",
+        "stack",
+        "smt",
+        "tlb",
+        "sched",
+        "contention",
+        "jitterless",
+    ];
+    let chosen: Vec<&str> = {
+        let sel: Vec<&str> = args
+            .iter()
+            .filter(|a| sections.contains(&a.as_str()))
+            .map(|a| a.as_str())
+            .collect();
+        if sel.is_empty() {
+            sections.to_vec()
+        } else {
+            sel
+        }
+    };
+
+    if chosen.contains(&"ncrt") {
+        println!("# Ablation: NCRT capacity (RaCCD 1:1; cycles + overflow events, avg of Jacobi/Kmeans/Histo)");
+        println!("entries\tcycles_vs_32\toverflows\tdir_accesses_vs_32");
+        let mut ref_cycles = 0.0;
+        let mut ref_dir = 0.0;
+        let mut rows = Vec::new();
+        for entries in [4usize, 8, 16, 32, 64] {
+            let mut cfg = base;
+            cfg.ncrt_entries = entries;
+            let rs = run_all(cfg, CoherenceMode::Raccd, scale);
+            let cycles = avg_cycles(&rs);
+            let overflows: u64 = rs.iter().map(|r| r.stats.ncrt_overflows).sum();
+            let dir: f64 = mean(
+                &rs.iter()
+                    .map(|r| r.stats.dir_accesses as f64)
+                    .collect::<Vec<_>>(),
+            );
+            if entries == 32 {
+                ref_cycles = cycles;
+                ref_dir = dir;
+            }
+            rows.push((entries, cycles, overflows, dir));
+        }
+        for (entries, cycles, overflows, dir) in rows {
+            println!(
+                "{entries}\t{:.4}\t{overflows}\t{:.3}",
+                cycles / ref_cycles,
+                dir / ref_dir
+            );
+        }
+        println!();
+    }
+
+    if chosen.contains(&"wt") {
+        println!("# Ablation: L1 write policy under RaCCD (1:1)");
+        println!("policy\tcycles\tl1_writebacks\twrite_throughs\tnoc_traffic\tinvalidate_cycles");
+        for (label, wt) in [("write-back", false), ("write-through", true)] {
+            let rs = run_all(base.with_write_through(wt), CoherenceMode::Raccd, scale);
+            println!(
+                "{label}\t{:.0}\t{:.0}\t{:.0}\t{:.0}\t{:.0}",
+                avg_cycles(&rs),
+                mean(
+                    &rs.iter()
+                        .map(|r| r.stats.l1_writebacks as f64)
+                        .collect::<Vec<_>>()
+                ),
+                mean(
+                    &rs.iter()
+                        .map(|r| r.stats.write_throughs as f64)
+                        .collect::<Vec<_>>()
+                ),
+                mean(
+                    &rs.iter()
+                        .map(|r| r.stats.noc_traffic as f64)
+                        .collect::<Vec<_>>()
+                ),
+                mean(
+                    &rs.iter()
+                        .map(|r| r.stats.invalidate_cycles as f64)
+                        .collect::<Vec<_>>()
+                ),
+            );
+        }
+        println!();
+    }
+
+    if chosen.contains(&"adr") {
+        println!("# Ablation: ADR hysteresis thresholds (RaCCD, 1:1 design size)");
+        println!("theta_inc/dec\tcycles_vs_fixed\treconfigs\tdir_energy_vs_fixed");
+        let fixed = run_all(base, CoherenceMode::Raccd, scale);
+        let model = EnergyModel::default();
+        let energy = |rs: &[raccd_core::RunResult]| -> f64 {
+            mean(
+                &rs.iter()
+                    .map(|r| {
+                        r.stats
+                            .dir_access_hist
+                            .iter()
+                            .map(|&(sz, n)| model.dir_access_pj(sz * base.ncores as u64) * n as f64)
+                            .sum::<f64>()
+                    })
+                    .collect::<Vec<_>>(),
+            )
+        };
+        let fixed_cycles = avg_cycles(&fixed);
+        let fixed_energy = energy(&fixed);
+        for (inc, dec) in [(0.9, 0.1), (0.8, 0.2), (0.7, 0.3), (0.6, 0.4)] {
+            let mut cfg = base.with_adr(true);
+            cfg.adr_theta_inc = inc;
+            cfg.adr_theta_dec = dec;
+            let rs = run_all(cfg, CoherenceMode::Raccd, scale);
+            let reconfigs: u64 = rs.iter().map(|r| r.stats.adr_reconfigs).sum();
+            println!(
+                "{inc:.1}/{dec:.1}\t{:.4}\t{reconfigs}\t{:.3}",
+                avg_cycles(&rs) / fixed_cycles,
+                energy(&rs) / fixed_energy
+            );
+        }
+        println!("# paper: 80%/20% gives \"good reaction time with a reduced number of reconfigurations\"");
+        println!();
+    }
+
+    if chosen.contains(&"stack") {
+        println!("# Ablation: unannotated per-task stack traffic (RaCCD 1:1)");
+        println!("stack_words\tdir_accesses\tnc_block_pct");
+        for words in [0u64, 16, 64, 256, 1024] {
+            let mut cfg = base;
+            cfg.runtime.stack_words_per_task = words;
+            let rs = run_all(cfg, CoherenceMode::Raccd, scale);
+            println!(
+                "{words}\t{:.0}\t{:.1}",
+                mean(
+                    &rs.iter()
+                        .map(|r| r.stats.dir_accesses as f64)
+                        .collect::<Vec<_>>()
+                ),
+                mean(
+                    &rs.iter()
+                        .map(|r| r.census.noncoherent_pct())
+                        .collect::<Vec<_>>()
+                ),
+            );
+        }
+        println!();
+    }
+
+    if chosen.contains(&"smt") {
+        println!("# Ablation: 2-way SMT invalidation policy (RaCCD 1:1, §III-E)");
+        println!("policy\tcycles\tnc_lines_flushed\tl1_hit_ratio");
+        for (label, selective) in [("selective", true), ("full-flush", false)] {
+            let mut cfg = base.with_smt(2);
+            cfg.smt_selective_flush = selective;
+            let rs = run_all(cfg, CoherenceMode::Raccd, scale);
+            println!(
+                "{label}\t{:.0}\t{:.0}\t{:.4}",
+                avg_cycles(&rs),
+                mean(
+                    &rs.iter()
+                        .map(|r| r.stats.nc_lines_flushed as f64)
+                        .collect::<Vec<_>>()
+                ),
+                mean(
+                    &rs.iter()
+                        .map(|r| r.stats.l1_hit_ratio())
+                        .collect::<Vec<_>>()
+                ),
+            );
+        }
+        println!();
+    }
+
+    if chosen.contains(&"tlb") {
+        println!("# Ablation: TLB-based classifier (§II-B extension) vs paper systems");
+        println!("mode\tcycles\tdir_accesses\tnc_pct\tflush_lines");
+        for mode in CoherenceMode::EXTENDED {
+            let rs = run_all(base, mode, scale);
+            println!(
+                "{mode}\t{:.0}\t{:.0}\t{:.1}\t{:.0}",
+                avg_cycles(&rs),
+                mean(
+                    &rs.iter()
+                        .map(|r| r.stats.dir_accesses as f64)
+                        .collect::<Vec<_>>()
+                ),
+                mean(
+                    &rs.iter()
+                        .map(|r| r.census.noncoherent_pct())
+                        .collect::<Vec<_>>()
+                ),
+                mean(
+                    &rs.iter()
+                        .map(|r| r.stats.pt_flush_lines as f64)
+                        .collect::<Vec<_>>()
+                ),
+            );
+        }
+        println!("# TLB approaches recover temporarily-private data like RaCCD but pay");
+        println!("# broadcast resolutions + TLB-L1 inclusivity flushes (flush_lines).");
+        println!();
+    }
+
+    if chosen.contains(&"sched") {
+        use raccd_sim::SchedPolicy;
+        println!("# Ablation: scheduler policy (locality vs migration, §II-B premise)");
+        println!("policy\tmode\tcycles\tmigrations\tnc_pct");
+        for policy in [SchedPolicy::CentralFifo, SchedPolicy::WorkStealing] {
+            for mode in [CoherenceMode::PageTable, CoherenceMode::Raccd] {
+                let mut cfg = base;
+                cfg.sched = policy;
+                let rs = run_all(cfg, mode, scale);
+                println!(
+                    "{policy:?}\t{mode}\t{:.0}\t{:.0}\t{:.1}",
+                    avg_cycles(&rs),
+                    mean(
+                        &rs.iter()
+                            .map(|r| r.stats.task_migrations as f64)
+                            .collect::<Vec<_>>()
+                    ),
+                    mean(
+                        &rs.iter()
+                            .map(|r| r.census.noncoherent_pct())
+                            .collect::<Vec<_>>()
+                    ),
+                );
+            }
+        }
+        println!("# PT depends on scheduler locality; RaCCD does not (§II-B).");
+        println!();
+    }
+
+    if chosen.contains(&"contention") {
+        println!("# Ablation: bank-contention modelling (RaCCD vs FullCoh at 1:1 and 1:256)");
+        println!("model\tmode\tratio\tcycles\tbank_wait_cycles");
+        for contention in [false, true] {
+            for (mode, ratio) in [
+                (CoherenceMode::FullCoh, 1usize),
+                (CoherenceMode::FullCoh, 256),
+                (CoherenceMode::Raccd, 256),
+            ] {
+                let cfg = base.with_dir_ratio(ratio).with_contention(contention);
+                let rs = run_all(cfg, mode, scale);
+                println!(
+                    "{}\t{mode}\t1:{ratio}\t{:.0}\t{:.0}",
+                    if contention { "queued" } else { "ideal" },
+                    avg_cycles(&rs),
+                    mean(
+                        &rs.iter()
+                            .map(|r| r.stats.bank_wait_cycles as f64)
+                            .collect::<Vec<_>>()
+                    ),
+                );
+            }
+        }
+        println!();
+    }
+
+    if chosen.contains(&"jitterless") {
+        println!("# Determinism check: two identical runs must agree exactly");
+        let a = run_all(base, CoherenceMode::Raccd, scale);
+        let b = run_all(base, CoherenceMode::Raccd, scale);
+        let same = a.iter().zip(&b).all(|(x, y)| {
+            x.stats.cycles == y.stats.cycles && x.stats.dir_accesses == y.stats.dir_accesses
+        });
+        println!("identical: {same}");
+        assert!(same);
+    }
+}

@@ -1,0 +1,79 @@
+//! Figure 6: "Normalised cycles by directory size" — execution cycles for
+//! FullCoh / PT / RaCCD over the seven 1:N directory configurations, each
+//! benchmark normalised to its FullCoh 1:1 run.
+//!
+//! Paper reference points: halving the directory already costs FullCoh
+//! 22 % on average and 71 % at 1:256; PT loses 15 % at 1:8; RaCCD loses
+//! only 0.9 % at 1:8 and ~10 % at 1:256.
+
+use raccd_bench::{bench_names, config_for_scale, mean, run_jobs, scale_from_args, Job};
+use raccd_core::CoherenceMode;
+use raccd_sim::DIR_RATIOS;
+use std::collections::HashMap;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = scale_from_args(&args);
+    let names = bench_names(scale);
+
+    let mut jobs = Vec::new();
+    for b in 0..names.len() {
+        for mode in CoherenceMode::ALL {
+            for &ratio in &DIR_RATIOS {
+                jobs.push(Job {
+                    bench_idx: b,
+                    mode,
+                    ratio,
+                    adr: false,
+                });
+            }
+        }
+    }
+    eprintln!(
+        "fig6: running {} simulations at scale {scale}...",
+        jobs.len()
+    );
+    let t0 = std::time::Instant::now();
+    let results = run_jobs(scale, config_for_scale(scale), &jobs);
+    eprintln!("fig6: done in {:.1}s", t0.elapsed().as_secs_f64());
+
+    // cycles[(bench, mode, ratio)]
+    let mut cycles: HashMap<(usize, CoherenceMode, usize), u64> = HashMap::new();
+    for r in &results {
+        cycles.insert(
+            (r.job.bench_idx, r.job.mode, r.job.ratio),
+            r.result.stats.cycles,
+        );
+    }
+
+    println!(
+        "# Figure 6: normalised cycles by directory size (baseline: FullCoh 1:1 per benchmark)"
+    );
+    let header: Vec<String> = std::iter::once("benchmark/mode".to_string())
+        .chain(DIR_RATIOS.iter().map(|r| format!("1:{r}")))
+        .collect();
+    println!("{}", header.join("\t"));
+    let mut avgs: HashMap<(CoherenceMode, usize), Vec<f64>> = HashMap::new();
+    for (b, name) in names.iter().enumerate() {
+        let base = cycles[&(b, CoherenceMode::FullCoh, 1)] as f64;
+        for mode in CoherenceMode::ALL {
+            let mut row = vec![format!("{name}/{mode}")];
+            for &ratio in &DIR_RATIOS {
+                let v = cycles[&(b, mode, ratio)] as f64 / base;
+                avgs.entry((mode, ratio)).or_default().push(v);
+                row.push(format!("{v:.3}"));
+            }
+            println!("{}", row.join("\t"));
+        }
+    }
+    for mode in CoherenceMode::ALL {
+        let mut row = vec![format!("Average/{mode}")];
+        for &ratio in &DIR_RATIOS {
+            row.push(format!("{:.3}", mean(&avgs[&(mode, ratio)])));
+        }
+        println!("{}", row.join("\t"));
+    }
+    println!(
+        "# paper: FullCoh avg 1.22 @1:2, 1.71 @1:256; PT 1.15 @1:8; RaCCD 1.009 @1:8, 1.10 @1:256"
+    );
+}

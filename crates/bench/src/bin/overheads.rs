@@ -1,0 +1,69 @@
+//! §V-C "RaCCD Overheads": NCRT latency sensitivity and storage costs.
+//!
+//! Paper reference points: a 1-cycle NCRT costs 0.1 % vs an ideal 0-cycle
+//! design; 2/3/5/10-cycle NCRTs cost 0.5/0.7/1.2/3.5 %. Storage: 5.25 KB
+//! of NCRTs total and 1 KB of NC bits; NCRT energy < 0.1 % of total.
+
+use raccd_bench::{bench_names, config_for_scale, mean, scale_from_args};
+use raccd_core::{CoherenceMode, Experiment};
+use raccd_workloads::all_benchmarks;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = scale_from_args(&args);
+    let names = bench_names(scale);
+    let base_cfg = config_for_scale(scale);
+    let latencies = [0u64, 1, 2, 3, 5, 10];
+
+    println!("# NCRT latency sensitivity (RaCCD, 1:1): cycles normalised to ncrt=0");
+    let header: Vec<String> = std::iter::once("benchmark".to_string())
+        .chain(latencies.iter().map(|l| format!("{l}c")))
+        .collect();
+    println!("{}", header.join("\t"));
+
+    let mut per_lat_avgs: Vec<Vec<f64>> = vec![Vec::new(); latencies.len()];
+    for (b, name) in names.iter().enumerate() {
+        let mut row = vec![name.clone()];
+        let mut base = 0f64;
+        for (li, &lat) in latencies.iter().enumerate() {
+            let mut cfg = base_cfg;
+            cfg.lat.ncrt = lat;
+            let workloads = all_benchmarks(scale);
+            let res = Experiment::new(cfg, CoherenceMode::Raccd).run(workloads[b].as_ref());
+            assert!(res.verified, "{name}: {:?}", res.verify_error);
+            let cycles = res.stats.cycles as f64;
+            if li == 0 {
+                base = cycles;
+            }
+            let norm = cycles / base;
+            per_lat_avgs[li].push(norm);
+            row.push(format!("{norm:.4}"));
+        }
+        println!("{}", row.join("\t"));
+    }
+    let mut row = vec!["Average".to_string()];
+    for avg in &per_lat_avgs {
+        row.push(format!("{:.4}", mean(avg)));
+    }
+    println!("{}", row.join("\t"));
+    println!("# paper: 1c → +0.1%, 2c → +0.5%, 3c → +0.7%, 5c → +1.2%, 10c → +3.5%");
+    println!();
+
+    // Storage overheads.
+    let cfg = base_cfg;
+    let ncrt_bits = cfg.ncores as u64 * cfg.ncrt_entries as u64 * 2 * 42;
+    let l1_lines = cfg.ncores as u64 * cfg.l1_bytes / 64;
+    println!("# Storage overheads");
+    println!(
+        "NCRTs total: {:.2} KB ({} cores x {} entries x 2 x 42-bit addresses)",
+        ncrt_bits as f64 / 8.0 / 1024.0,
+        cfg.ncores,
+        cfg.ncrt_entries
+    );
+    println!(
+        "NC bits total: {:.2} KB (1 bit x {} L1 lines)",
+        l1_lines as f64 / 8.0 / 1024.0,
+        l1_lines
+    );
+    println!("# paper: 5.25 KB of NCRTs, 1 KB of NC bits");
+}

@@ -1,0 +1,12 @@
+//! Table I: configuration of the simulated machine — both the paper-exact
+//! preset and the proportionally scaled default.
+
+use raccd_sim::MachineConfig;
+
+fn main() {
+    println!("# Table I (paper preset)");
+    print!("{}", MachineConfig::paper().table1());
+    println!();
+    println!("# Scaled preset used by tests/benches (DESIGN.md §2)");
+    print!("{}", MachineConfig::scaled().table1());
+}

@@ -1,0 +1,14 @@
+//! Table II: application problem sizes, at every scale.
+
+use raccd_workloads::{all_benchmarks, Scale};
+
+fn main() {
+    for scale in [Scale::Paper, Scale::Bench, Scale::Test] {
+        println!("# Table II — problem sets at scale `{scale}`");
+        println!("Application\tProblem Set");
+        for w in all_benchmarks(scale) {
+            println!("{}\t{}", w.name(), w.problem());
+        }
+        println!();
+    }
+}

@@ -1,0 +1,32 @@
+//! Table III: directory storage (KB) and area (mm²) per 1:N configuration.
+//!
+//! The area model is calibrated to the paper's CACTI 6.0 outputs, so the
+//! paper-geometry rows reproduce Table III exactly.
+
+use raccd_energy::{dir_kib, sram_area_mm2};
+use raccd_sim::{MachineConfig, DIR_RATIOS};
+
+fn print_for(cfg: &MachineConfig, label: &str) {
+    println!("# Table III — directory size and area ({label})");
+    let header: Vec<String> = std::iter::once(String::new())
+        .chain(DIR_RATIOS.iter().map(|r| format!("1:{r}")))
+        .collect();
+    println!("{}", header.join("\t"));
+    let mut kb_row = vec!["KB".to_string()];
+    let mut area_row = vec!["Area (mm2)".to_string()];
+    for &r in &DIR_RATIOS {
+        let entries = cfg.with_dir_ratio(r).dir_entries_total() as u64;
+        let kib = dir_kib(entries);
+        kb_row.push(format!("{kib}"));
+        area_row.push(format!("{:.2}", sram_area_mm2(kib)));
+    }
+    println!("{}", kb_row.join("\t"));
+    println!("{}", area_row.join("\t"));
+    println!();
+}
+
+fn main() {
+    print_for(&MachineConfig::paper(), "paper geometry");
+    print_for(&MachineConfig::scaled(), "scaled geometry");
+    println!("# paper row: KB 4224 2112 1056 528 264 66 16.5; Area 106.08 53.92 34.08 21.28 14.88 6.18 2.64");
+}

@@ -1,0 +1,85 @@
+//! Protocol-trace inspector: run one benchmark with event recording and
+//! print an event summary plus the first N raw events.
+//!
+//! ```text
+//! cargo run --release -p raccd-bench --bin trace -- \
+//!     [--scale test|bench] [--bench Jacobi] [--mode RaCCD] [--head 40]
+//! ```
+
+use raccd_bench::{bench_names, config_for_scale, scale_from_args};
+use raccd_core::driver::run_program;
+use raccd_core::CoherenceMode;
+use raccd_sim::CoherenceEvent;
+use raccd_workloads::all_benchmarks;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = scale_from_args(&args);
+    let names = bench_names(scale);
+    let pick = |flag: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let bench_idx = pick("--bench")
+        .map(|n| {
+            names
+                .iter()
+                .position(|b| b.eq_ignore_ascii_case(&n))
+                .unwrap_or_else(|| panic!("unknown benchmark {n}"))
+        })
+        .unwrap_or(3); // Jacobi
+    let mode = match pick("--mode").as_deref().map(str::to_ascii_lowercase) {
+        Some(ref m) if m == "fullcoh" => CoherenceMode::FullCoh,
+        Some(ref m) if m == "pt" => CoherenceMode::PageTable,
+        _ => CoherenceMode::Raccd,
+    };
+    let head: usize = pick("--head").and_then(|h| h.parse().ok()).unwrap_or(40);
+
+    let mut cfg = config_for_scale(scale);
+    cfg.record_events = true;
+
+    let workloads = all_benchmarks(scale);
+    let program = workloads[bench_idx].build();
+    eprintln!(
+        "tracing {} under {mode} at scale {scale}...",
+        names[bench_idx]
+    );
+    let out = run_program(cfg, mode, program);
+
+    // Summary by event type.
+    let mut counts = [0u64; 7];
+    for e in &out.events {
+        let i = match e {
+            CoherenceEvent::CoherentFill { .. } => 0,
+            CoherenceEvent::NcFill { .. } => 1,
+            CoherenceEvent::Upgrade { .. } => 2,
+            CoherenceEvent::DirEviction { .. } => 3,
+            CoherenceEvent::NcToCoherent { .. } => 4,
+            CoherenceEvent::CoherentToNc { .. } => 5,
+            CoherenceEvent::FlushNc { .. } => 6,
+        };
+        counts[i] += 1;
+    }
+    println!("# event summary ({} events total)", out.events.len());
+    for (label, n) in [
+        "CoherentFill",
+        "NcFill",
+        "Upgrade",
+        "DirEviction",
+        "NcToCoherent",
+        "CoherentToNc",
+        "FlushNc",
+    ]
+    .iter()
+    .zip(counts)
+    {
+        println!("{label}\t{n}");
+    }
+    println!();
+    println!("# first {head} events");
+    for e in out.events.iter().take(head) {
+        println!("{e:?}");
+    }
+}

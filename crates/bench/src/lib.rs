@@ -1,0 +1,186 @@
+#![warn(missing_docs)]
+
+//! Shared harness for the figure/table regeneration binaries.
+//!
+//! The evaluation matrix (9 benchmarks × 3 systems × 7 directory sizes) is
+//! embarrassingly parallel across *simulations*, so [`run_jobs`] fans jobs
+//! out over host threads with crossbeam's scoped threads (each worker
+//! builds its own workload instance — simulations never share state).
+
+pub mod chart;
+
+use raccd_core::{CoherenceMode, Experiment, RunResult};
+use raccd_sim::MachineConfig;
+use raccd_workloads::{all_benchmarks, Scale};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// One simulation to run.
+#[derive(Clone, Copy, Debug)]
+pub struct Job {
+    /// Index into [`all_benchmarks`].
+    pub bench_idx: usize,
+    /// System under test.
+    pub mode: CoherenceMode,
+    /// Directory ratio `1:N`.
+    pub ratio: usize,
+    /// Enable Adaptive Directory Reduction.
+    pub adr: bool,
+}
+
+/// A completed simulation.
+pub struct JobResult {
+    /// The job that produced this result.
+    pub job: Job,
+    /// Benchmark name.
+    pub name: String,
+    /// Full run result.
+    pub result: RunResult,
+}
+
+/// Benchmark names at a scale, in paper order.
+pub fn bench_names(scale: Scale) -> Vec<String> {
+    all_benchmarks(scale)
+        .iter()
+        .map(|w| w.name().to_string())
+        .collect()
+}
+
+/// Run all jobs across host threads; results are returned in job order.
+pub fn run_jobs(scale: Scale, base_cfg: MachineConfig, jobs: &[Job]) -> Vec<JobResult> {
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<JobResult>>> =
+        Mutex::new((0..jobs.len()).map(|_| None).collect());
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(jobs.len().max(1));
+
+    crossbeam::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs.len() {
+                    break;
+                }
+                let job = jobs[i];
+                let workloads = all_benchmarks(scale);
+                let w = &workloads[job.bench_idx];
+                let cfg = base_cfg.with_dir_ratio(job.ratio).with_adr(job.adr);
+                let result = Experiment::new(cfg, job.mode).run(w.as_ref());
+                assert!(
+                    result.verified,
+                    "{} [{} 1:{}] failed verification: {:?}",
+                    w.name(),
+                    job.mode,
+                    job.ratio,
+                    result.verify_error
+                );
+                let out = JobResult {
+                    job,
+                    name: w.name().to_string(),
+                    result,
+                };
+                results.lock().unwrap()[i] = Some(out);
+            });
+        }
+    })
+    .expect("worker thread panicked");
+
+    results
+        .into_inner()
+        .unwrap()
+        .into_iter()
+        .map(|r| r.expect("job not run"))
+        .collect()
+}
+
+/// Parse `--scale test|bench|paper` from argv (default: bench).
+pub fn scale_from_args(args: &[String]) -> Scale {
+    match args
+        .iter()
+        .position(|a| a == "--scale")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.as_str())
+    {
+        Some("test") => Scale::Test,
+        Some("paper") => Scale::Paper,
+        _ => Scale::Bench,
+    }
+}
+
+/// Machine preset matching a scale: `paper` scale → Table I machine,
+/// otherwise the proportionally scaled machine.
+pub fn config_for_scale(scale: Scale) -> MachineConfig {
+    match scale {
+        Scale::Paper => MachineConfig::paper(),
+        _ => MachineConfig::scaled(),
+    }
+}
+
+/// Format a TSV row.
+pub fn tsv_row(cells: &[String]) -> String {
+    cells.join("\t")
+}
+
+/// Geometric mean of positive values.
+pub fn geo_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
+}
+
+/// Arithmetic mean.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn means() {
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+        assert!((geo_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(geo_mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn scale_parsing() {
+        let args = |s: &str| vec!["--scale".to_string(), s.to_string()];
+        assert_eq!(scale_from_args(&args("test")), Scale::Test);
+        assert_eq!(scale_from_args(&args("paper")), Scale::Paper);
+        assert_eq!(scale_from_args(&args("bench")), Scale::Bench);
+        assert_eq!(scale_from_args(&[]), Scale::Bench);
+    }
+
+    #[test]
+    fn run_jobs_returns_in_order() {
+        let jobs = [
+            Job {
+                bench_idx: 7, // MD5 (cheap at Test scale)
+                mode: CoherenceMode::FullCoh,
+                ratio: 1,
+                adr: false,
+            },
+            Job {
+                bench_idx: 7,
+                mode: CoherenceMode::Raccd,
+                ratio: 4,
+                adr: false,
+            },
+        ];
+        let out = run_jobs(Scale::Test, MachineConfig::scaled(), &jobs);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].job.ratio, 1);
+        assert_eq!(out[1].job.ratio, 4);
+        assert_eq!(out[0].name, "MD5");
+        assert!(out[1].result.stats.cycles > 0);
+    }
+}

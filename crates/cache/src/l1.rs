@@ -1,0 +1,270 @@
+//! Private L1 data cache model.
+//!
+//! Each line carries a MESI state (Invalid ⇒ not resident), a dirty flag and
+//! the RaCCD **NC bit** (§III-C1). Write-back, write-allocate; clean
+//! evictions are silent (Table I: "MESI with blocking states, silent
+//! evictions"). Non-coherent lines are outside the protocol: they are
+//! installed by NC responses, evicted silently when clean, written back with
+//! the NC variant when dirty, and flushed wholesale by `raccd_invalidate`.
+
+use crate::set_assoc::SetAssoc;
+use raccd_mem::BlockAddr;
+
+/// Coherence state of a resident L1 line (Invalid ⇒ absent from the array).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum L1State {
+    /// Modified: exclusive and dirty.
+    Modified,
+    /// Exclusive: sole copy, clean.
+    Exclusive,
+    /// Shared: possibly other copies, clean.
+    Shared,
+}
+
+/// A resident L1 line.
+#[derive(Clone, Copy, Debug)]
+pub struct L1Line {
+    /// MESI state. For NC lines the state is kept (E on fill, M after a
+    /// write) but the directory knows nothing about it.
+    pub state: L1State,
+    /// RaCCD non-coherent bit.
+    pub nc: bool,
+    /// Hardware-thread id that installed an NC line (§III-E: "the
+    /// non-coherent bit per block … can be extended to store the thread ID
+    /// of the block", 1–3 extra bits for 2–8-way SMT). 0 on non-SMT cores.
+    pub tid: u8,
+}
+
+impl L1Line {
+    /// Whether the line holds data newer than the LLC copy.
+    pub fn dirty(&self) -> bool {
+        self.state == L1State::Modified
+    }
+}
+
+/// Private L1 data cache (one per core).
+#[derive(Clone, Debug)]
+pub struct L1Cache {
+    arr: SetAssoc<L1Line>,
+    hits: u64,
+    misses: u64,
+}
+
+impl L1Cache {
+    /// Build from geometry: `size_bytes / 64` lines, `ways` associativity.
+    pub fn new(size_bytes: u64, ways: usize) -> Self {
+        let lines = (size_bytes / raccd_mem::BLOCK_SIZE) as usize;
+        assert!(lines >= ways && lines.is_multiple_of(ways));
+        L1Cache {
+            arr: SetAssoc::new(lines / ways, ways, 0),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Total line slots (the length of a `raccd_invalidate` cache walk).
+    pub fn num_lines(&self) -> usize {
+        self.arr.capacity()
+    }
+
+    /// Resident line count.
+    pub fn occupancy(&self) -> usize {
+        self.arr.occupancy()
+    }
+
+    /// Look up a block, updating PLRU and hit/miss counters.
+    pub fn access(&mut self, block: BlockAddr) -> Option<&mut L1Line> {
+        let hit = self.arr.get_mut(block.0);
+        if hit.is_some() {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
+        hit
+    }
+
+    /// Probe without statistics or PLRU effects.
+    pub fn probe(&self, block: BlockAddr) -> Option<&L1Line> {
+        self.arr.probe(block.0)
+    }
+
+    /// Mutable probe without hit/miss accounting or PLRU update (state
+    /// transitions on a line already counted as hit).
+    pub fn probe_mut(&mut self, block: BlockAddr) -> Option<&mut L1Line> {
+        self.arr.probe_mut(block.0)
+    }
+
+    /// Install a block after a miss. Returns the evicted victim, if any.
+    pub fn fill(&mut self, block: BlockAddr, line: L1Line) -> Option<(BlockAddr, L1Line)> {
+        self.arr
+            .insert(block.0, line)
+            .map(|(k, l)| (BlockAddr(k), l))
+    }
+
+    /// Invalidate one block (directory-initiated Inv, LLC inclusion victim,
+    /// PT page flush member). Returns the line if it was present.
+    pub fn invalidate(&mut self, block: BlockAddr) -> Option<L1Line> {
+        self.arr.remove(block.0)
+    }
+
+    /// Downgrade M/E → S on a forwarded GetS. Returns whether data was dirty.
+    pub fn downgrade_to_shared(&mut self, block: BlockAddr) -> Option<bool> {
+        self.arr.get_mut(block.0).map(|l| {
+            let was_dirty = l.dirty();
+            l.state = L1State::Shared;
+            was_dirty
+        })
+    }
+
+    /// `raccd_invalidate`: remove every NC line (all hardware threads).
+    /// Returns the flushed lines (dirty ones need NC write-backs). The
+    /// caller charges one cycle per line *slot* walked — use
+    /// [`L1Cache::num_lines`].
+    pub fn flush_nc(&mut self) -> Vec<(BlockAddr, L1Line)> {
+        self.arr
+            .drain_matching(|_, l| l.nc)
+            .into_iter()
+            .map(|(k, l)| (BlockAddr(k), l))
+            .collect()
+    }
+
+    /// Selective `raccd_invalidate` for SMT cores (§III-E): flush only the
+    /// NC lines installed by hardware thread `tid`, leaving the sibling
+    /// thread's non-coherent working set cached.
+    pub fn flush_nc_thread(&mut self, tid: u8) -> Vec<(BlockAddr, L1Line)> {
+        self.arr
+            .drain_matching(|_, l| l.nc && l.tid == tid)
+            .into_iter()
+            .map(|(k, l)| (BlockAddr(k), l))
+            .collect()
+    }
+
+    /// PT private→shared transition: flush all blocks of one physical page.
+    pub fn flush_page(&mut self, page: raccd_mem::PageNum) -> Vec<(BlockAddr, L1Line)> {
+        self.arr
+            .drain_matching(|k, _| BlockAddr(k).page() == page)
+            .into_iter()
+            .map(|(k, l)| (BlockAddr(k), l))
+            .collect()
+    }
+
+    /// (hits, misses) counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Iterate resident blocks (diagnostics/tests).
+    pub fn iter(&self) -> impl Iterator<Item = (BlockAddr, &L1Line)> {
+        self.arr.iter().map(|(k, l)| (BlockAddr(k), l))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(state: L1State, nc: bool) -> L1Line {
+        L1Line { state, nc, tid: 0 }
+    }
+
+    #[test]
+    fn geometry_matches_table1() {
+        // 32 KiB, 2-way, 64 B lines → 512 lines, 256 sets.
+        let l1 = L1Cache::new(32 * 1024, 2);
+        assert_eq!(l1.num_lines(), 512);
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut l1 = L1Cache::new(4096, 2);
+        let b = BlockAddr(42);
+        assert!(l1.access(b).is_none());
+        l1.fill(b, line(L1State::Exclusive, false));
+        assert!(l1.access(b).is_some());
+        assert_eq!(l1.stats(), (1, 1));
+    }
+
+    #[test]
+    fn flush_nc_removes_only_nc_lines() {
+        let mut l1 = L1Cache::new(4096, 2);
+        l1.fill(BlockAddr(1), line(L1State::Exclusive, true));
+        l1.fill(BlockAddr(2), line(L1State::Shared, false));
+        l1.fill(BlockAddr(3), line(L1State::Modified, true));
+        let flushed = l1.flush_nc();
+        assert_eq!(flushed.len(), 2);
+        assert!(flushed.iter().any(|&(b, l)| b == BlockAddr(3) && l.dirty()));
+        assert!(l1.probe(BlockAddr(2)).is_some());
+        assert!(l1.probe(BlockAddr(1)).is_none());
+        assert_eq!(l1.occupancy(), 1);
+    }
+
+    #[test]
+    fn flush_nc_thread_is_selective() {
+        let mut l1 = L1Cache::new(4096, 2);
+        l1.fill(
+            BlockAddr(1),
+            L1Line {
+                state: L1State::Exclusive,
+                nc: true,
+                tid: 0,
+            },
+        );
+        l1.fill(
+            BlockAddr(2),
+            L1Line {
+                state: L1State::Modified,
+                nc: true,
+                tid: 1,
+            },
+        );
+        l1.fill(
+            BlockAddr(3),
+            L1Line {
+                state: L1State::Shared,
+                nc: false,
+                tid: 0,
+            },
+        );
+        let flushed = l1.flush_nc_thread(1);
+        assert_eq!(flushed.len(), 1);
+        assert_eq!(flushed[0].0, BlockAddr(2));
+        assert!(l1.probe(BlockAddr(1)).is_some(), "sibling's NC line kept");
+        assert!(l1.probe(BlockAddr(3)).is_some(), "coherent line kept");
+    }
+
+    #[test]
+    fn flush_page_removes_page_blocks() {
+        let mut l1 = L1Cache::new(32 * 1024, 2);
+        // Page p contains blocks p*64 .. p*64+63.
+        let page = raccd_mem::PageNum(5);
+        l1.fill(BlockAddr(5 * 64 + 3), line(L1State::Shared, false));
+        l1.fill(BlockAddr(5 * 64 + 9), line(L1State::Modified, false));
+        l1.fill(BlockAddr(6 * 64), line(L1State::Shared, false));
+        let flushed = l1.flush_page(page);
+        assert_eq!(flushed.len(), 2);
+        assert_eq!(l1.occupancy(), 1);
+    }
+
+    #[test]
+    fn downgrade_reports_dirtiness() {
+        let mut l1 = L1Cache::new(4096, 2);
+        l1.fill(BlockAddr(7), line(L1State::Modified, false));
+        assert_eq!(l1.downgrade_to_shared(BlockAddr(7)), Some(true));
+        assert_eq!(l1.probe(BlockAddr(7)).unwrap().state, L1State::Shared);
+        assert_eq!(l1.downgrade_to_shared(BlockAddr(99)), None);
+    }
+
+    #[test]
+    fn eviction_returns_victim() {
+        // 2 sets × 2 ways (256 B): blocks 0,2,4 share set 0.
+        let mut l1 = L1Cache::new(256, 2);
+        assert!(l1
+            .fill(BlockAddr(0), line(L1State::Exclusive, false))
+            .is_none());
+        assert!(l1
+            .fill(BlockAddr(2), line(L1State::Modified, false))
+            .is_none());
+        let victim = l1.fill(BlockAddr(4), line(L1State::Exclusive, false));
+        assert!(victim.is_some());
+    }
+}

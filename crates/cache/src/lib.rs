@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+
+//! Set-associative cache models for the RaCCD reproduction.
+//!
+//! Table I of the paper specifies 32 KiB 2-way L1 data caches and a shared
+//! LLC banked at 2 MiB per core, 8-way, both with pseudo-LRU replacement,
+//! 64-byte lines. RaCCD (§III-C1) adds a **Non-Coherent (NC) bit** to every
+//! block in the private data caches, and the LLC carries the NC attribute in
+//! its lines so blocks can live there untracked by the directory.
+//!
+//! * [`plru`] — tree pseudo-LRU replacement state.
+//! * [`set_assoc`] — a generic set-associative array used by the L1, the
+//!   LLC banks, and (in `raccd-protocol`) the sparse directory.
+//! * [`l1`] — the private L1 data cache: MESI state + NC bit per line.
+//! * [`llc`] — one bank of the shared last-level cache.
+
+pub mod l1;
+pub mod llc;
+pub mod plru;
+pub mod set_assoc;
+
+pub use l1::{L1Cache, L1Line, L1State};
+pub use llc::{LlcBank, LlcLine};
+pub use plru::TreePlru;
+pub use set_assoc::{Line, SetAssoc};

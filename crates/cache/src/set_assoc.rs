@@ -1,0 +1,380 @@
+//! Generic set-associative array with tree pseudo-LRU replacement.
+//!
+//! Used for the L1 data caches, the LLC banks, and the sparse directory
+//! banks. Keys are full block (or entry) identifiers; the set index is
+//! `(key >> index_shift) % sets`, where `index_shift` lets banked structures
+//! skip the bank-interleaving bits. Tags store the whole key, which is what
+//! allows Adaptive Directory Reduction to resize the set count at run time
+//! (§III-D: "the tag has to work for the smallest possible directory size").
+
+use crate::plru::TreePlru;
+
+/// One valid line: full key plus payload.
+#[derive(Clone, Debug)]
+pub struct Line<T> {
+    /// Full key (e.g. physical block number).
+    pub key: u64,
+    /// Payload (cache-line state, directory entry, …).
+    pub data: T,
+}
+
+/// A set-associative array of `sets × ways` lines.
+///
+/// ```
+/// use raccd_cache::SetAssoc;
+/// let mut arr: SetAssoc<&str> = SetAssoc::new(2, 2, 0);
+/// assert!(arr.insert(4, "a").is_none());
+/// assert!(arr.insert(6, "b").is_none()); // same set (even keys), 2 ways
+/// let (victim_key, _) = arr.insert(8, "c").expect("set full: PLRU evicts");
+/// assert_eq!(victim_key, 4);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SetAssoc<T> {
+    sets: usize,
+    ways: usize,
+    index_shift: u32,
+    lines: Vec<Option<Line<T>>>,
+    plru: Vec<TreePlru>,
+    occupied: usize,
+}
+
+impl<T> SetAssoc<T> {
+    /// Create an array. `sets` and `ways` must be non-zero; `ways` a power
+    /// of two. `index_shift` strips bank-select bits before set indexing.
+    pub fn new(sets: usize, ways: usize, index_shift: u32) -> Self {
+        assert!(sets > 0, "sets must be non-zero");
+        assert!(ways.is_power_of_two(), "ways must be a power of two");
+        SetAssoc {
+            sets,
+            ways,
+            index_shift,
+            lines: (0..sets * ways).map(|_| None).collect(),
+            plru: vec![TreePlru::new(); sets],
+            occupied: 0,
+        }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Associativity.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Total line slots.
+    pub fn capacity(&self) -> usize {
+        self.sets * self.ways
+    }
+
+    /// Valid lines currently held.
+    pub fn occupancy(&self) -> usize {
+        self.occupied
+    }
+
+    #[inline]
+    fn set_of(&self, key: u64) -> usize {
+        ((key >> self.index_shift) % self.sets as u64) as usize
+    }
+
+    #[inline]
+    fn slot_range(&self, set: usize) -> core::ops::Range<usize> {
+        set * self.ways..(set + 1) * self.ways
+    }
+
+    /// Mutable lookup without touching replacement state.
+    pub fn probe_mut(&mut self, key: u64) -> Option<&mut T> {
+        let set = self.set_of(key);
+        let range = self.slot_range(set);
+        self.lines[range]
+            .iter_mut()
+            .flatten()
+            .find(|l| l.key == key)
+            .map(|l| &mut l.data)
+    }
+
+    /// Look up a key without touching replacement state.
+    pub fn probe(&self, key: u64) -> Option<&T> {
+        let set = self.set_of(key);
+        self.lines[self.slot_range(set)]
+            .iter()
+            .flatten()
+            .find(|l| l.key == key)
+            .map(|l| &l.data)
+    }
+
+    /// Look up a key, updating PLRU on hit.
+    pub fn get(&mut self, key: u64) -> Option<&T> {
+        self.get_mut(key).map(|d| &*d)
+    }
+
+    /// Mutable lookup, updating PLRU on hit.
+    pub fn get_mut(&mut self, key: u64) -> Option<&mut T> {
+        let set = self.set_of(key);
+        let ways = self.ways;
+        let base = set * ways;
+        for w in 0..ways {
+            if matches!(&self.lines[base + w], Some(l) if l.key == key) {
+                self.plru[set].touch(w, ways);
+                return self.lines[base + w].as_mut().map(|l| &mut l.data);
+            }
+        }
+        None
+    }
+
+    /// Insert a line, evicting the PLRU victim if the set is full.
+    /// Returns the evicted `(key, data)` if any. If `key` is already
+    /// present its payload is replaced (no eviction).
+    pub fn insert(&mut self, key: u64, data: T) -> Option<(u64, T)> {
+        let set = self.set_of(key);
+        let ways = self.ways;
+        let base = set * ways;
+
+        // Replace in place if present.
+        for w in 0..ways {
+            if matches!(&self.lines[base + w], Some(l) if l.key == key) {
+                self.plru[set].touch(w, ways);
+                let old = self.lines[base + w].replace(Line { key, data });
+                debug_assert!(old.is_some());
+                return None;
+            }
+        }
+        // Fill an invalid way if available.
+        for w in 0..ways {
+            if self.lines[base + w].is_none() {
+                self.lines[base + w] = Some(Line { key, data });
+                self.plru[set].touch(w, ways);
+                self.occupied += 1;
+                return None;
+            }
+        }
+        // Evict the PLRU victim.
+        let w = self.plru[set].victim(ways);
+        let victim = self.lines[base + w].replace(Line { key, data });
+        self.plru[set].touch(w, ways);
+        victim.map(|l| (l.key, l.data))
+    }
+
+    /// Remove a line, returning its payload.
+    pub fn remove(&mut self, key: u64) -> Option<T> {
+        let set = self.set_of(key);
+        let base = set * self.ways;
+        for w in 0..self.ways {
+            if matches!(&self.lines[base + w], Some(l) if l.key == key) {
+                self.occupied -= 1;
+                return self.lines[base + w].take().map(|l| l.data);
+            }
+        }
+        None
+    }
+
+    /// Iterate over all valid lines.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &T)> {
+        self.lines.iter().flatten().map(|l| (l.key, &l.data))
+    }
+
+    /// Mutable iteration over all valid lines.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (u64, &mut T)> {
+        self.lines
+            .iter_mut()
+            .flatten()
+            .map(|l| (l.key, &mut l.data))
+    }
+
+    /// Remove every line for which `pred` returns true, collecting them.
+    /// Used for cache-walk flushes (`raccd_invalidate`, PT page flushes).
+    pub fn drain_matching(&mut self, mut pred: impl FnMut(u64, &T) -> bool) -> Vec<(u64, T)> {
+        let mut out = Vec::new();
+        for slot in self.lines.iter_mut() {
+            if let Some(l) = slot {
+                if pred(l.key, &l.data) {
+                    let l = slot.take().unwrap();
+                    out.push((l.key, l.data));
+                }
+            }
+        }
+        self.occupied -= out.len();
+        out
+    }
+
+    /// Resize the number of sets (Adaptive Directory Reduction). All lines
+    /// are re-inserted under the new indexing; lines that no longer fit are
+    /// returned as evictions. Associativity is unchanged (§III-D: "we only
+    /// change its number of sets while keeping the associativity constant").
+    pub fn resize_sets(&mut self, new_sets: usize) -> Vec<(u64, T)> {
+        assert!(new_sets > 0);
+        let old = core::mem::replace(self, SetAssoc::new(new_sets, self.ways, self.index_shift));
+        let mut evicted = Vec::new();
+        for line in old.lines.into_iter().flatten() {
+            if let Some(e) = self.insert(line.key, line.data) {
+                evicted.push(e);
+            }
+        }
+        evicted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn insert_get_remove() {
+        let mut a: SetAssoc<u32> = SetAssoc::new(4, 2, 0);
+        assert_eq!(a.insert(10, 1), None);
+        assert_eq!(a.insert(20, 2), None);
+        assert_eq!(a.get(10), Some(&1));
+        assert_eq!(a.probe(20), Some(&2));
+        assert_eq!(a.occupancy(), 2);
+        assert_eq!(a.remove(10), Some(1));
+        assert_eq!(a.get(10), None);
+        assert_eq!(a.occupancy(), 1);
+    }
+
+    #[test]
+    fn eviction_on_conflict() {
+        // 1 set, 2 ways: third distinct key evicts.
+        let mut a: SetAssoc<u32> = SetAssoc::new(1, 2, 0);
+        a.insert(1, 10);
+        a.insert(2, 20);
+        let evicted = a.insert(3, 30);
+        assert!(evicted.is_some());
+        assert_eq!(a.occupancy(), 2);
+        // The most recently inserted key must survive.
+        assert!(a.probe(3).is_some());
+    }
+
+    #[test]
+    fn reinsert_same_key_replaces_payload() {
+        let mut a: SetAssoc<u32> = SetAssoc::new(2, 2, 0);
+        a.insert(5, 1);
+        assert_eq!(a.insert(5, 2), None);
+        assert_eq!(a.probe(5), Some(&2));
+        assert_eq!(a.occupancy(), 1);
+    }
+
+    #[test]
+    fn index_shift_skips_bank_bits() {
+        // With shift 4 and 2 sets, keys 0x00 and 0x10 land in different sets
+        // even though key%2 would be equal.
+        let mut a: SetAssoc<u32> = SetAssoc::new(2, 1, 4);
+        a.insert(0x00, 1);
+        let e = a.insert(0x10, 2);
+        assert!(e.is_none(), "different sets, no eviction");
+        assert!(a.probe(0x00).is_some() && a.probe(0x10).is_some());
+    }
+
+    #[test]
+    fn lru_behaviour_within_set() {
+        let mut a: SetAssoc<u32> = SetAssoc::new(1, 2, 0);
+        a.insert(1, 1);
+        a.insert(2, 2);
+        a.get(1); // 2 becomes victim
+        let (k, _) = a.insert(3, 3).unwrap();
+        assert_eq!(k, 2);
+    }
+
+    #[test]
+    fn drain_matching_flushes() {
+        let mut a: SetAssoc<bool> = SetAssoc::new(4, 2, 0);
+        for k in 0..8u64 {
+            a.insert(k, k % 2 == 0);
+        }
+        let drained = a.drain_matching(|_, &nc| nc);
+        assert_eq!(drained.len(), 4);
+        assert_eq!(a.occupancy(), 4);
+        assert!(a.iter().all(|(_, &nc)| !nc));
+    }
+
+    #[test]
+    fn resize_preserves_fitting_lines() {
+        let mut a: SetAssoc<u64> = SetAssoc::new(8, 2, 0);
+        for k in 0..8u64 {
+            a.insert(k, k * 10);
+        }
+        let evicted = a.resize_sets(4);
+        // 8 lines into 4 sets × 2 ways = exactly capacity; all should fit.
+        assert!(evicted.is_empty());
+        assert_eq!(a.occupancy(), 8);
+        for k in 0..8u64 {
+            assert_eq!(a.probe(k), Some(&(k * 10)));
+        }
+    }
+
+    #[test]
+    fn resize_smaller_evicts_overflow() {
+        let mut a: SetAssoc<u64> = SetAssoc::new(8, 2, 0);
+        for k in 0..16u64 {
+            a.insert(k, k);
+        }
+        let evicted = a.resize_sets(2);
+        assert_eq!(evicted.len(), 16 - 4);
+        assert_eq!(a.occupancy(), 4);
+    }
+
+    #[test]
+    fn resize_larger_keeps_everything() {
+        let mut a: SetAssoc<u64> = SetAssoc::new(2, 2, 0);
+        for k in 0..4u64 {
+            a.insert(k, k);
+        }
+        let evicted = a.resize_sets(8);
+        assert!(evicted.is_empty());
+        assert_eq!(a.occupancy(), 4);
+    }
+
+    proptest! {
+        /// Occupancy never exceeds capacity, and a probe right after insert
+        /// always hits.
+        #[test]
+        fn occupancy_invariant(keys in proptest::collection::vec(0u64..256, 1..200)) {
+            let mut a: SetAssoc<u64> = SetAssoc::new(8, 4, 0);
+            for &k in &keys {
+                a.insert(k, k);
+                prop_assert_eq!(a.probe(k), Some(&k));
+                prop_assert!(a.occupancy() <= a.capacity());
+            }
+        }
+
+        /// After any insert sequence, every resident key is found in the set
+        /// its index maps to, and distinct resident keys are unique.
+        #[test]
+        fn resident_keys_unique(keys in proptest::collection::vec(0u64..64, 1..300)) {
+            let mut a: SetAssoc<u64> = SetAssoc::new(4, 2, 0);
+            for &k in &keys {
+                a.insert(k, k);
+            }
+            let resident: Vec<u64> = a.iter().map(|(k, _)| k).collect();
+            let mut sorted = resident.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), resident.len());
+        }
+
+        /// Resizing to any power-of-two set count and back never duplicates
+        /// or invents keys.
+        #[test]
+        fn resize_roundtrip_no_invention(
+            keys in proptest::collection::vec(0u64..512, 1..100),
+            shrink in 0u32..4,
+        ) {
+            let mut a: SetAssoc<u64> = SetAssoc::new(16, 2, 0);
+            for &k in &keys {
+                a.insert(k, k);
+            }
+            let before: std::collections::HashSet<u64> = a.iter().map(|(k, _)| k).collect();
+            let evicted = a.resize_sets(16 >> shrink);
+            let after: std::collections::HashSet<u64> = a.iter().map(|(k, _)| k).collect();
+            let evicted_keys: std::collections::HashSet<u64> =
+                evicted.iter().map(|&(k, _)| k).collect();
+            // after ∪ evicted == before, disjoint union.
+            prop_assert!(after.is_disjoint(&evicted_keys));
+            let union: std::collections::HashSet<u64> =
+                after.union(&evicted_keys).copied().collect();
+            prop_assert_eq!(union, before);
+        }
+    }
+}

@@ -1,0 +1,490 @@
+//! The simulation driver: Figure 3's runtime phases over the machine.
+//!
+//! Each simulated core cycles through the three phases of a task-parallel
+//! runtime — **scheduling**, **task execution**, **wake-up** — plus RaCCD's
+//! two additions: **deactivate coherence** (`raccd_register` per dependence,
+//! before execution) and **invalidate non-coherent data**
+//! (`raccd_invalidate`, after execution).
+//!
+//! Cores are interleaved by a time-ordered heap: the core with the smallest
+//! local clock processes the next batch of its task's memory references, so
+//! cache, directory and NoC state evolve under true multicore contention
+//! while remaining fully deterministic.
+//!
+//! Task bodies run *functionally at dispatch* (recording their reference
+//! trace): the programming model guarantees a task's annotated data is
+//! race-free during its execution window (§II-D), so values cannot depend
+//! on the interleaving being simulated.
+
+use crate::census::Census;
+use crate::mode::CoherenceMode;
+use crate::ncrt::Ncrt;
+use crate::pt::{PageClassifier, PtDecision};
+use crate::tlbclass::TlbClassifier;
+use raccd_mem::{SimMemory, VAddr};
+use raccd_runtime::{MemRef, Program, ReadyQueue, StealQueues, TaskCtx};
+use raccd_sim::{L1LookupResult, Machine, MachineConfig, SchedPolicy, Stats};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// References processed per core turn before re-entering the heap.
+/// Small enough to interleave finely, large enough to amortise heap cost.
+const BATCH: usize = 64;
+
+/// Deterministic scheduling jitter (cycles), modelling the wake-up/IPI
+/// latency variation of a real runtime. Without it the simulator's
+/// perfectly symmetric timing re-assigns every chunk to the same core each
+/// iteration, hiding the task-migration behaviour of dynamic schedulers
+/// that the paper's PT-vs-RaCCD comparison depends on (§II-B).
+fn sched_jitter(core: usize, salt: u64) -> u64 {
+    let mut h =
+        raccd_mem::SplitMix64::new((core as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ salt);
+    h.next_below(48)
+}
+
+struct Running {
+    tid: raccd_runtime::TaskId,
+    trace: Vec<MemRef>,
+    pos: usize,
+}
+
+/// The runtime's ready-task store, per the configured scheduling policy.
+enum Sched {
+    Central(ReadyQueue),
+    Steal(StealQueues),
+}
+
+impl Sched {
+    fn push(&mut self, ctx: usize, task: raccd_runtime::TaskId) {
+        match self {
+            Sched::Central(q) => q.push(task),
+            Sched::Steal(q) => q.push(ctx, task),
+        }
+    }
+
+    fn pop(&mut self, ctx: usize) -> Option<raccd_runtime::TaskId> {
+        match self {
+            Sched::Central(q) => q.pop(),
+            Sched::Steal(q) => q.pop(ctx),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Sched::Central(q) => q.len(),
+            Sched::Steal(q) => q.len(),
+        }
+    }
+}
+
+/// Everything a timed run produces.
+pub struct DriverOutput {
+    /// Machine statistics.
+    pub stats: Stats,
+    /// Protocol events (non-empty only with `cfg.record_events`).
+    pub events: Vec<raccd_sim::CoherenceEvent>,
+    /// The Figure 2 block census.
+    pub census: Census,
+    /// Final memory image (for functional verification).
+    pub mem: SimMemory,
+    /// Tasks executed.
+    pub tasks: usize,
+    /// TDG edges.
+    pub edges: usize,
+}
+
+/// Run a program to completion on a machine configured per `cfg` under the
+/// given coherence mode.
+pub fn run_program(cfg: MachineConfig, mode: CoherenceMode, program: Program) -> DriverOutput {
+    let Program { mut mem, mut graph } = program;
+    let edges = graph.edges();
+    // Scheduling happens over hardware contexts: cores × SMT ways (§III-E).
+    // Context `x` is hardware thread `x % smt_ways` of core `x / smt_ways`.
+    let nctx = cfg.ncontexts();
+
+    let mut machine = Machine::new(cfg);
+    let mut ncrts: Vec<Ncrt> = (0..nctx).map(|_| Ncrt::new(cfg.ncrt_entries)).collect();
+    let mut pt = PageClassifier::new();
+    let mut tlbc = TlbClassifier::new();
+    let mut census = Census::new();
+
+    let mut ready = match cfg.sched {
+        SchedPolicy::CentralFifo => Sched::Central(ReadyQueue::new()),
+        SchedPolicy::WorkStealing => Sched::Steal(StealQueues::new(nctx)),
+    };
+    // Initial ready set: central queue in creation order; work stealing
+    // distributes round-robin so every context starts with local work.
+    for (i, t) in graph.initially_ready().into_iter().enumerate() {
+        ready.push(i % nctx, t);
+    }
+
+    let mut running: Vec<Option<Running>> = (0..nctx).map(|_| None).collect();
+    // Core that woke each task (migration accounting, §II-B).
+    let mut waker_core: Vec<Option<u32>> = vec![None; graph.len()];
+    let mut trace_pool: Vec<Vec<MemRef>> = (0..nctx).map(|_| Vec::new()).collect();
+    let mut core_time = vec![0u64; nctx];
+    let mut idle: Vec<usize> = Vec::new();
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> =
+        (0..nctx).map(|c| Reverse((0u64, c))).collect();
+
+    let mut completed = 0usize;
+    let mut end_time = 0u64;
+
+    while let Some(Reverse((t, ctx))) = heap.pop() {
+        let mut now = t;
+        let core = ctx / cfg.smt_ways;
+        let tid = (ctx % cfg.smt_ways) as u8;
+        match running[ctx].take() {
+            None => {
+                // Scheduling phase.
+                if let Some(task) = ready.pop(ctx) {
+                    now += cfg.runtime.schedule + sched_jitter(ctx, task as u64);
+                    if let Some(w) = waker_core[task] {
+                        if w as usize != core {
+                            machine.stats.task_migrations += 1;
+                        }
+                    }
+                    if mode == CoherenceMode::Raccd {
+                        // Deactivate coherence: one raccd_register per
+                        // dependence (§III-B).
+                        for i in 0..graph.deps(task).len() {
+                            let range = graph.deps(task)[i].range;
+                            let out =
+                                ncrts[ctx].register_region(&mut machine, core, range, &cfg.runtime);
+                            now += out.cycles;
+                            machine.stats.register_cycles += out.cycles;
+                            if out.overflowed {
+                                machine.stats.ncrt_overflows += 1;
+                            }
+                        }
+                    }
+                    // Run the body functionally, recording the trace.
+                    let body = graph.take_body(task);
+                    let mut trace = std::mem::take(&mut trace_pool[ctx]);
+                    trace.clear();
+                    {
+                        let mut tcx = TaskCtx::new(&mut mem, &mut trace);
+                        body(&mut tcx);
+                        tcx.stack_traffic(cfg.runtime.stack_words_per_task);
+                    }
+                    machine.stats.tasks_executed += 1;
+                    running[ctx] = Some(Running {
+                        tid: task,
+                        trace,
+                        pos: 0,
+                    });
+                    heap.push(Reverse((now, ctx)));
+                } else {
+                    // Nothing ready: park until a wake-up re-arms us.
+                    core_time[ctx] = now;
+                    end_time = end_time.max(now);
+                    idle.push(ctx);
+                }
+            }
+            Some(mut run) => {
+                // Task execution phase: replay a batch of references.
+                let end = (run.pos + BATCH).min(run.trace.len());
+                while run.pos < end {
+                    let r = run.trace[run.pos];
+                    run.pos += 1;
+                    now += process_ref(
+                        &mut machine,
+                        mode,
+                        ctx,
+                        core,
+                        tid,
+                        r,
+                        now,
+                        &mut ncrts[ctx],
+                        &mut pt,
+                        &mut tlbc,
+                        &mut census,
+                        &cfg,
+                    );
+                }
+                if run.pos < run.trace.len() {
+                    running[ctx] = Some(run);
+                    heap.push(Reverse((now, ctx)));
+                } else {
+                    // Invalidate non-coherent data (RaCCD only), then the
+                    // wake-up phase.
+                    if mode == CoherenceMode::Raccd {
+                        let flt = if cfg.smt_ways > 1 && cfg.smt_selective_flush {
+                            Some(tid)
+                        } else {
+                            None
+                        };
+                        let cycles = machine.flush_nc_filtered(core, flt, now);
+                        machine.stats.invalidate_cycles += cycles;
+                        now += cycles;
+                        ncrts[ctx].clear();
+                    }
+                    let ndeps = graph.dependent_count(run.tid) as u64;
+                    now += cfg.runtime.wakeup_base + ndeps * cfg.runtime.wakeup_per_dep;
+                    for woken in graph.complete(run.tid) {
+                        waker_core[woken] = Some(core as u32);
+                        ready.push(ctx, woken);
+                    }
+                    completed += 1;
+                    trace_pool[ctx] = run.trace;
+                    // Unpark idle cores while work is available.
+                    let mut avail = ready.len();
+                    while avail > 0 {
+                        match idle.pop() {
+                            Some(ic) => {
+                                let wake =
+                                    core_time[ic].max(now) + sched_jitter(ic, completed as u64);
+                                heap.push(Reverse((wake, ic)));
+                                avail -= 1;
+                            }
+                            None => break,
+                        }
+                    }
+                    running[ctx] = None;
+                    heap.push(Reverse((now, ctx)));
+                }
+            }
+        }
+        machine.stats.busy_cycles += now - t;
+        core_time[ctx] = now;
+        end_time = end_time.max(now);
+    }
+
+    assert_eq!(
+        completed,
+        graph.len(),
+        "simulation ended with unexecuted tasks (TDG cycle?)"
+    );
+    drop(graph);
+
+    machine.stats.contexts = nctx as u64;
+    let events = machine.events().to_vec();
+    let stats = machine.finalize(end_time);
+    DriverOutput {
+        stats,
+        events,
+        census,
+        mem,
+        tasks: completed,
+        edges,
+    }
+}
+
+/// Process one memory reference of hardware context `ctx` (thread `tid` on
+/// `core`) at time `now`. Returns cycles.
+#[allow(clippy::too_many_arguments)]
+fn process_ref(
+    machine: &mut Machine,
+    mode: CoherenceMode,
+    ctx: usize,
+    core: usize,
+    tid: u8,
+    r: MemRef,
+    now: u64,
+    ncrt: &mut Ncrt,
+    pt: &mut PageClassifier,
+    tlbc: &mut TlbClassifier,
+    census: &mut Census,
+    cfg: &MachineConfig,
+) -> u64 {
+    let vaddr = if r.is_stack() {
+        VAddr(cfg.stack_base(ctx) + r.addr().0)
+    } else {
+        r.addr()
+    };
+    // The TLB-classifier mode owns translation (it piggybacks the
+    // private/shared resolution on TLB misses, §II-B).
+    let mut page_private = false;
+    let (paddr, mut cycles) = if mode == CoherenceMode::TlbClass {
+        let out = tlbc.translate(machine, core, vaddr, now);
+        page_private = out.private;
+        (out.paddr, out.cycles)
+    } else {
+        machine.translate(core, vaddr)
+    };
+    let block = paddr.block();
+    let write = r.is_write();
+
+    // PT classification acts on every access (the OS sees the touch).
+    if mode == CoherenceMode::PageTable {
+        match pt.on_access(core, paddr.page()) {
+            PtDecision::Private => page_private = true,
+            PtDecision::Shared => {}
+            PtDecision::Transition { prev_owner } => {
+                machine.stats.pt_shared_transitions += 1;
+                cycles += machine.flush_page(prev_owner, paddr.page(), vaddr.page(), now);
+            }
+        }
+    }
+
+    let coherent_access = match machine.l1_lookup(core, block, write, now) {
+        L1LookupResult::Hit { cycles: c, nc } => {
+            cycles += c;
+            !nc
+        }
+        L1LookupResult::Miss => {
+            let nc = match mode {
+                CoherenceMode::FullCoh => false,
+                CoherenceMode::PageTable | CoherenceMode::TlbClass => page_private,
+                CoherenceMode::Raccd => {
+                    // The NCRT consultation delays every private-cache miss
+                    // (§V-C studies this latency).
+                    cycles += cfg.lat.ncrt;
+                    ncrt.lookup(paddr)
+                }
+            };
+            cycles += machine.miss_fill_smt(core, tid, block, write, nc, now);
+            !nc
+        }
+    };
+    census.record(block, coherent_access);
+    machine.stats.refs_processed += 1;
+    cycles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raccd_mem::addr::VRange;
+    use raccd_runtime::{Dep, ProgramBuilder};
+
+    /// A small two-phase stencil-like program: 16 writer tasks, then 16
+    /// reader tasks each consuming a 3-row neighbourhood. The cross-row
+    /// dependences make rows migrate between cores under the dynamic FIFO
+    /// scheduler — the temporarily-private pattern of §II-B.
+    fn two_phase_program() -> Program {
+        let mut b = ProgramBuilder::new();
+        let n_rows = 16u64;
+        let row_bytes = 4096u64;
+        let data = b.alloc("data", n_rows * row_bytes);
+        let row_range = move |i: u64| VRange::new(data.start.offset(i * row_bytes), row_bytes);
+        for i in 0..n_rows {
+            let row = row_range(i);
+            b.task("write", vec![Dep::output(row)], move |ctx| {
+                for w in 0..row_bytes / 8 {
+                    ctx.write_u64(row.start.offset(w * 8), i * 1000 + w);
+                }
+            });
+        }
+        for i in 0..n_rows {
+            let lo = i.saturating_sub(1);
+            let hi = (i + 1).min(n_rows - 1);
+            let mut deps: Vec<Dep> = (lo..=hi).map(|j| Dep::input(row_range(j))).collect();
+            let sum_out = b.alloc(&format!("sum{i}"), 8);
+            deps.push(Dep::output(sum_out));
+            b.task("read", deps, move |ctx| {
+                let mut s = 0u64;
+                for j in lo..=hi {
+                    let row = row_range(j);
+                    for w in 0..row_bytes / 8 {
+                        s = s.wrapping_add(ctx.read_u64(row.start.offset(w * 8)));
+                    }
+                }
+                ctx.write_u64(sum_out.start, s);
+            });
+        }
+        b.finish()
+    }
+
+    fn run(mode: CoherenceMode) -> DriverOutput {
+        run_program(MachineConfig::scaled(), mode, two_phase_program())
+    }
+
+    #[test]
+    fn all_modes_complete_and_agree_functionally() {
+        // Reader 0 sums rows 0 and 1: Σ_{j∈{0,1}} Σ_w (j·1000 + w).
+        let per_row: u64 = (0..4096 / 8).sum();
+        let expected = per_row + (per_row + 512 * 1000);
+        for mode in CoherenceMode::ALL {
+            let out = run(mode);
+            assert_eq!(out.tasks, 32, "{mode}: all tasks executed");
+            assert!(out.stats.cycles > 0);
+            let sum_addr = out.mem.allocations()[1].1.start;
+            assert_eq!(
+                out.mem.read_u64(sum_addr),
+                expected,
+                "{mode}: functional result"
+            );
+        }
+    }
+
+    #[test]
+    fn raccd_uses_fewer_directory_accesses() {
+        let full = run(CoherenceMode::FullCoh);
+        let raccd = run(CoherenceMode::Raccd);
+        assert!(
+            raccd.stats.dir_accesses < full.stats.dir_accesses / 2,
+            "RaCCD {} vs FullCoh {}",
+            raccd.stats.dir_accesses,
+            full.stats.dir_accesses
+        );
+    }
+
+    #[test]
+    fn raccd_census_beats_pt_on_temporarily_private_data() {
+        // The FIFO scheduler migrates rows between cores across the two
+        // phases, so PT classifies them shared while RaCCD keeps them
+        // non-coherent (Figure 2's CG/Gauss/Jacobi effect).
+        let ptr = run(CoherenceMode::PageTable);
+        let rcd = run(CoherenceMode::Raccd);
+        let pt_pct = ptr.census.summary().noncoherent_pct();
+        let rc_pct = rcd.census.summary().noncoherent_pct();
+        assert!(
+            rc_pct > pt_pct,
+            "RaCCD {rc_pct:.1}% should exceed PT {pt_pct:.1}%"
+        );
+        assert!(rc_pct > 50.0, "most blocks are task data: {rc_pct:.1}%");
+    }
+
+    #[test]
+    fn fullcoh_census_is_all_coherent() {
+        let out = run(CoherenceMode::FullCoh);
+        assert_eq!(out.census.summary().noncoherent_blocks, 0);
+    }
+
+    #[test]
+    fn raccd_pays_register_and_invalidate() {
+        let out = run(CoherenceMode::Raccd);
+        assert!(out.stats.register_cycles > 0);
+        assert!(out.stats.invalidate_cycles > 0);
+        assert!(out.stats.nc_lines_flushed > 0);
+    }
+
+    #[test]
+    fn pt_sees_transitions() {
+        let out = run(CoherenceMode::PageTable);
+        assert!(
+            out.stats.pt_shared_transitions > 0,
+            "two-phase data must migrate"
+        );
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = run(CoherenceMode::Raccd);
+        let b = run(CoherenceMode::Raccd);
+        assert_eq!(a.stats.cycles, b.stats.cycles);
+        assert_eq!(a.stats.dir_accesses, b.stats.dir_accesses);
+        assert_eq!(a.stats.noc_traffic, b.stats.noc_traffic);
+        assert_eq!(a.stats.refs_processed, b.stats.refs_processed);
+    }
+
+    #[test]
+    fn reduced_directory_hurts_fullcoh_more_than_raccd() {
+        let cfg_small = MachineConfig::scaled().with_dir_ratio(64);
+        let full_1 = run(CoherenceMode::FullCoh).stats.cycles as f64;
+        let raccd_1 = run(CoherenceMode::Raccd).stats.cycles as f64;
+        let full_64 = run_program(cfg_small, CoherenceMode::FullCoh, two_phase_program())
+            .stats
+            .cycles as f64;
+        let raccd_64 = run_program(cfg_small, CoherenceMode::Raccd, two_phase_program())
+            .stats
+            .cycles as f64;
+        let full_slowdown = full_64 / full_1;
+        let raccd_slowdown = raccd_64 / raccd_1;
+        assert!(
+            raccd_slowdown < full_slowdown,
+            "RaCCD {raccd_slowdown:.3} vs FullCoh {full_slowdown:.3}"
+        );
+    }
+}

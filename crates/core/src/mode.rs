@@ -1,0 +1,67 @@
+//! The three systems the evaluation compares (§V-A).
+
+/// Coherence-deactivation policy of a simulated system.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CoherenceMode {
+    /// Baseline: "tracks coherence for all memory accesses".
+    FullCoh,
+    /// Page-Table approach [Cuesta et al., ISCA'11]: first-touch private
+    /// pages are non-coherent; a second core's access makes the page
+    /// permanently shared (with a flush of the first core's copies).
+    PageTable,
+    /// The paper's proposal: the runtime registers task inputs/outputs in
+    /// the NCRT before execution and invalidates non-coherent blocks after.
+    Raccd,
+    /// Extension: the TLB-based temporarily-private classifier of §II-B
+    /// (TLB-to-TLB miss resolution, TLB–L1 inclusivity, decay predictor) —
+    /// the complex alternative RaCCD is designed to avoid.
+    TlbClass,
+}
+
+impl CoherenceMode {
+    /// The paper's three evaluated systems, in presentation order.
+    pub const ALL: [CoherenceMode; 3] = [
+        CoherenceMode::FullCoh,
+        CoherenceMode::PageTable,
+        CoherenceMode::Raccd,
+    ];
+
+    /// All systems including the §II-B TLB-classifier extension.
+    pub const EXTENDED: [CoherenceMode; 4] = [
+        CoherenceMode::FullCoh,
+        CoherenceMode::PageTable,
+        CoherenceMode::TlbClass,
+        CoherenceMode::Raccd,
+    ];
+
+    /// Label used in figures ("FullCoh", "PT", "RaCCD").
+    pub fn label(self) -> &'static str {
+        match self {
+            CoherenceMode::FullCoh => "FullCoh",
+            CoherenceMode::PageTable => "PT",
+            CoherenceMode::Raccd => "RaCCD",
+            CoherenceMode::TlbClass => "TLB",
+        }
+    }
+}
+
+impl core::fmt::Display for CoherenceMode {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(CoherenceMode::FullCoh.label(), "FullCoh");
+        assert_eq!(CoherenceMode::PageTable.label(), "PT");
+        assert_eq!(CoherenceMode::Raccd.label(), "RaCCD");
+        assert_eq!(CoherenceMode::TlbClass.label(), "TLB");
+        assert_eq!(CoherenceMode::ALL.len(), 3);
+        assert_eq!(CoherenceMode::EXTENDED.len(), 4);
+    }
+}

@@ -1,0 +1,145 @@
+//! The Page-Table baseline classifier (§II-B, §V-A).
+//!
+//! "To implement PT we add a private/shared bit per TLB entry and intercept
+//! page faults … we set the TLB entry to private if only one core has ever
+//! accessed the page, otherwise we set it to shared." First touch makes a
+//! page private to the touching core; the first access by *any other* core
+//! makes it permanently shared, triggering a flush of the first core's
+//! cached blocks and TLB entry. "Once a page is categorised as shared, it
+//! never transitions back to private" — which is why PT misses temporarily
+//! private data (Figure 2).
+
+use raccd_mem::PageNum;
+use std::collections::HashMap;
+
+/// Classification of one physical page.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum PageState {
+    Private(u8),
+    Shared,
+}
+
+/// What an access means under the PT policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PtDecision {
+    /// The page is private to the accessing core: non-coherent access.
+    Private,
+    /// The page is shared: coherent access.
+    Shared,
+    /// This access just made the page shared: the previous owner's cached
+    /// blocks and TLB entry must be flushed, then the access is coherent.
+    Transition {
+        /// Core that previously owned the page.
+        prev_owner: usize,
+    },
+}
+
+/// The OS-side page classification table.
+#[derive(Clone, Debug, Default)]
+pub struct PageClassifier {
+    pages: HashMap<u64, PageState>,
+    transitions: u64,
+}
+
+impl PageClassifier {
+    /// Empty classifier.
+    pub fn new() -> Self {
+        PageClassifier::default()
+    }
+
+    /// Classify one access by `core` to physical page `page`.
+    pub fn on_access(&mut self, core: usize, page: PageNum) -> PtDecision {
+        match self.pages.get(&page.0).copied() {
+            None => {
+                self.pages.insert(page.0, PageState::Private(core as u8));
+                PtDecision::Private
+            }
+            Some(PageState::Private(owner)) if owner as usize == core => PtDecision::Private,
+            Some(PageState::Private(owner)) => {
+                self.pages.insert(page.0, PageState::Shared);
+                self.transitions += 1;
+                PtDecision::Transition {
+                    prev_owner: owner as usize,
+                }
+            }
+            Some(PageState::Shared) => PtDecision::Shared,
+        }
+    }
+
+    /// Whether the page is currently private to `core` (no LRU/side
+    /// effects; used by block-census instrumentation).
+    pub fn is_private_to(&self, core: usize, page: PageNum) -> bool {
+        matches!(self.pages.get(&page.0), Some(PageState::Private(o)) if *o as usize == core)
+    }
+
+    /// Pages tracked.
+    pub fn pages_seen(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Private→shared transitions so far.
+    pub fn transitions(&self) -> u64 {
+        self.transitions
+    }
+
+    /// Count of pages currently classified shared.
+    pub fn shared_pages(&self) -> usize {
+        self.pages
+            .values()
+            .filter(|s| matches!(s, PageState::Shared))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_touch_is_private() {
+        let mut pt = PageClassifier::new();
+        assert_eq!(pt.on_access(3, PageNum(7)), PtDecision::Private);
+        assert_eq!(pt.on_access(3, PageNum(7)), PtDecision::Private);
+        assert!(pt.is_private_to(3, PageNum(7)));
+        assert_eq!(pt.transitions(), 0);
+    }
+
+    #[test]
+    fn second_core_triggers_transition() {
+        let mut pt = PageClassifier::new();
+        pt.on_access(1, PageNum(9));
+        assert_eq!(
+            pt.on_access(2, PageNum(9)),
+            PtDecision::Transition { prev_owner: 1 }
+        );
+        assert_eq!(pt.on_access(2, PageNum(9)), PtDecision::Shared);
+        assert_eq!(pt.on_access(1, PageNum(9)), PtDecision::Shared);
+        assert_eq!(pt.transitions(), 1);
+        assert_eq!(pt.shared_pages(), 1);
+    }
+
+    #[test]
+    fn shared_never_reverts() {
+        // The paper's criticism of PT: temporarily-private data stays
+        // classified shared forever.
+        let mut pt = PageClassifier::new();
+        pt.on_access(0, PageNum(5));
+        pt.on_access(1, PageNum(5)); // transition
+                                     // Core 1 is now the sole user for a long phase — still Shared.
+        for _ in 0..100 {
+            assert_eq!(pt.on_access(1, PageNum(5)), PtDecision::Shared);
+        }
+        assert!(!pt.is_private_to(1, PageNum(5)));
+    }
+
+    #[test]
+    fn pages_independent() {
+        let mut pt = PageClassifier::new();
+        pt.on_access(0, PageNum(1));
+        pt.on_access(1, PageNum(2));
+        assert!(pt.is_private_to(0, PageNum(1)));
+        assert!(pt.is_private_to(1, PageNum(2)));
+        assert_eq!(pt.pages_seen(), 2);
+        assert_eq!(pt.shared_pages(), 0);
+    }
+}

@@ -1,0 +1,297 @@
+#![warn(missing_docs)]
+
+//! Analytical area & energy models (the paper's CACTI 6.0 / McPAT role).
+//!
+//! The paper evaluates power with McPAT at 22 nm and models RaCCD's
+//! structures with CACTI 6.0. Neither tool is available here, so this crate
+//! provides an analytical substitute:
+//!
+//! * **Area** — the paper's Table III gives CACTI areas for the seven
+//!   directory configurations. We embed those seven points as calibration
+//!   anchors and interpolate log-log between them (and extrapolate beyond),
+//!   so `table3()` reproduces the paper's table *exactly* and other sizes
+//!   get CACTI-consistent values.
+//! * **Dynamic energy per access** — CACTI read energy grows roughly with
+//!   the square root of capacity in the regime of interest; we use
+//!   `E(kB) = E₀·√(kB/kB₀)`. Figure 7d and Figure 10 report energies
+//!   *normalised* to FullCoh 1:1, so only this scaling shape matters.
+//! * **Static (leakage) energy** — proportional to powered capacity × time;
+//!   Gated-Vdd power-off (§III-D) removes the leakage of switched-off sets.
+//!
+//! Units are picojoules (dynamic) and arbitrary-but-consistent leakage
+//! units; every figure consumes ratios.
+
+/// Bits per directory entry: 42-bit tag + 3 bytes of state + sharer vector
+/// (§V-A5: "42 bits of tag and 3 bytes to store the state ... and the
+/// bit-vector of sharer cores").
+pub const DIR_ENTRY_BITS: u64 = 42 + 24;
+
+/// Calibration anchors from the paper's Table III: (KiB, mm²).
+pub const TABLE3_ANCHORS: [(f64, f64); 7] = [
+    (16.5, 2.64),
+    (66.0, 6.18),
+    (264.0, 14.88),
+    (528.0, 21.28),
+    (1056.0, 34.08),
+    (2112.0, 53.92),
+    (4224.0, 106.08),
+];
+
+/// Storage in KiB of a directory with `entries` entries.
+pub fn dir_kib(entries: u64) -> f64 {
+    (entries * DIR_ENTRY_BITS) as f64 / 8.0 / 1024.0
+}
+
+/// SRAM area in mm² for a structure of `kib` kibibytes, interpolated
+/// log-log through the Table III anchors.
+pub fn sram_area_mm2(kib: f64) -> f64 {
+    assert!(kib > 0.0, "area of a zero-size structure");
+    let pts = &TABLE3_ANCHORS;
+    // Clamp-extrapolate using the end segments.
+    let seg = if kib <= pts[0].0 {
+        (pts[0], pts[1])
+    } else if kib >= pts[pts.len() - 1].0 {
+        (pts[pts.len() - 2], pts[pts.len() - 1])
+    } else {
+        let mut seg = (pts[0], pts[1]);
+        for w in pts.windows(2) {
+            if kib >= w[0].0 && kib <= w[1].0 {
+                seg = (w[0], w[1]);
+                break;
+            }
+        }
+        seg
+    };
+    let ((x0, y0), (x1, y1)) = seg;
+    let t = (kib.ln() - x0.ln()) / (x1.ln() - x0.ln());
+    (y0.ln() + t * (y1.ln() - y0.ln())).exp()
+}
+
+/// Knobs of the analytical energy model. Defaults are loosely CACTI-shaped
+/// at 22 nm; all evaluation figures use ratios, not absolute values.
+///
+/// ```
+/// use raccd_energy::EnergyModel;
+/// let m = EnergyModel::default();
+/// // A 64× smaller directory costs 8× less per access (√ scaling).
+/// let full = m.dir_access_pj(524288);
+/// let small = m.dir_access_pj(8192);
+/// assert!((full / small - 8.0).abs() < 1e-9);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct EnergyModel {
+    /// Dynamic energy (pJ) of one access to a reference 4224-KiB SRAM.
+    pub sram_ref_pj: f64,
+    /// Reference capacity for the √ scaling (KiB).
+    pub sram_ref_kib: f64,
+    /// Energy (pJ) per flit·hop in the NoC.
+    pub noc_flit_hop_pj: f64,
+    /// Leakage power per powered KiB (arbitrary units per cycle).
+    pub leak_per_kib_cycle: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel {
+            sram_ref_pj: 20.0,
+            sram_ref_kib: 4224.0,
+            noc_flit_hop_pj: 1.0,
+            leak_per_kib_cycle: 1e-6,
+        }
+    }
+}
+
+impl EnergyModel {
+    /// Dynamic energy (pJ) of one access to an SRAM of `kib` KiB.
+    pub fn sram_access_pj(&self, kib: f64) -> f64 {
+        self.sram_ref_pj * (kib / self.sram_ref_kib).sqrt()
+    }
+
+    /// Dynamic energy (pJ) of one directory access given entry count.
+    pub fn dir_access_pj(&self, entries: u64) -> f64 {
+        self.sram_access_pj(dir_kib(entries))
+    }
+
+    /// Dynamic directory energy for an access histogram
+    /// `(entries_at_time_of_access, access_count)` — the shape ADR produces.
+    pub fn dir_dynamic_pj(&self, histogram: &[(u64, u64)]) -> f64 {
+        histogram
+            .iter()
+            .map(|&(entries, accesses)| self.dir_access_pj(entries) * accesses as f64)
+            .sum()
+    }
+
+    /// Dynamic LLC energy for `accesses` to an LLC of `kib` KiB.
+    pub fn llc_dynamic_pj(&self, kib: f64, accesses: u64) -> f64 {
+        self.sram_access_pj(kib) * accesses as f64
+    }
+
+    /// NoC dynamic energy for `flit_hops` total link traversals.
+    pub fn noc_dynamic_pj(&self, flit_hops: u64) -> f64 {
+        self.noc_flit_hop_pj * flit_hops as f64
+    }
+
+    /// Leakage energy of a structure powered at `kib` KiB for `cycles`.
+    /// With Gated-Vdd, `kib` is the *powered* capacity, not the design one.
+    pub fn leakage(&self, kib: f64, cycles: u64) -> f64 {
+        self.leak_per_kib_cycle * kib * cycles as f64
+    }
+}
+
+/// Full-processor dynamic-energy breakdown (the McPAT role).
+///
+/// §V-A5 reports component shares of total processor energy at the
+/// baseline: directory 1.55 %, NoC 15 %, LLC 26 %; the remaining ~57 % is
+/// cores + L1s + DRAM, which we fold into a per-cycle "rest" term
+/// calibrated by [`EnergyModel::rest_per_cycle_pj`].
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct EnergyBreakdown {
+    /// Directory dynamic energy (pJ).
+    pub directory_pj: f64,
+    /// LLC dynamic energy (pJ).
+    pub llc_pj: f64,
+    /// NoC dynamic energy (pJ).
+    pub noc_pj: f64,
+    /// Everything else (cores, L1s, DRAM) as a per-cycle aggregate (pJ).
+    pub rest_pj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total dynamic energy (pJ).
+    pub fn total_pj(&self) -> f64 {
+        self.directory_pj + self.llc_pj + self.noc_pj + self.rest_pj
+    }
+
+    /// Fraction of the total contributed by the directory.
+    pub fn directory_fraction(&self) -> f64 {
+        if self.total_pj() == 0.0 {
+            0.0
+        } else {
+            self.directory_pj / self.total_pj()
+        }
+    }
+}
+
+impl EnergyModel {
+    /// Per-cycle energy of the uninstrumented rest of the processor
+    /// (cores, L1s, DRAM). The default is tuned so that component shares
+    /// land near §V-A5's baseline fractions on the scaled machine.
+    pub fn rest_per_cycle_pj(&self) -> f64 {
+        3.0
+    }
+
+    /// Aggregate a run's counters into a full-processor breakdown.
+    ///
+    /// * `dir_hist` — `(entries, accesses)` histogram (per-size energy);
+    /// * `llc_accesses`, `llc_kib` — LLC traffic and capacity;
+    /// * `noc_flit_hops` — total link traversals;
+    /// * `cycles` — execution cycles for the rest term.
+    pub fn breakdown(
+        &self,
+        dir_hist: &[(u64, u64)],
+        llc_accesses: u64,
+        llc_kib: f64,
+        noc_flit_hops: u64,
+        cycles: u64,
+    ) -> EnergyBreakdown {
+        EnergyBreakdown {
+            directory_pj: self.dir_dynamic_pj(dir_hist),
+            llc_pj: self.llc_dynamic_pj(llc_kib, llc_accesses),
+            noc_pj: self.noc_dynamic_pj(noc_flit_hops),
+            rest_pj: self.rest_per_cycle_pj() * cycles as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dir_kib_matches_table3() {
+        // Table III row "KB": 4224, 2112, 1056, 528, 264, 66, 16.5 for
+        // entries 524288 .. 2048.
+        let entries = [524288u64, 262144, 131072, 65536, 32768, 8192, 2048];
+        let expect = [4224.0, 2112.0, 1056.0, 528.0, 264.0, 66.0, 16.5];
+        for (&e, &kb) in entries.iter().zip(&expect) {
+            assert!((dir_kib(e) - kb).abs() < 1e-9, "{e} entries → {kb} KiB");
+        }
+    }
+
+    #[test]
+    fn area_reproduces_table3_exactly_at_anchors() {
+        for &(kib, mm2) in &TABLE3_ANCHORS {
+            assert!(
+                (sram_area_mm2(kib) - mm2).abs() < 1e-9,
+                "anchor {kib} KiB → {mm2} mm²"
+            );
+        }
+    }
+
+    #[test]
+    fn area_monotone_between_anchors() {
+        let mut last = 0.0;
+        let mut kib = 10.0;
+        while kib < 8000.0 {
+            let a = sram_area_mm2(kib);
+            assert!(a > last, "area must grow with capacity ({kib} KiB)");
+            last = a;
+            kib *= 1.17;
+        }
+    }
+
+    #[test]
+    fn paper_headline_area_saving() {
+        // §I / §V-A5: 1:64 directory ⇒ ~94% area saving vs 1:1.
+        let full = sram_area_mm2(dir_kib(524288));
+        let r64 = sram_area_mm2(dir_kib(8192));
+        let saving = 1.0 - r64 / full;
+        assert!((0.93..0.95).contains(&saving), "saving = {saving}");
+    }
+
+    #[test]
+    fn energy_scales_sublinearly() {
+        let m = EnergyModel::default();
+        let e1 = m.dir_access_pj(524288);
+        let e256 = m.dir_access_pj(2048);
+        // √(1/256) = 1/16.
+        assert!((e1 / e256 - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_energy_weights_by_size() {
+        let m = EnergyModel::default();
+        let uniform = m.dir_dynamic_pj(&[(524288, 100)]);
+        let adaptive = m.dir_dynamic_pj(&[(524288, 50), (2048, 50)]);
+        assert!(adaptive < uniform);
+        let expect = m.dir_access_pj(524288) * 50.0 + m.dir_access_pj(2048) * 50.0;
+        assert!((adaptive - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn leakage_proportional_to_powered_size_and_time() {
+        let m = EnergyModel::default();
+        let full = m.leakage(4224.0, 1000);
+        let half = m.leakage(2112.0, 1000);
+        assert!((full / half - 2.0).abs() < 1e-12);
+        assert_eq!(m.leakage(4224.0, 0), 0.0);
+    }
+
+    #[test]
+    fn breakdown_totals_and_fractions() {
+        let m = EnergyModel::default();
+        let b = m.breakdown(&[(32768, 1000)], 5000, 2048.0, 20000, 100_000);
+        assert!(b.directory_pj > 0.0 && b.llc_pj > 0.0 && b.noc_pj > 0.0);
+        let sum = b.directory_pj + b.llc_pj + b.noc_pj + b.rest_pj;
+        assert!((b.total_pj() - sum).abs() < 1e-9);
+        assert!(b.directory_fraction() > 0.0 && b.directory_fraction() < 1.0);
+        assert_eq!(EnergyBreakdown::default().directory_fraction(), 0.0);
+    }
+
+    #[test]
+    fn noc_energy_linear_in_flit_hops() {
+        let m = EnergyModel::default();
+        assert_eq!(m.noc_dynamic_pj(0), 0.0);
+        assert!((m.noc_dynamic_pj(1000) - 1000.0 * m.noc_flit_hop_pj).abs() < 1e-12);
+    }
+}

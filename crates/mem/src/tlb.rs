@@ -1,0 +1,198 @@
+//! Per-core TLB model.
+//!
+//! Table I: "ITLB / DTLB: each 256 entries fully-associative (1 cycle)".
+//! We model the DTLB (instruction fetch is not simulated). Replacement is
+//! true LRU — affordable for a fully-associative structure of this size in
+//! a functional simulator.
+
+use crate::addr::PageNum;
+use std::collections::HashMap;
+
+/// Fully-associative, LRU TLB holding virtual→physical page translations.
+#[derive(Clone, Debug)]
+pub struct Tlb {
+    capacity: usize,
+    /// vpage → (ppage, last-use stamp)
+    entries: HashMap<u64, (u64, u64)>,
+    stamp: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Tlb {
+    /// Create a TLB with the given entry count (Table I: 256).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "TLB capacity must be non-zero");
+        Tlb {
+            capacity,
+            entries: HashMap::with_capacity(capacity),
+            stamp: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Look up a translation, updating LRU state and hit/miss counters.
+    /// Returns the cached physical page on a hit.
+    pub fn lookup(&mut self, vpage: PageNum) -> Option<PageNum> {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        if let Some(entry) = self.entries.get_mut(&vpage.0) {
+            entry.1 = stamp;
+            self.hits += 1;
+            Some(PageNum(entry.0))
+        } else {
+            self.misses += 1;
+            None
+        }
+    }
+
+    /// Peek without touching LRU or counters (used by the NCRT walker's
+    /// non-architectural checks in tests).
+    pub fn peek(&self, vpage: PageNum) -> Option<PageNum> {
+        self.entries.get(&vpage.0).map(|&(p, _)| PageNum(p))
+    }
+
+    /// Install a translation after a miss (page walk), evicting LRU if full.
+    pub fn fill(&mut self, vpage: PageNum, ppage: PageNum) {
+        let _ = self.fill_evicting(vpage, ppage);
+    }
+
+    /// Install a translation, returning the `(vpage, ppage)` evicted to
+    /// make room (if any). TLB-based classifiers need the victim to keep
+    /// TLB–L1 inclusivity (§II-B of the paper).
+    pub fn fill_evicting(&mut self, vpage: PageNum, ppage: PageNum) -> Option<(PageNum, PageNum)> {
+        let mut evicted = None;
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&vpage.0) {
+            // Evict the least-recently-used entry.
+            if let Some((&victim, _)) = self.entries.iter().min_by_key(|(_, &(_, s))| s) {
+                if let Some((p, _)) = self.entries.remove(&victim) {
+                    evicted = Some((PageNum(victim), PageNum(p)));
+                }
+            }
+        }
+        self.stamp += 1;
+        self.entries.insert(vpage.0, (ppage.0, self.stamp));
+        evicted
+    }
+
+    /// Last-use stamp of an entry (decay predictors compare stamps).
+    pub fn last_use(&self, vpage: PageNum) -> Option<u64> {
+        self.entries.get(&vpage.0).map(|&(_, s)| s)
+    }
+
+    /// Current use stamp (monotonic access counter).
+    pub fn stamp(&self) -> u64 {
+        self.stamp
+    }
+
+    /// Invalidate one translation (TLB shootdown; used by the PT baseline's
+    /// private→shared transitions).
+    pub fn invalidate(&mut self, vpage: PageNum) -> bool {
+        self.entries.remove(&vpage.0).is_some()
+    }
+
+    /// Drop every translation.
+    pub fn flush_all(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Number of resident translations.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the TLB holds no translations.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// (hits, misses) counters since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_fill() {
+        let mut tlb = Tlb::new(4);
+        assert_eq!(tlb.lookup(PageNum(1)), None);
+        tlb.fill(PageNum(1), PageNum(100));
+        assert_eq!(tlb.lookup(PageNum(1)), Some(PageNum(100)));
+        assert_eq!(tlb.stats(), (1, 1));
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut tlb = Tlb::new(2);
+        tlb.fill(PageNum(1), PageNum(101));
+        tlb.fill(PageNum(2), PageNum(102));
+        // Touch page 1 so page 2 becomes LRU.
+        assert!(tlb.lookup(PageNum(1)).is_some());
+        tlb.fill(PageNum(3), PageNum(103));
+        assert_eq!(tlb.peek(PageNum(2)), None, "LRU entry evicted");
+        assert!(tlb.peek(PageNum(1)).is_some());
+        assert!(tlb.peek(PageNum(3)).is_some());
+    }
+
+    #[test]
+    fn refill_existing_does_not_evict() {
+        let mut tlb = Tlb::new(2);
+        tlb.fill(PageNum(1), PageNum(101));
+        tlb.fill(PageNum(2), PageNum(102));
+        tlb.fill(PageNum(1), PageNum(101));
+        assert_eq!(tlb.len(), 2);
+        assert!(tlb.peek(PageNum(2)).is_some());
+    }
+
+    #[test]
+    fn invalidate_and_flush() {
+        let mut tlb = Tlb::new(8);
+        tlb.fill(PageNum(1), PageNum(101));
+        tlb.fill(PageNum(2), PageNum(102));
+        assert!(tlb.invalidate(PageNum(1)));
+        assert!(!tlb.invalidate(PageNum(1)));
+        assert_eq!(tlb.len(), 1);
+        tlb.flush_all();
+        assert!(tlb.is_empty());
+    }
+
+    #[test]
+    fn fill_evicting_reports_victim() {
+        let mut tlb = Tlb::new(2);
+        assert_eq!(tlb.fill_evicting(PageNum(1), PageNum(101)), None);
+        assert_eq!(tlb.fill_evicting(PageNum(2), PageNum(102)), None);
+        let evicted = tlb.fill_evicting(PageNum(3), PageNum(103));
+        assert_eq!(evicted, Some((PageNum(1), PageNum(101))));
+        // Refilling an existing entry evicts nothing.
+        assert_eq!(tlb.fill_evicting(PageNum(3), PageNum(103)), None);
+    }
+
+    #[test]
+    fn last_use_stamps_are_monotonic() {
+        let mut tlb = Tlb::new(4);
+        tlb.fill(PageNum(1), PageNum(101));
+        let s1 = tlb.last_use(PageNum(1)).unwrap();
+        tlb.fill(PageNum(2), PageNum(102));
+        let s2 = tlb.last_use(PageNum(2)).unwrap();
+        assert!(s2 > s1);
+        assert!(tlb.stamp() >= s2);
+        assert_eq!(tlb.last_use(PageNum(9)), None);
+    }
+
+    #[test]
+    fn capacity_is_respected() {
+        let mut tlb = Tlb::new(256);
+        for i in 0..1000 {
+            tlb.fill(PageNum(i), PageNum(i + 5000));
+        }
+        assert_eq!(tlb.len(), 256);
+        // Most-recent 256 pages resident.
+        assert!(tlb.peek(PageNum(999)).is_some());
+        assert!(tlb.peek(PageNum(0)).is_none());
+    }
+}

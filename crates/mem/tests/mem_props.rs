@@ -1,0 +1,103 @@
+//! Property tests for the memory substrate: allocation layout, typed
+//! round-trips, page-table stability and TLB behaviour under arbitrary
+//! operation sequences.
+
+use proptest::prelude::*;
+use raccd_mem::addr::{VRange, PAGE_SIZE};
+use raccd_mem::{FrameAllocPolicy, PageNum, PageTable, SimMemory, Tlb, VAddr};
+
+proptest! {
+    /// Allocations are page-aligned, disjoint and ordered.
+    #[test]
+    fn allocations_are_disjoint(sizes in proptest::collection::vec(1u64..20_000, 1..20)) {
+        let mut m = SimMemory::new();
+        let ranges: Vec<VRange> = sizes.iter().map(|&s| m.alloc("x", s)).collect();
+        for r in &ranges {
+            prop_assert_eq!(r.start.0 % PAGE_SIZE, 0);
+        }
+        for (i, a) in ranges.iter().enumerate() {
+            for b in ranges.iter().skip(i + 1) {
+                prop_assert!(!a.overlaps(*b), "{a:?} overlaps {b:?}");
+            }
+        }
+        prop_assert_eq!(m.allocations().len(), sizes.len());
+    }
+
+    /// Byte writes read back exactly, across allocation boundaries.
+    #[test]
+    fn byte_roundtrip(
+        data in proptest::collection::vec(any::<u8>(), 1..2048),
+        offset in 0u64..1000,
+    ) {
+        let mut m = SimMemory::new();
+        let buf = m.alloc("buf", offset + data.len() as u64);
+        m.write_bytes(buf.start.offset(offset), &data);
+        prop_assert_eq!(m.bytes(buf.start.offset(offset), data.len()), &data[..]);
+    }
+
+    /// Typed accessors agree with byte-level little-endian layout.
+    #[test]
+    fn typed_matches_le_bytes(v: u64, off in 0u64..64) {
+        let mut m = SimMemory::new();
+        let buf = m.alloc("b", 256);
+        let addr = buf.start.offset(off);
+        m.write_u64(addr, v);
+        prop_assert_eq!(m.bytes(addr, 8), &v.to_le_bytes()[..]);
+        prop_assert_eq!(m.read_u32(addr) as u64, v & 0xFFFF_FFFF);
+        prop_assert_eq!(m.read_u8(addr) as u64, v & 0xFF);
+    }
+
+    /// Page-table translations are stable and injective.
+    #[test]
+    fn page_table_is_injective(
+        pages in proptest::collection::vec(0u64..10_000, 1..200),
+        permuted: bool,
+    ) {
+        let policy = if permuted {
+            FrameAllocPolicy::Permuted
+        } else {
+            FrameAllocPolicy::Contiguous
+        };
+        let mut pt = PageTable::new(policy);
+        let mut seen = std::collections::HashMap::new();
+        for &p in &pages {
+            let f = pt.translate_page(PageNum(p));
+            if let Some(prev) = seen.insert(p, f) {
+                prop_assert_eq!(prev, f, "translation changed for page {}", p);
+            }
+        }
+        // Injective: distinct vpages → distinct frames.
+        let mut frames: Vec<u64> = seen.values().map(|f| f.0).collect();
+        frames.sort_unstable();
+        let before = frames.len();
+        frames.dedup();
+        prop_assert_eq!(frames.len(), before);
+    }
+
+    /// The TLB never exceeds capacity and agrees with the page table.
+    #[test]
+    fn tlb_tracks_page_table(
+        ops in proptest::collection::vec(0u64..64, 1..300),
+        capacity in 1usize..32,
+    ) {
+        let mut pt = PageTable::new(FrameAllocPolicy::Contiguous);
+        let mut tlb = Tlb::new(capacity);
+        for &p in &ops {
+            let vp = PageNum(p);
+            let truth = pt.translate_page(vp);
+            match tlb.lookup(vp) {
+                Some(cached) => prop_assert_eq!(cached, truth),
+                None => tlb.fill(vp, truth),
+            }
+            prop_assert!(tlb.len() <= capacity);
+        }
+    }
+
+    /// Translation preserves page offsets.
+    #[test]
+    fn offsets_survive_translation(addr in 0u64..(1 << 30)) {
+        let mut pt = PageTable::new(FrameAllocPolicy::Permuted);
+        let p = pt.translate(VAddr(addr));
+        prop_assert_eq!(p.0 & (PAGE_SIZE - 1), addr & (PAGE_SIZE - 1));
+    }
+}

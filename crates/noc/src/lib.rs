@@ -1,0 +1,227 @@
+#![warn(missing_docs)]
+
+//! Mesh Network-on-Chip model.
+//!
+//! Table I: "NoC: 4×4 mesh, link 1 cycle, router 1 cycle". We model a k×k
+//! mesh with dimension-ordered (XY) routing. Each tile hosts a core with its
+//! L1, one LLC bank and one directory bank; memory controllers sit at the
+//! four corner tiles (a common gem5/ruby layout).
+//!
+//! The model provides (a) latency of a message between two tiles and (b)
+//! flit accounting for Figure 7c (NoC traffic). A control message is one
+//! flit; a data message carries a 64-byte cache line over `1 + 64/flit`
+//! flits (16-byte flits → 5 flits).
+
+const BLOCK_SIZE: u64 = 64;
+
+/// Categories of NoC messages, counted separately for diagnostics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MsgClass {
+    /// Request without data (GetS/GetX/Upgrade, NC variants too).
+    Request,
+    /// Response carrying a cache line.
+    DataResponse,
+    /// Control response (ack, invalidation, forward request).
+    Control,
+    /// Write-back carrying a cache line.
+    WriteBack,
+}
+
+/// Flit and latency accounting for a k×k mesh NoC.
+///
+/// ```
+/// use raccd_noc::{Mesh, MsgClass};
+/// let mut mesh = Mesh::new(4, 1, 1, 16); // Table I: 4×4, 1-cycle link/router
+/// let latency = mesh.send(0, 15, MsgClass::DataResponse);
+/// assert_eq!(latency, 1 + 6 * 2);        // 6 hops across the mesh
+/// assert_eq!(mesh.total_flits(), 5);     // 64-byte line in 16-byte flits
+/// ```
+#[derive(Clone, Debug)]
+pub struct Mesh {
+    k: usize,
+    link_cycles: u64,
+    router_cycles: u64,
+    flit_bytes: u64,
+    /// Total flit·hops (the paper's "NoC traffic" metric is proportional to
+    /// flits traversing links).
+    flit_hops: u64,
+    /// Flits injected, by class.
+    flits_by_class: [u64; 4],
+    /// Messages injected, by class.
+    msgs_by_class: [u64; 4],
+}
+
+impl Mesh {
+    /// Create a k×k mesh (Table I: k = 4) with per-hop link and router
+    /// latencies and a flit width in bytes.
+    pub fn new(k: usize, link_cycles: u64, router_cycles: u64, flit_bytes: u64) -> Self {
+        assert!(k > 0 && flit_bytes > 0);
+        Mesh {
+            k,
+            link_cycles,
+            router_cycles,
+            flit_bytes,
+            flit_hops: 0,
+            flits_by_class: [0; 4],
+            msgs_by_class: [0; 4],
+        }
+    }
+
+    /// Number of tiles.
+    pub fn tiles(&self) -> usize {
+        self.k * self.k
+    }
+
+    /// (x, y) coordinate of a tile id.
+    #[inline]
+    fn coords(&self, tile: usize) -> (usize, usize) {
+        (tile % self.k, tile / self.k)
+    }
+
+    /// Manhattan hop distance between two tiles under XY routing.
+    #[inline]
+    pub fn hops(&self, from: usize, to: usize) -> u64 {
+        let (fx, fy) = self.coords(from);
+        let (tx, ty) = self.coords(to);
+        (fx.abs_diff(tx) + fy.abs_diff(ty)) as u64
+    }
+
+    /// The memory controller tile serving a given home bank: nearest of the
+    /// four corner tiles (ties broken by lowest tile id).
+    pub fn mem_controller_for(&self, home: usize) -> usize {
+        let corners = [0, self.k - 1, self.k * (self.k - 1), self.k * self.k - 1];
+        *corners
+            .iter()
+            .min_by_key(|&&c| (self.hops(home, c), c))
+            .expect("corners non-empty")
+    }
+
+    /// Latency in cycles of one message from `from` to `to`: every hop costs
+    /// a link plus a router traversal, plus one router at injection.
+    #[inline]
+    pub fn latency(&self, from: usize, to: usize) -> u64 {
+        let h = self.hops(from, to);
+        self.router_cycles + h * (self.link_cycles + self.router_cycles)
+    }
+
+    /// Flits of a message of `class` (head flit + payload flits).
+    #[inline]
+    pub fn flits(&self, class: MsgClass) -> u64 {
+        match class {
+            MsgClass::Request | MsgClass::Control => 1,
+            MsgClass::DataResponse | MsgClass::WriteBack => {
+                1 + BLOCK_SIZE.div_ceil(self.flit_bytes)
+            }
+        }
+    }
+
+    /// Send a message: account traffic and return its latency.
+    pub fn send(&mut self, from: usize, to: usize, class: MsgClass) -> u64 {
+        let flits = self.flits(class);
+        let hops = self.hops(from, to);
+        self.flit_hops += flits * hops.max(1); // local delivery still moves flits
+        self.flits_by_class[class as usize] += flits;
+        self.msgs_by_class[class as usize] += 1;
+        self.latency(from, to)
+    }
+
+    /// Total flit·hops so far (Figure 7c's traffic metric).
+    pub fn traffic(&self) -> u64 {
+        self.flit_hops
+    }
+
+    /// Messages sent of one class.
+    pub fn messages(&self, class: MsgClass) -> u64 {
+        self.msgs_by_class[class as usize]
+    }
+
+    /// Flits injected of one class.
+    pub fn flits_injected(&self, class: MsgClass) -> u64 {
+        self.flits_by_class[class as usize]
+    }
+
+    /// Sum of flits injected across classes.
+    pub fn total_flits(&self) -> u64 {
+        self.flits_by_class.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mesh() -> Mesh {
+        Mesh::new(4, 1, 1, 16)
+    }
+
+    #[test]
+    fn hop_distances_on_4x4() {
+        let m = mesh();
+        assert_eq!(m.hops(0, 0), 0);
+        assert_eq!(m.hops(0, 3), 3); // same row
+        assert_eq!(m.hops(0, 15), 6); // opposite corner
+        assert_eq!(m.hops(5, 10), 2); // (1,1)→(2,2)
+        assert_eq!(m.hops(3, 12), 6); // (3,0)→(0,3)
+    }
+
+    #[test]
+    fn hops_symmetric() {
+        let m = mesh();
+        for a in 0..16 {
+            for b in 0..16 {
+                assert_eq!(m.hops(a, b), m.hops(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn latency_matches_table1_per_hop_costs() {
+        let m = mesh();
+        // link 1 + router 1 per hop, +1 injection router.
+        assert_eq!(m.latency(0, 1), 1 + 2);
+        assert_eq!(m.latency(0, 15), 1 + 6 * 2);
+        assert_eq!(m.latency(7, 7), 1);
+    }
+
+    #[test]
+    fn data_messages_carry_line_flits() {
+        let m = mesh();
+        assert_eq!(m.flits(MsgClass::Request), 1);
+        assert_eq!(m.flits(MsgClass::DataResponse), 1 + 4); // 64 B / 16 B
+        assert_eq!(m.flits(MsgClass::WriteBack), 5);
+        assert_eq!(m.flits(MsgClass::Control), 1);
+    }
+
+    #[test]
+    fn traffic_accumulates_flit_hops() {
+        let mut m = mesh();
+        m.send(0, 1, MsgClass::Request); // 1 flit × 1 hop
+        m.send(0, 15, MsgClass::DataResponse); // 5 flits × 6 hops
+        assert_eq!(m.traffic(), 1 + 30);
+        assert_eq!(m.messages(MsgClass::Request), 1);
+        assert_eq!(m.total_flits(), 6);
+    }
+
+    #[test]
+    fn local_delivery_counts_minimum_traffic() {
+        let mut m = mesh();
+        m.send(3, 3, MsgClass::DataResponse);
+        assert_eq!(m.traffic(), 5);
+    }
+
+    #[test]
+    fn mem_controllers_are_nearest_corner() {
+        let m = mesh();
+        assert_eq!(m.mem_controller_for(0), 0);
+        assert_eq!(m.mem_controller_for(5), 0); // (1,1): corner 0 at 2 hops
+        assert_eq!(m.mem_controller_for(7), 3); // (3,1): corner 3 at 1 hop
+        assert_eq!(m.mem_controller_for(14), 15); // (2,3): corner 15 at 1 hop
+    }
+
+    #[test]
+    fn works_for_other_mesh_sizes() {
+        let m = Mesh::new(8, 1, 1, 16);
+        assert_eq!(m.tiles(), 64);
+        assert_eq!(m.hops(0, 63), 14);
+    }
+}

@@ -1,0 +1,67 @@
+//! Property tests for the mesh NoC: metric axioms of the hop distance,
+//! latency monotonicity and traffic accounting.
+
+use proptest::prelude::*;
+use raccd_noc::{Mesh, MsgClass};
+
+proptest! {
+    /// Hop distance is a metric: identity, symmetry, triangle inequality.
+    #[test]
+    fn hops_form_a_metric(k in 2usize..9, a in 0usize..64, b in 0usize..64, c in 0usize..64) {
+        let m = Mesh::new(k, 1, 1, 16);
+        let n = k * k;
+        let (a, b, c) = (a % n, b % n, c % n);
+        prop_assert_eq!(m.hops(a, a), 0);
+        prop_assert_eq!(m.hops(a, b), m.hops(b, a));
+        prop_assert!(m.hops(a, c) <= m.hops(a, b) + m.hops(b, c));
+        // Bounded by mesh diameter.
+        prop_assert!(m.hops(a, b) <= 2 * (k as u64 - 1));
+    }
+
+    /// Latency grows strictly with hop count for unit link/router costs.
+    #[test]
+    fn latency_monotone_in_hops(k in 2usize..7, a in 0usize..36, b in 0usize..36, c in 0usize..36) {
+        let m = Mesh::new(k, 1, 1, 16);
+        let n = k * k;
+        let (a, b, c) = (a % n, b % n, c % n);
+        if m.hops(a, b) < m.hops(a, c) {
+            prop_assert!(m.latency(a, b) < m.latency(a, c));
+        }
+    }
+
+    /// Traffic accounting: total flits equals the sum over messages of
+    /// their flit counts, and flit·hops ≥ flits (min one hop charged).
+    #[test]
+    fn traffic_accounting_consistent(
+        msgs in proptest::collection::vec((0usize..16, 0usize..16, 0u8..4), 1..100),
+    ) {
+        let mut m = Mesh::new(4, 1, 1, 16);
+        let mut expect_flits = 0;
+        for &(from, to, class) in &msgs {
+            let class = match class {
+                0 => MsgClass::Request,
+                1 => MsgClass::DataResponse,
+                2 => MsgClass::Control,
+                _ => MsgClass::WriteBack,
+            };
+            expect_flits += m.flits(class);
+            m.send(from, to, class);
+        }
+        prop_assert_eq!(m.total_flits(), expect_flits);
+        prop_assert!(m.traffic() >= m.total_flits());
+    }
+
+    /// The memory controller for any tile is one of the four corners and
+    /// no farther than any other corner.
+    #[test]
+    fn mem_controller_is_nearest_corner(k in 2usize..9, tile in 0usize..64) {
+        let m = Mesh::new(k, 1, 1, 16);
+        let tile = tile % (k * k);
+        let mc = m.mem_controller_for(tile);
+        let corners = [0, k - 1, k * (k - 1), k * k - 1];
+        prop_assert!(corners.contains(&mc));
+        for &c in &corners {
+            prop_assert!(m.hops(tile, mc) <= m.hops(tile, c));
+        }
+    }
+}

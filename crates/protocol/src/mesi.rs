@@ -1,0 +1,160 @@
+//! Directory-side MESI state.
+//!
+//! The directory tracks, per coherent block, which private caches hold it.
+//! With silent clean evictions (Table I), sharer bits may be stale — a core
+//! listed as sharer may have silently dropped the line; a later invalidation
+//! to it is then spurious but harmless. The owner pointer (a core in E or M)
+//! is always precise because E/M replacements write back / notify.
+
+/// Directory-visible state of a tracked block.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DirState {
+    /// No private cache holds the block; the LLC has the only on-chip copy.
+    Uncached,
+    /// One or more private caches may hold the block read-only.
+    Shared,
+    /// Exactly one private cache holds the block in E or M.
+    Owned,
+}
+
+/// One directory entry: state + sharer bit-vector + owner pointer, matching
+/// the paper's "3 bytes to store the state of the cache block and the
+/// bit-vector of sharer cores" (§V-A5, 16 cores).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EntryState {
+    /// Bit `i` set ⇒ core `i` may hold the block (possibly stale under
+    /// silent evictions).
+    pub sharers: u64,
+    /// Core holding the block in E or M, if any.
+    pub owner: Option<u8>,
+}
+
+impl EntryState {
+    /// A fresh entry for a block just installed in the LLC with no private
+    /// copies.
+    pub fn uncached() -> Self {
+        EntryState::default()
+    }
+
+    /// Directory state implied by the tracking fields.
+    pub fn state(&self) -> DirState {
+        if self.owner.is_some() {
+            DirState::Owned
+        } else if self.sharers != 0 {
+            DirState::Shared
+        } else {
+            DirState::Uncached
+        }
+    }
+
+    /// Record a read (GetS) fill into `core`'s private cache. Returns
+    /// whether the line should be installed Exclusive (sole sharer).
+    pub fn record_gets(&mut self, core: usize) -> bool {
+        debug_assert!(self.owner.is_none(), "owner must be downgraded first");
+        let was_empty = self.sharers == 0;
+        self.sharers |= 1 << core;
+        was_empty
+    }
+
+    /// Record a write (GetX/Upgrade) by `core`: it becomes the owner, all
+    /// other sharer bits clear. Returns the bitmask of cores that must be
+    /// invalidated.
+    pub fn record_getx(&mut self, core: usize) -> u64 {
+        let to_invalidate = (self.sharers | self.owner.map_or(0, |o| 1 << o)) & !(1u64 << core);
+        self.sharers = 1 << core;
+        self.owner = Some(core as u8);
+        to_invalidate
+    }
+
+    /// Downgrade the owner after a forwarded GetS: owner becomes a sharer.
+    pub fn downgrade_owner(&mut self) {
+        if let Some(o) = self.owner.take() {
+            self.sharers |= 1 << o;
+        }
+    }
+
+    /// The owner wrote the block back (PutM / replacement): it no longer
+    /// holds the line.
+    pub fn owner_writeback(&mut self, core: usize) {
+        if self.owner == Some(core as u8) {
+            self.owner = None;
+        }
+        self.sharers &= !(1u64 << core);
+    }
+
+    /// All private copies (sharers + owner) as a bitmask — the set to
+    /// invalidate when this entry is evicted for inclusion.
+    pub fn all_holders(&self) -> u64 {
+        self.sharers | self.owner.map_or(0, |o| 1 << o)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_entry_is_uncached() {
+        let e = EntryState::uncached();
+        assert_eq!(e.state(), DirState::Uncached);
+        assert_eq!(e.all_holders(), 0);
+    }
+
+    #[test]
+    fn first_reader_gets_exclusive_hint() {
+        let mut e = EntryState::uncached();
+        assert!(e.record_gets(3), "first sharer may take E");
+        assert_eq!(e.state(), DirState::Shared);
+        assert!(!e.record_gets(5), "second sharer must take S");
+        assert_eq!(e.sharers, (1 << 3) | (1 << 5));
+    }
+
+    #[test]
+    fn getx_invalidates_other_sharers() {
+        let mut e = EntryState::uncached();
+        e.record_gets(0);
+        e.record_gets(1);
+        e.record_gets(2);
+        let inv = e.record_getx(1);
+        assert_eq!(inv, (1 << 0) | (1 << 2));
+        assert_eq!(e.state(), DirState::Owned);
+        assert_eq!(e.owner, Some(1));
+        assert_eq!(e.sharers, 1 << 1);
+    }
+
+    #[test]
+    fn getx_steals_from_owner() {
+        let mut e = EntryState::uncached();
+        e.record_getx(4);
+        let inv = e.record_getx(7);
+        assert_eq!(inv, 1 << 4);
+        assert_eq!(e.owner, Some(7));
+    }
+
+    #[test]
+    fn downgrade_then_read() {
+        let mut e = EntryState::uncached();
+        e.record_getx(2);
+        e.downgrade_owner();
+        assert_eq!(e.state(), DirState::Shared);
+        assert!(!e.record_gets(9), "previous owner still a sharer");
+        assert_eq!(e.sharers, (1 << 2) | (1 << 9));
+    }
+
+    #[test]
+    fn owner_writeback_clears_ownership() {
+        let mut e = EntryState::uncached();
+        e.record_getx(6);
+        e.owner_writeback(6);
+        assert_eq!(e.state(), DirState::Uncached);
+        assert_eq!(e.all_holders(), 0);
+    }
+
+    #[test]
+    fn writeback_from_non_owner_is_ignored_for_owner_field() {
+        let mut e = EntryState::uncached();
+        e.record_getx(6);
+        e.owner_writeback(3); // stale/spurious
+        assert_eq!(e.owner, Some(6));
+    }
+}

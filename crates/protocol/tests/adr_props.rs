@@ -1,0 +1,97 @@
+//! Property tests for Adaptive Directory Reduction: under arbitrary
+//! allocate/deallocate/resize-check sequences the bank must keep its
+//! invariants — capacity within [min, max], occupancy ≤ capacity, no
+//! entries lost except through reported evictions.
+
+use proptest::prelude::*;
+use raccd_mem::BlockAddr;
+use raccd_protocol::{Adr, AdrConfig, DirEntry, DirectoryBank};
+use std::collections::HashSet;
+
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    Alloc(u64),
+    Dealloc(u64),
+    AdrCheck,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0u64..512).prop_map(Op::Alloc),
+        2 => (0u64..512).prop_map(Op::Dealloc),
+        1 => Just(Op::AdrCheck),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn adr_invariants_under_random_ops(
+        ops in proptest::collection::vec(op_strategy(), 1..400),
+    ) {
+        let max_entries = 256;
+        let mut bank = DirectoryBank::new(max_entries, 8, 0);
+        let mut adr = Adr::new(AdrConfig::paper_defaults(max_entries, 8));
+        // Ground truth: blocks believed resident.
+        let mut resident: HashSet<u64> = HashSet::new();
+
+        for (i, &op) in ops.iter().enumerate() {
+            let now = i as u64 * 10;
+            match op {
+                Op::Alloc(b) => {
+                    if resident.contains(&b) {
+                        continue;
+                    }
+                    if let Some(ev) = bank.allocate(BlockAddr(b), now, DirEntry::uncached()) {
+                        prop_assert!(resident.remove(&ev.block.0), "evicted unknown block");
+                    }
+                    resident.insert(b);
+                }
+                Op::Dealloc(b) => {
+                    let was = bank.deallocate(BlockAddr(b), now).is_some();
+                    prop_assert_eq!(was, resident.remove(&b));
+                }
+                Op::AdrCheck => {
+                    if let Some(ev) = adr.maybe_resize(&mut bank, now) {
+                        for victim in &ev.evicted {
+                            prop_assert!(resident.remove(&victim.block.0));
+                        }
+                        prop_assert!(ev.new_entries.is_power_of_two());
+                    }
+                }
+            }
+            // Invariants after every operation.
+            prop_assert!(bank.capacity() >= 8, "never below one set");
+            prop_assert!(bank.capacity() <= max_entries, "never above design size");
+            prop_assert_eq!(bank.occupancy(), resident.len());
+            // Every believed-resident block is findable.
+            for &b in resident.iter().take(8) {
+                prop_assert!(bank.probe(BlockAddr(b)).is_some());
+            }
+        }
+    }
+
+    /// The occupancy fraction after ADR settles is always within the
+    /// hysteresis band (or the size limits bind).
+    #[test]
+    fn adr_settles_inside_hysteresis_band(nblocks in 0u64..200) {
+        let max_entries = 256;
+        let mut bank = DirectoryBank::new(max_entries, 8, 0);
+        let mut adr = Adr::new(AdrConfig::paper_defaults(max_entries, 8));
+        for b in 0..nblocks {
+            if let Some(_ev) = bank.allocate(BlockAddr(b), b, DirEntry::uncached()) {}
+        }
+        let mut now = nblocks;
+        while adr.maybe_resize(&mut bank, now).is_some() {
+            now += 10;
+        }
+        let frac = bank.occupancy() as f64 / bank.capacity() as f64;
+        let at_min = bank.capacity() == 8;
+        let at_max = bank.capacity() == max_entries;
+        prop_assert!(
+            at_min || at_max || (frac > 0.20 && frac < 0.80),
+            "settled outside band: occ {} / cap {}",
+            bank.occupancy(),
+            bank.capacity()
+        );
+    }
+}

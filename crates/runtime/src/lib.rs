@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! Task-dataflow runtime (the paper's Nanos++ / OpenMP 4.0 role).
+//!
+//! Task-based data-flow programming models "conceive the execution of a
+//! parallel program as a set of tasks with data dependences between them"
+//! (§II-C). The programmer annotates each task with the address ranges it
+//! reads (`in`), writes (`out`) or both (`inout`); the runtime builds a
+//! Task Dependence Graph (TDG), keeps a ready queue, schedules ready tasks
+//! onto threads and wakes dependents when a task finishes (Figure 3).
+//!
+//! * [`region`] — dependence directions and annotated ranges.
+//! * [`trace`] — the packed memory-reference records task bodies emit.
+//! * [`task`] — task bodies and the [`task::TaskCtx`] they run against:
+//!   every typed read/write *actually happens* on the byte-accurate
+//!   [`raccd_mem::SimMemory`] **and** is recorded for the timing model, so
+//!   functional results and simulated traffic can never diverge.
+//! * [`graph`] — TDG construction (block-granularity last-writer/reader
+//!   tracking, like Nanos++'s region analysis) and completion wake-up.
+//! * [`builder`] — the [`builder::ProgramBuilder`] façade workloads use.
+//! * [`scheduler`] — the central FIFO ready queue of §II-C.
+
+pub mod builder;
+pub mod graph;
+pub mod region;
+pub mod scheduler;
+pub mod task;
+pub mod trace;
+pub mod workload;
+
+pub use builder::{Program, ProgramBuilder};
+pub use graph::{TaskGraph, TaskId};
+pub use region::{Dep, DepDir};
+pub use scheduler::{ReadyQueue, StealQueues};
+pub use task::TaskCtx;
+pub use trace::MemRef;
+pub use workload::Workload;

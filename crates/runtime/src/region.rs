@@ -1,0 +1,85 @@
+//! Dependence annotations: the `depend(in/out/inout: …)` clauses of
+//! OpenMP 4.0 tasks (Figure 1 of the paper shows them on Cholesky).
+
+use raccd_mem::addr::VRange;
+
+/// Direction of a task dependence, mirroring OpenMP's clauses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DepDir {
+    /// `depend(in: …)` — the task reads the range.
+    In,
+    /// `depend(out: …)` — the task writes the whole range.
+    Out,
+    /// `depend(inout: …)` — the task reads and writes the range.
+    InOut,
+}
+
+impl DepDir {
+    /// Whether the task may read the range.
+    pub fn reads(self) -> bool {
+        matches!(self, DepDir::In | DepDir::InOut)
+    }
+
+    /// Whether the task may write the range.
+    pub fn writes(self) -> bool {
+        matches!(self, DepDir::Out | DepDir::InOut)
+    }
+}
+
+/// One annotated dependence: an address range plus its direction. This is
+/// exactly the information `raccd_register` forwards to the hardware
+/// (§III-A: "initial address, size").
+#[derive(Clone, Copy, Debug)]
+pub struct Dep {
+    /// The annotated virtual address range.
+    pub range: VRange,
+    /// Read/write direction.
+    pub dir: DepDir,
+}
+
+impl Dep {
+    /// `depend(in: range)`.
+    pub fn input(range: VRange) -> Self {
+        Dep {
+            range,
+            dir: DepDir::In,
+        }
+    }
+
+    /// `depend(out: range)`.
+    pub fn output(range: VRange) -> Self {
+        Dep {
+            range,
+            dir: DepDir::Out,
+        }
+    }
+
+    /// `depend(inout: range)`.
+    pub fn inout(range: VRange) -> Self {
+        Dep {
+            range,
+            dir: DepDir::InOut,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raccd_mem::VAddr;
+
+    #[test]
+    fn direction_predicates() {
+        assert!(DepDir::In.reads() && !DepDir::In.writes());
+        assert!(!DepDir::Out.reads() && DepDir::Out.writes());
+        assert!(DepDir::InOut.reads() && DepDir::InOut.writes());
+    }
+
+    #[test]
+    fn constructors_set_direction() {
+        let r = VRange::new(VAddr(0x1000), 64);
+        assert_eq!(Dep::input(r).dir, DepDir::In);
+        assert_eq!(Dep::output(r).dir, DepDir::Out);
+        assert_eq!(Dep::inout(r).dir, DepDir::InOut);
+    }
+}

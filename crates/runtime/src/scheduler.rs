@@ -1,0 +1,182 @@
+//! The central ready queue.
+//!
+//! §II-C: "Ready tasks are stored in a ready queue from which the scheduler
+//! distributes tasks among all threads for asynchronous execution." We
+//! model the default Nanos++ central FIFO queue; this is the dynamic
+//! scheduler whose task migration makes *temporarily private* data
+//! important (§II-B) — consecutive tasks touching the same data routinely
+//! land on different cores.
+
+use crate::graph::TaskId;
+use std::collections::VecDeque;
+
+/// FIFO ready queue shared by all worker threads.
+#[derive(Clone, Debug, Default)]
+pub struct ReadyQueue {
+    queue: VecDeque<TaskId>,
+    pushed: u64,
+    popped: u64,
+}
+
+impl ReadyQueue {
+    /// Empty queue.
+    pub fn new() -> Self {
+        ReadyQueue::default()
+    }
+
+    /// Enqueue a task that became ready.
+    pub fn push(&mut self, task: TaskId) {
+        self.pushed += 1;
+        self.queue.push_back(task);
+    }
+
+    /// Enqueue several tasks in order.
+    pub fn extend(&mut self, tasks: impl IntoIterator<Item = TaskId>) {
+        for t in tasks {
+            self.push(t);
+        }
+    }
+
+    /// The scheduling phase: hand the oldest ready task to a requesting
+    /// thread.
+    pub fn pop(&mut self) -> Option<TaskId> {
+        let t = self.queue.pop_front();
+        if t.is_some() {
+            self.popped += 1;
+        }
+        t
+    }
+
+    /// Tasks currently ready.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether no task is ready.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// (total pushed, total popped) counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.pushed, self.popped)
+    }
+}
+
+/// Per-core work-stealing deques: the locality-preserving alternative to
+/// the central queue. The owning core pops LIFO from the back of its own
+/// deque (hot data first); an idle core steals FIFO from the front of the
+/// first non-empty victim in a deterministic scan order.
+#[derive(Clone, Debug)]
+pub struct StealQueues {
+    deques: Vec<VecDeque<TaskId>>,
+    steals: u64,
+    local_pops: u64,
+}
+
+impl StealQueues {
+    /// One deque per hardware context.
+    pub fn new(contexts: usize) -> Self {
+        StealQueues {
+            deques: vec![VecDeque::new(); contexts],
+            steals: 0,
+            local_pops: 0,
+        }
+    }
+
+    /// Enqueue a ready task on `ctx`'s deque (wake-ups push here).
+    pub fn push(&mut self, ctx: usize, task: TaskId) {
+        self.deques[ctx].push_back(task);
+    }
+
+    /// Pop for `ctx`: own deque LIFO first, else steal FIFO from the next
+    /// non-empty victim (deterministic scan from `ctx + 1`).
+    pub fn pop(&mut self, ctx: usize) -> Option<TaskId> {
+        if let Some(t) = self.deques[ctx].pop_back() {
+            self.local_pops += 1;
+            return Some(t);
+        }
+        let n = self.deques.len();
+        for d in 1..n {
+            let victim = (ctx + d) % n;
+            if let Some(t) = self.deques[victim].pop_front() {
+                self.steals += 1;
+                return Some(t);
+            }
+        }
+        None
+    }
+
+    /// Ready tasks across all deques.
+    pub fn len(&self) -> usize {
+        self.deques.iter().map(|d| d.len()).sum()
+    }
+
+    /// Whether every deque is empty.
+    pub fn is_empty(&self) -> bool {
+        self.deques.iter().all(|d| d.is_empty())
+    }
+
+    /// (local pops, steals) counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.local_pops, self.steals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let mut q = ReadyQueue::new();
+        q.extend([3, 1, 4]);
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(4));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn counters() {
+        let mut q = ReadyQueue::new();
+        q.push(0);
+        q.push(1);
+        let _ = q.pop();
+        assert_eq!(q.stats(), (2, 1));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn steal_owner_pops_lifo() {
+        let mut q = StealQueues::new(2);
+        q.push(0, 10);
+        q.push(0, 11);
+        assert_eq!(q.pop(0), Some(11), "owner takes the hottest task");
+        assert_eq!(q.pop(0), Some(10));
+        assert_eq!(q.stats(), (2, 0));
+    }
+
+    #[test]
+    fn steal_thief_takes_fifo_from_victim() {
+        let mut q = StealQueues::new(3);
+        q.push(0, 10);
+        q.push(0, 11);
+        assert_eq!(q.pop(1), Some(10), "thief takes the coldest task");
+        assert_eq!(q.stats(), (0, 1));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn steal_scan_order_is_deterministic() {
+        let mut q = StealQueues::new(4);
+        q.push(2, 20);
+        q.push(3, 30);
+        // ctx 1 scans 2, 3, 0 → finds 20 first.
+        assert_eq!(q.pop(1), Some(20));
+        assert_eq!(q.pop(1), Some(30));
+        assert_eq!(q.pop(1), None);
+        assert!(q.is_empty());
+    }
+}

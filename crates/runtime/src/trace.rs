@@ -1,0 +1,126 @@
+//! Packed memory-reference records.
+//!
+//! Task bodies emit one [`MemRef`] per architectural load/store. The
+//! record is packed into a single `u64` so large traces stay cheap:
+//!
+//! ```text
+//! bits  0..=47   virtual address (48 bits is ample for the simulated heap)
+//! bit   48       write flag
+//! bits  49..=51  log2(access size in bytes), 0..=3 → 1,2,4,8 bytes
+//! bit   52       stack flag: the address is an offset into the executing
+//!                core's private stack region (task-local scratch — not
+//!                part of any annotated dependence, so coherent under
+//!                RaCCD but typically private under the PT baseline)
+//! ```
+
+use raccd_mem::VAddr;
+
+/// One memory reference of a task body.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct MemRef(u64);
+
+const WRITE_BIT: u64 = 1 << 48;
+const SIZE_SHIFT: u32 = 49;
+const STACK_BIT: u64 = 1 << 52;
+const ADDR_MASK: u64 = (1 << 48) - 1;
+
+impl MemRef {
+    /// A heap access of `size` bytes (1, 2, 4 or 8) at `addr`.
+    #[inline]
+    pub fn heap(addr: VAddr, write: bool, size: u8) -> Self {
+        debug_assert!(matches!(size, 1 | 2 | 4 | 8));
+        debug_assert!(addr.0 <= ADDR_MASK);
+        let mut bits = addr.0 & ADDR_MASK;
+        if write {
+            bits |= WRITE_BIT;
+        }
+        bits |= (size.trailing_zeros() as u64) << SIZE_SHIFT;
+        MemRef(bits)
+    }
+
+    /// A task-local stack access at byte offset `offset` within the
+    /// executing core's stack region.
+    #[inline]
+    pub fn stack(offset: u64, write: bool) -> Self {
+        let mut r = Self::heap(VAddr(offset), write, 8);
+        r.0 |= STACK_BIT;
+        r
+    }
+
+    /// The virtual address (or stack offset when [`MemRef::is_stack`]).
+    #[inline]
+    pub fn addr(self) -> VAddr {
+        VAddr(self.0 & ADDR_MASK)
+    }
+
+    /// Whether this is a store.
+    #[inline]
+    pub fn is_write(self) -> bool {
+        self.0 & WRITE_BIT != 0
+    }
+
+    /// Access size in bytes.
+    #[inline]
+    pub fn size(self) -> u8 {
+        1 << ((self.0 >> SIZE_SHIFT) & 0x7)
+    }
+
+    /// Whether the address is a stack offset rather than a heap address.
+    #[inline]
+    pub fn is_stack(self) -> bool {
+        self.0 & STACK_BIT != 0
+    }
+}
+
+impl core::fmt::Debug for MemRef {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{}{}{:?}/{}",
+            if self.is_stack() { "stk:" } else { "" },
+            if self.is_write() { "W" } else { "R" },
+            self.addr(),
+            self.size()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn heap_roundtrip() {
+        let r = MemRef::heap(VAddr(0x12_3456_789A), true, 4);
+        assert_eq!(r.addr(), VAddr(0x12_3456_789A));
+        assert!(r.is_write());
+        assert_eq!(r.size(), 4);
+        assert!(!r.is_stack());
+    }
+
+    #[test]
+    fn stack_roundtrip() {
+        let r = MemRef::stack(0x40, false);
+        assert!(r.is_stack());
+        assert!(!r.is_write());
+        assert_eq!(r.addr(), VAddr(0x40));
+        assert_eq!(r.size(), 8);
+    }
+
+    #[test]
+    fn is_one_word() {
+        assert_eq!(core::mem::size_of::<MemRef>(), 8);
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_any(addr in 0u64..(1 << 48), write: bool, size_log in 0u8..4) {
+            let size = 1u8 << size_log;
+            let r = MemRef::heap(VAddr(addr), write, size);
+            prop_assert_eq!(r.addr().0, addr);
+            prop_assert_eq!(r.is_write(), write);
+            prop_assert_eq!(r.size(), size);
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Property tests of TDG construction: for arbitrary dependence patterns
+//! the graph must be acyclic (every task eventually completes), respect
+//! program order on conflicting accesses, and never lose tasks.
+
+use proptest::prelude::*;
+use raccd_mem::addr::VRange;
+use raccd_mem::VAddr;
+use raccd_runtime::{Dep, DepDir, TaskGraph};
+
+#[derive(Clone, Debug)]
+struct SpecDep {
+    slot: u8,
+    dir: u8, // 0 = in, 1 = out, 2 = inout
+}
+
+fn deps_strategy() -> impl Strategy<Value = Vec<SpecDep>> {
+    proptest::collection::vec(
+        (0u8..10, 0u8..3).prop_map(|(slot, dir)| SpecDep { slot, dir }),
+        0..4,
+    )
+}
+
+fn build(specs: &[Vec<SpecDep>]) -> TaskGraph {
+    let mut g = TaskGraph::new();
+    let slot = |i: u8| VRange::new(VAddr(0x10_0000 + i as u64 * 4096), 4096);
+    for deps in specs {
+        let d: Vec<Dep> = deps
+            .iter()
+            .map(|sd| Dep {
+                range: slot(sd.slot),
+                dir: match sd.dir {
+                    0 => DepDir::In,
+                    1 => DepDir::Out,
+                    _ => DepDir::InOut,
+                },
+            })
+            .collect();
+        g.add_task("t", d, Box::new(|_| {}));
+    }
+    g
+}
+
+/// Drain the graph in topological order; returns completion order.
+fn drain(g: &mut TaskGraph) -> Vec<usize> {
+    let mut ready: std::collections::BinaryHeap<std::cmp::Reverse<usize>> = g
+        .initially_ready()
+        .into_iter()
+        .map(std::cmp::Reverse)
+        .collect();
+    let mut order = Vec::new();
+    while let Some(std::cmp::Reverse(t)) = ready.pop() {
+        order.push(t);
+        for n in g.complete(t) {
+            ready.push(std::cmp::Reverse(n));
+        }
+    }
+    order
+}
+
+proptest! {
+    /// Every generated graph is acyclic and complete: all tasks drain.
+    #[test]
+    fn graphs_always_drain(specs in proptest::collection::vec(deps_strategy(), 1..40)) {
+        let mut g = build(&specs);
+        let n = g.len();
+        let order = drain(&mut g);
+        prop_assert_eq!(order.len(), n, "some task never became ready");
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..n).collect::<Vec<_>>());
+    }
+
+    /// Writers to the same slot complete in program order (WAW respected),
+    /// and no reader of a slot runs before the last program-order writer
+    /// that precedes it (RAW respected).
+    #[test]
+    fn conflicting_accesses_respect_program_order(
+        specs in proptest::collection::vec(deps_strategy(), 1..30),
+    ) {
+        let mut g = build(&specs);
+        let order = drain(&mut g);
+        let mut pos = vec![0usize; order.len()];
+        for (p, &t) in order.iter().enumerate() {
+            pos[t] = p;
+        }
+        for slot in 0u8..10 {
+            let mut last_writer: Option<usize> = None;
+            for (tid, deps) in specs.iter().enumerate() {
+                let writes = deps.iter().any(|d| d.slot == slot && d.dir != 0);
+                let reads = deps.iter().any(|d| d.slot == slot && d.dir != 1);
+                if let Some(w) = last_writer {
+                    if (writes || reads) && tid != w {
+                        prop_assert!(
+                            pos[w] < pos[tid],
+                            "task {tid} touched slot {slot} before its writer {w}"
+                        );
+                    }
+                }
+                if writes {
+                    last_writer = Some(tid);
+                }
+            }
+        }
+    }
+
+    /// Edge count is stable under re-construction (determinism) and zero
+    /// for fully-disjoint tasks.
+    #[test]
+    fn construction_is_deterministic(specs in proptest::collection::vec(deps_strategy(), 1..25)) {
+        let a = build(&specs);
+        let b = build(&specs);
+        prop_assert_eq!(a.edges(), b.edges());
+        prop_assert_eq!(a.initially_ready(), b.initially_ready());
+    }
+
+    /// Tasks touching pairwise-disjoint slots never gain edges.
+    #[test]
+    fn disjoint_tasks_are_independent(n in 1usize..10) {
+        let specs: Vec<Vec<SpecDep>> = (0..n)
+            .map(|i| vec![SpecDep { slot: i as u8, dir: 2 }])
+            .collect();
+        let g = build(&specs);
+        prop_assert_eq!(g.edges(), 0);
+        prop_assert_eq!(g.initially_ready().len(), n);
+    }
+}

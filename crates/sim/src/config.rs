@@ -1,0 +1,379 @@
+//! Machine configuration (the paper's Table I).
+//!
+//! Two presets:
+//!
+//! * [`MachineConfig::paper`] — Table I verbatim: 16 cores, 32 KiB 2-way
+//!   L1D, 32 MiB LLC banked 2 MiB/core, 524288-entry directory banked
+//!   32768/core, 4×4 mesh, 256-entry TLBs, 32-entry NCRTs.
+//! * [`MachineConfig::scaled`] — the same machine with LLC and directory
+//!   shrunk 16× (2 MiB LLC, 32768-entry 1:1 directory). The evaluation
+//!   figures depend on the *ratio* of application working set to LLC /
+//!   directory reach, so the scaled preset paired with the scaled problem
+//!   sizes in `raccd-workloads` preserves every shape while keeping
+//!   simulations laptop-fast (DESIGN.md §2).
+
+/// The seven directory-size configurations of the evaluation: `1:N` means
+/// the directory has `N×` fewer entries than the LLC (§V-A).
+pub const DIR_RATIOS: [usize; 7] = [1, 2, 4, 8, 16, 64, 256];
+
+/// Fixed latencies in cycles (Table I).
+#[derive(Clone, Copy, Debug)]
+pub struct Latencies {
+    /// L1 data cache hit (Table I: 2 cycles).
+    pub l1: u64,
+    /// LLC bank access (Table I: 15 cycles).
+    pub llc: u64,
+    /// Directory bank access (Table I: 15 cycles).
+    pub dir: u64,
+    /// TLB lookup (Table I: 1 cycle).
+    pub tlb: u64,
+    /// Page-table walk on a TLB miss.
+    pub page_walk: u64,
+    /// Main memory access.
+    pub mem: u64,
+    /// NCRT lookup, added to private-cache misses under RaCCD
+    /// (Table I: 1 cycle; §V-C studies 0..10).
+    pub ncrt: u64,
+    /// Mesh link traversal (Table I: 1 cycle).
+    pub link: u64,
+    /// Mesh router traversal (Table I: 1 cycle).
+    pub router: u64,
+}
+
+impl Default for Latencies {
+    fn default() -> Self {
+        Latencies {
+            l1: 2,
+            llc: 15,
+            dir: 15,
+            tlb: 1,
+            page_walk: 30,
+            mem: 120,
+            ncrt: 1,
+            link: 1,
+            router: 1,
+        }
+    }
+}
+
+/// Task-scheduling policy of the simulated runtime (§II-C describes the
+/// central ready queue; work stealing is the locality-preserving
+/// alternative used for the scheduler-sensitivity ablation).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchedPolicy {
+    /// One central FIFO ready queue (Nanos++ default; maximum migration).
+    CentralFifo,
+    /// Per-core deques: wake-ups enqueue on the waking core (LIFO pop for
+    /// the owner, FIFO steal for thieves) — minimum migration.
+    WorkStealing,
+}
+
+/// Cycle costs of the runtime-system phases of Figure 3 and of the RaCCD
+/// ISA instructions (§III-B, §IV-A).
+#[derive(Clone, Copy, Debug)]
+pub struct RuntimeCosts {
+    /// Scheduling phase: request + dequeue of a ready task.
+    pub schedule: u64,
+    /// Wake-up phase fixed cost.
+    pub wakeup_base: u64,
+    /// Wake-up phase per-dependent cost (dependence bookkeeping).
+    pub wakeup_per_dep: u64,
+    /// `raccd_register` fixed issue cost per instruction.
+    pub register_base: u64,
+    /// `raccd_register` per-page cost of the iterative TLB translation
+    /// (Figure 5: one TLB access per covered virtual page).
+    pub register_per_page: u64,
+    /// Per-task stack/scratch references emitted by task bodies (read+write
+    /// pairs). Models the unannotated task-local data the paper's full
+    /// system naturally has: private under PT, coherent under RaCCD.
+    pub stack_words_per_task: u64,
+}
+
+impl Default for RuntimeCosts {
+    fn default() -> Self {
+        RuntimeCosts {
+            schedule: 100,
+            wakeup_base: 50,
+            wakeup_per_dep: 10,
+            register_base: 5,
+            register_per_page: 3,
+            stack_words_per_task: 64,
+        }
+    }
+}
+
+/// Full machine configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct MachineConfig {
+    /// Number of cores / tiles / LLC banks / directory banks (Table I: 16).
+    pub ncores: usize,
+    /// Mesh dimension (Table I: 4×4).
+    pub mesh_k: usize,
+    /// L1 data cache bytes per core (Table I: 32 KiB).
+    pub l1_bytes: u64,
+    /// L1 associativity (Table I: 2).
+    pub l1_ways: usize,
+    /// LLC entries per bank (paper: 32768 ⇒ 2 MiB/bank; scaled: 2048).
+    pub llc_entries_per_bank: usize,
+    /// LLC associativity (Table I: 8).
+    pub llc_ways: usize,
+    /// Directory reduction factor `N` of the `1:N` configuration.
+    pub dir_ratio: usize,
+    /// Directory associativity (Table I: 8).
+    pub dir_ways: usize,
+    /// TLB entries per core (Table I: 256).
+    pub tlb_entries: usize,
+    /// NCRT entries per core (Table I: 32).
+    pub ncrt_entries: usize,
+    /// NoC flit width in bytes.
+    pub flit_bytes: u64,
+    /// Enable Adaptive Directory Reduction (§III-D).
+    pub adr: bool,
+    /// Write-through private caches (§III-C3 describes both variants; the
+    /// default is write-back). Under write-through no L1 line is ever
+    /// dirty, so evictions and `raccd_invalidate` never write data back —
+    /// at the cost of one LLC update message per store.
+    pub l1_write_through: bool,
+    /// Hardware threads per core (SMT, §III-E). 1 disables SMT.
+    pub smt_ways: usize,
+    /// ADR grow threshold θ_inc (paper: 0.80).
+    pub adr_theta_inc: f64,
+    /// ADR shrink threshold θ_dec (paper: 0.20).
+    pub adr_theta_dec: f64,
+    /// With SMT > 1: use the per-thread NC-tid bits so `raccd_invalidate`
+    /// flushes only the finishing thread's lines (§III-E). When false the
+    /// whole NC contents are flushed, penalising the sibling thread.
+    pub smt_selective_flush: bool,
+    /// Record protocol-level [`crate::machine::CoherenceEvent`]s (testing
+    /// and trace tooling; off for performance).
+    pub record_events: bool,
+    /// Task-scheduling policy (§II-C; default: the paper's central queue).
+    pub sched: SchedPolicy,
+    /// Allocate physical frames pseudo-randomly instead of contiguously.
+    /// The paper observes Linux maps its datasets contiguously (§III-C2),
+    /// so contiguous is the default; the permuted mode forces multi-entry
+    /// NCRT registrations (Figure 5's collapsing logic) on every task.
+    pub permuted_pages: bool,
+    /// Model queueing contention at LLC and directory banks: a request
+    /// arriving while its bank is busy waits for the in-flight service to
+    /// drain. Off by default (the paper's normalised comparisons do not
+    /// depend on it); enables the `ablations -- contention` study.
+    pub bank_contention: bool,
+    /// Latencies.
+    pub lat: Latencies,
+    /// Runtime phase costs.
+    pub runtime: RuntimeCosts,
+}
+
+impl MachineConfig {
+    /// Table I verbatim.
+    pub fn paper() -> Self {
+        MachineConfig {
+            ncores: 16,
+            mesh_k: 4,
+            l1_bytes: 32 * 1024,
+            l1_ways: 2,
+            llc_entries_per_bank: 32768, // 2 MiB per bank
+            llc_ways: 8,
+            dir_ratio: 1,
+            dir_ways: 8,
+            tlb_entries: 256,
+            ncrt_entries: 32,
+            flit_bytes: 16,
+            adr: false,
+            l1_write_through: false,
+            smt_ways: 1,
+            adr_theta_inc: 0.80,
+            adr_theta_dec: 0.20,
+            smt_selective_flush: true,
+            sched: SchedPolicy::CentralFifo,
+            record_events: false,
+            permuted_pages: false,
+            bank_contention: false,
+            lat: Latencies::default(),
+            runtime: RuntimeCosts::default(),
+        }
+    }
+
+    /// The proportionally scaled machine (16× smaller LLC + directory).
+    pub fn scaled() -> Self {
+        MachineConfig {
+            llc_entries_per_bank: 2048, // 128 KiB per bank, 2 MiB total
+            ..Self::paper()
+        }
+    }
+
+    /// Directory entries per bank under the configured `1:N` ratio, never
+    /// below one full set.
+    pub fn dir_entries_per_bank(&self) -> usize {
+        (self.llc_entries_per_bank / self.dir_ratio).max(self.dir_ways)
+    }
+
+    /// Total directory entries across banks.
+    pub fn dir_entries_total(&self) -> usize {
+        self.dir_entries_per_bank() * self.ncores
+    }
+
+    /// Total LLC entries across banks.
+    pub fn llc_entries_total(&self) -> usize {
+        self.llc_entries_per_bank * self.ncores
+    }
+
+    /// Derive the `1:N` variant of this configuration.
+    pub fn with_dir_ratio(mut self, ratio: usize) -> Self {
+        self.dir_ratio = ratio;
+        self
+    }
+
+    /// Enable/disable ADR.
+    pub fn with_adr(mut self, adr: bool) -> Self {
+        self.adr = adr;
+        self
+    }
+
+    /// Select write-through private caches.
+    pub fn with_write_through(mut self, wt: bool) -> Self {
+        self.l1_write_through = wt;
+        self
+    }
+
+    /// Hardware contexts (cores × SMT ways).
+    pub fn ncontexts(&self) -> usize {
+        self.ncores * self.smt_ways
+    }
+
+    /// Per-context private stack region base (timing-only references).
+    /// 16 KiB strides keep all stacks below the simulated heap even at
+    /// 8-way SMT on 16 cores is not supported; up to 60 contexts fit.
+    pub fn stack_base(&self, ctx: usize) -> u64 {
+        let base = 0x1000 + ctx as u64 * 0x4000;
+        debug_assert!(base + 0x4000 <= raccd_mem::SimMemory::HEAP_BASE);
+        base
+    }
+
+    /// Select SMT ways per core.
+    pub fn with_smt(mut self, ways: usize) -> Self {
+        self.smt_ways = ways;
+        self
+    }
+
+    /// Enable/disable bank-contention modelling.
+    pub fn with_contention(mut self, on: bool) -> Self {
+        self.bank_contention = on;
+        self
+    }
+
+    /// Render the configuration as the rows of Table I.
+    pub fn table1(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "Cores             {} in-order access streams, 1.0GHz\n",
+            self.ncores
+        ));
+        s.push_str(&format!(
+            "L1D cache         {}KB, {}-way, 64B/line ({} cycles)\n",
+            self.l1_bytes / 1024,
+            self.l1_ways,
+            self.lat.l1
+        ));
+        s.push_str(&format!(
+            "DTLB              {} entries fully-associative ({} cycle)\n",
+            self.tlb_entries, self.lat.tlb
+        ));
+        s.push_str(&format!(
+            "L2 cache          shared {}MB, banked {}KB/core, 64B/line, {} cycles, {}-way, pseudoLRU\n",
+            self.llc_entries_total() * 64 / (1024 * 1024),
+            self.llc_entries_per_bank * 64 / 1024,
+            self.lat.llc,
+            self.llc_ways
+        ));
+        s.push_str("Coherence         MESI, silent shared evictions\n");
+        s.push_str(&format!(
+            "Directory         total {} entries, banked {} entries/core, {} cycles, {}-way, pseudoLRU (1:{})\n",
+            self.dir_entries_total(),
+            self.dir_entries_per_bank(),
+            self.lat.dir,
+            self.dir_ways,
+            self.dir_ratio
+        ));
+        s.push_str(&format!(
+            "NoC               {}x{} mesh, link {} cycle, router {} cycle\n",
+            self.mesh_k, self.mesh_k, self.lat.link, self.lat.router
+        ));
+        s.push_str(&format!(
+            "NCRT              {} entries/core, {} cycle access time\n",
+            self.ncrt_entries, self.lat.ncrt
+        ));
+        s.push_str("NC bit            1 bit per cache block in the private L1 data caches\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_preset_matches_table1() {
+        let c = MachineConfig::paper();
+        assert_eq!(c.ncores, 16);
+        assert_eq!(c.l1_bytes, 32 * 1024);
+        assert_eq!(c.llc_entries_total(), 524288);
+        assert_eq!(c.dir_entries_total(), 524288, "1:1 directory");
+        assert_eq!(c.lat.llc, 15);
+        assert_eq!(c.lat.dir, 15);
+        assert_eq!(c.ncrt_entries, 32);
+        assert_eq!(c.tlb_entries, 256);
+    }
+
+    #[test]
+    fn dir_ratios_divide_cleanly() {
+        for &r in &DIR_RATIOS {
+            let c = MachineConfig::paper().with_dir_ratio(r);
+            assert_eq!(c.dir_entries_per_bank(), 32768 / r);
+        }
+        // Paper 1:256 → 128 entries/bank (§V-A: "reduced to just 128
+        // entries per core").
+        let c = MachineConfig::paper().with_dir_ratio(256);
+        assert_eq!(c.dir_entries_per_bank(), 128);
+    }
+
+    #[test]
+    fn scaled_preserves_llc_to_dir_ratio() {
+        for &r in &DIR_RATIOS {
+            let p = MachineConfig::paper().with_dir_ratio(r);
+            let s = MachineConfig::scaled().with_dir_ratio(r);
+            let pr = p.llc_entries_total() as f64 / p.dir_entries_total() as f64;
+            let sr = s.llc_entries_total() as f64 / s.dir_entries_total() as f64;
+            assert!((pr - sr).abs() < 1e-12, "ratio drift at 1:{r}");
+        }
+    }
+
+    #[test]
+    fn dir_never_smaller_than_one_set() {
+        let mut c = MachineConfig::scaled();
+        c.llc_entries_per_bank = 64;
+        c.dir_ratio = 256;
+        assert_eq!(c.dir_entries_per_bank(), c.dir_ways);
+    }
+
+    #[test]
+    fn stacks_are_disjoint_and_below_heap() {
+        let c = MachineConfig::paper();
+        let c2 = c.with_smt(2);
+        for i in 0..c2.ncontexts() {
+            assert!(c2.stack_base(i) + 0x4000 <= raccd_mem::SimMemory::HEAP_BASE);
+            for j in 0..i {
+                assert!(c2.stack_base(i) >= c2.stack_base(j) + 0x4000);
+            }
+        }
+    }
+
+    #[test]
+    fn table1_renders_key_rows() {
+        let t = MachineConfig::paper().table1();
+        assert!(t.contains("524288"));
+        assert!(t.contains("4x4 mesh"));
+        assert!(t.contains("32 entries/core"));
+    }
+}

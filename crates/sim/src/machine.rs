@@ -1,0 +1,1249 @@
+//! The multicore machine: cores, caches, directory, NoC, memory.
+//!
+//! ## Access paths (§III-C3)
+//!
+//! Every reference first consults the core's TLB and L1D. On an L1 miss the
+//! request travels to the block's *home tile* (low block-address bits pick
+//! the bank). From there:
+//!
+//! * **Coherent** requests look up the directory and the LLC in parallel
+//!   (both 15 cycles). A directory hit may forward to the current owner; a
+//!   directory miss allocates an entry — possibly evicting a victim whose
+//!   LLC line *and* private copies must then be invalidated, because the
+//!   directory is inclusive of the LLC (§V-A3).
+//! * **Non-coherent** requests "are resolved without communicating with, or
+//!   creating an entry in, the directory": they go straight to the LLC and,
+//!   on a miss, to memory, returning data with the NC bit set.
+//!
+//! Blocks transition between the two worlds per §III-E: a coherent request
+//! finding an NC LLC line allocates a directory entry and clears the bit; an
+//! NC request finding a coherent line deallocates the entry.
+//!
+//! ## Invariant
+//!
+//! A block is **coherent-resident** in the LLC ⟺ its home directory bank
+//! has an entry for it. L1-resident coherent blocks are always LLC-resident
+//! (inclusive hierarchy). NC blocks may live in L1/LLC with no entry.
+//! `debug_assert`s and the `machine_invariants` test enforce this.
+
+use crate::config::MachineConfig;
+use crate::stats::Stats;
+use raccd_cache::{L1Cache, L1Line, L1State, LlcBank, LlcLine};
+use raccd_mem::{BlockAddr, PAddr, PageNum, PageTable, Tlb, VAddr};
+use raccd_noc::{Mesh, MsgClass};
+use raccd_protocol::{Adr, AdrConfig, DirEntry, DirEviction, DirectoryBank};
+
+/// A protocol-level event, recorded when `MachineConfig::record_events`
+/// is set. Used by protocol-conformance tests and the `trace` binary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CoherenceEvent {
+    /// A coherent fill into a private cache.
+    CoherentFill {
+        /// Requesting core.
+        core: usize,
+        /// Block filled.
+        block: BlockAddr,
+        /// Store (GetX) vs load (GetS).
+        write: bool,
+        /// Data supplied cache-to-cache by the previous owner.
+        from_owner: bool,
+    },
+    /// A non-coherent fill (directory bypassed).
+    NcFill {
+        /// Requesting core.
+        core: usize,
+        /// Block filled.
+        block: BlockAddr,
+        /// Store vs load.
+        write: bool,
+    },
+    /// A write upgrade on a Shared line.
+    Upgrade {
+        /// Writing core.
+        core: usize,
+        /// Block upgraded.
+        block: BlockAddr,
+    },
+    /// A directory entry evicted for capacity (inclusion victim).
+    DirEviction {
+        /// Block whose entry was evicted.
+        block: BlockAddr,
+    },
+    /// Block transitioned NC → coherent (§III-E).
+    NcToCoherent {
+        /// The block.
+        block: BlockAddr,
+    },
+    /// Block transitioned coherent → NC (§III-E).
+    CoherentToNc {
+        /// The block.
+        block: BlockAddr,
+    },
+    /// `raccd_invalidate` flushed a core's NC lines.
+    FlushNc {
+        /// The core flushed.
+        core: usize,
+        /// NC lines removed.
+        lines: u32,
+    },
+}
+
+/// Result of a private-cache lookup.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum L1LookupResult {
+    /// Hit; `cycles` includes any upgrade transaction.
+    Hit {
+        /// Cycles charged (≥ L1 latency).
+        cycles: u64,
+        /// Whether the hit line carries the NC bit (census input).
+        nc: bool,
+    },
+    /// Miss: the caller decides coherence (NCRT / PT / always-coherent) and
+    /// calls [`Machine::miss_fill`].
+    Miss,
+}
+
+struct CoreSlice {
+    tlb: Tlb,
+    l1: L1Cache,
+}
+
+/// The simulated machine.
+pub struct Machine {
+    /// Configuration in force.
+    pub cfg: MachineConfig,
+    /// The shared page table (OS role).
+    pub page_table: PageTable,
+    cores: Vec<CoreSlice>,
+    llc: Vec<LlcBank>,
+    dir: Vec<DirectoryBank>,
+    adr: Vec<Adr>,
+    noc: Mesh,
+    /// Per-bank busy-until timestamps for the optional contention model
+    /// (index: home tile). Directory and LLC share a bank port here.
+    bank_busy: Vec<u64>,
+    /// Recorded protocol events (only with `cfg.record_events`).
+    events: Vec<CoherenceEvent>,
+    /// Run statistics.
+    pub stats: Stats,
+    /// Scratch: whether the last coherent fill was granted Shared (vs
+    /// Exclusive). Set by `coherent_fill_path`, consumed by `miss_fill`.
+    last_fill_shared: bool,
+    /// Scratch: whether the last coherent fill was served cache-to-cache.
+    last_fill_from_owner: bool,
+}
+
+impl Machine {
+    /// Build a machine per `cfg`; the frame-allocation policy follows
+    /// `cfg.permuted_pages`.
+    pub fn new(cfg: MachineConfig) -> Self {
+        let policy = if cfg.permuted_pages {
+            raccd_mem::FrameAllocPolicy::Permuted
+        } else {
+            raccd_mem::FrameAllocPolicy::Contiguous
+        };
+        Self::with_page_table(cfg, PageTable::new(policy))
+    }
+
+    /// Build with an explicit page table (tests use permuted frames).
+    pub fn with_page_table(cfg: MachineConfig, page_table: PageTable) -> Self {
+        assert_eq!(cfg.ncores, cfg.mesh_k * cfg.mesh_k, "one core per tile");
+        assert!(cfg.ncores.is_power_of_two());
+        let bank_bits = cfg.ncores.trailing_zeros();
+        let cores = (0..cfg.ncores)
+            .map(|_| CoreSlice {
+                tlb: Tlb::new(cfg.tlb_entries),
+                l1: L1Cache::new(cfg.l1_bytes, cfg.l1_ways),
+            })
+            .collect();
+        let llc = (0..cfg.ncores)
+            .map(|_| LlcBank::new(cfg.llc_entries_per_bank, cfg.llc_ways, bank_bits))
+            .collect();
+        let dir = (0..cfg.ncores)
+            .map(|_| DirectoryBank::new(cfg.dir_entries_per_bank(), cfg.dir_ways, bank_bits))
+            .collect();
+        let adr = if cfg.adr {
+            (0..cfg.ncores)
+                .map(|_| {
+                    let mut ac =
+                        AdrConfig::paper_defaults(cfg.dir_entries_per_bank(), cfg.dir_ways);
+                    ac.theta_inc = cfg.adr_theta_inc;
+                    ac.theta_dec = cfg.adr_theta_dec;
+                    Adr::new(ac)
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        Machine {
+            noc: Mesh::new(cfg.mesh_k, cfg.lat.link, cfg.lat.router, cfg.flit_bytes),
+            bank_busy: vec![0; cfg.ncores],
+            events: Vec::new(),
+            cfg,
+            page_table,
+            cores,
+            llc,
+            dir,
+            adr,
+            stats: Stats::default(),
+            last_fill_shared: false,
+            last_fill_from_owner: false,
+        }
+    }
+
+    /// Home tile (LLC + directory bank) of a block: low block bits.
+    #[inline]
+    pub fn home_of(&self, block: BlockAddr) -> usize {
+        (block.0 % self.cfg.ncores as u64) as usize
+    }
+
+    /// Record a protocol event when event recording is enabled.
+    #[inline]
+    fn event(&mut self, ev: CoherenceEvent) {
+        if self.cfg.record_events {
+            self.events.push(ev);
+        }
+    }
+
+    /// Recorded protocol events (empty unless `cfg.record_events`).
+    pub fn events(&self) -> &[CoherenceEvent] {
+        &self.events
+    }
+
+    /// Drop recorded events.
+    pub fn clear_events(&mut self) {
+        self.events.clear();
+    }
+
+    /// Occupy `home`'s bank port for `service` cycles starting no earlier
+    /// than `now`; returns the total latency including queueing delay.
+    /// With contention modelling off this is just `service`.
+    #[inline]
+    fn bank_service(&mut self, home: usize, now: u64, service: u64) -> u64 {
+        if !self.cfg.bank_contention {
+            return service;
+        }
+        let start = self.bank_busy[home].max(now);
+        self.bank_busy[home] = start + service;
+        self.stats.bank_wait_cycles += start - now;
+        start - now + service
+    }
+
+    /// Translate through the core's TLB, charging TLB (and page-walk)
+    /// latency.
+    pub fn translate(&mut self, core: usize, vaddr: VAddr) -> (PAddr, u64) {
+        let mut cycles = self.cfg.lat.tlb;
+        let vpage = vaddr.page();
+        let ppage = match self.cores[core].tlb.lookup(vpage) {
+            Some(p) => p,
+            None => {
+                cycles += self.cfg.lat.page_walk;
+                let p = self.page_table.translate_page(vpage);
+                self.cores[core].tlb.fill(vpage, p);
+                p
+            }
+        };
+        (
+            PAddr((ppage.0 << raccd_mem::PAGE_SHIFT) | vaddr.page_offset()),
+            cycles,
+        )
+    }
+
+    /// TLB-charged translation used by `raccd_register`'s iterative walk
+    /// (Figure 5): one TLB access per virtual page, with page walks on
+    /// misses.
+    pub fn translate_page_for_register(&mut self, core: usize, vpage: PageNum) -> (PageNum, u64) {
+        let mut cycles = self.cfg.lat.tlb;
+        match self.cores[core].tlb.lookup(vpage) {
+            Some(p) => (p, cycles),
+            None => {
+                cycles += self.cfg.lat.page_walk;
+                let p = self.page_table.translate_page(vpage);
+                self.cores[core].tlb.fill(vpage, p);
+                (p, cycles)
+            }
+        }
+    }
+
+    /// Direct TLB access for TLB-based classifiers (§II-B): lookup with
+    /// statistics (1-cycle charge is the caller's).
+    pub fn tlb_lookup(&mut self, core: usize, vpage: PageNum) -> Option<PageNum> {
+        self.cores[core].tlb.lookup(vpage)
+    }
+
+    /// Peek another core's TLB without side effects (models the probe half
+    /// of TLB-to-TLB miss resolution).
+    pub fn tlb_peek(&self, core: usize, vpage: PageNum) -> Option<PageNum> {
+        self.cores[core].tlb.peek(vpage)
+    }
+
+    /// Last-use stamp of a TLB entry (decay predictor input).
+    pub fn tlb_last_use(&self, core: usize, vpage: PageNum) -> Option<u64> {
+        self.cores[core].tlb.last_use(vpage)
+    }
+
+    /// Current use stamp of a core's TLB.
+    pub fn tlb_stamp(&self, core: usize) -> u64 {
+        self.cores[core].tlb.stamp()
+    }
+
+    /// Fill a core's TLB, returning the evicted `(vpage, ppage)` if any —
+    /// TLB-based classifiers must flush the victim page from the L1 to
+    /// keep TLB–L1 inclusivity (§II-B).
+    pub fn tlb_fill_evicting(
+        &mut self,
+        core: usize,
+        vpage: PageNum,
+        ppage: PageNum,
+    ) -> Option<(PageNum, PageNum)> {
+        self.cores[core].tlb.fill_evicting(vpage, ppage)
+    }
+
+    /// Invalidate one TLB entry (decay invalidations during TLB-to-TLB
+    /// resolution, §II-B). Returns whether it was present.
+    pub fn tlb_invalidate(&mut self, core: usize, vpage: PageNum) -> bool {
+        self.cores[core].tlb.invalidate(vpage)
+    }
+
+    /// Broadcast a control message from `core` to every other tile and
+    /// collect responses (the TLB-to-TLB miss resolution round). Returns
+    /// the latency of the slowest round trip.
+    pub fn broadcast_round(&mut self, core: usize) -> u64 {
+        let mut worst = 0;
+        for other in 0..self.cfg.ncores {
+            if other == core {
+                continue;
+            }
+            let go = self.noc.send(core, other, MsgClass::Control);
+            let back = self.noc.send(other, core, MsgClass::Control);
+            worst = worst.max(go + back);
+        }
+        worst
+    }
+
+    /// L1 lookup; on a write hit to a coherent Shared line this performs the
+    /// upgrade transaction (invalidating other holders via the directory).
+    pub fn l1_lookup(
+        &mut self,
+        core: usize,
+        block: BlockAddr,
+        write: bool,
+        now: u64,
+    ) -> L1LookupResult {
+        let lat_l1 = self.cfg.lat.l1;
+        let Some(line) = self.cores[core].l1.access(block) else {
+            return L1LookupResult::Miss;
+        };
+        let nc = line.nc;
+        let state = line.state;
+        if !write {
+            return L1LookupResult::Hit { cycles: lat_l1, nc };
+        }
+        let wt = self.cfg.l1_write_through;
+        // Under write-through, stores never dirty the L1 (the LLC is
+        // updated immediately); under write-back they take M.
+        let written_state = if wt {
+            L1State::Exclusive
+        } else {
+            L1State::Modified
+        };
+        let result = match (nc, state) {
+            // NC writes and coherent E/M writes complete locally.
+            (true, _) | (false, L1State::Exclusive) | (false, L1State::Modified) => {
+                self.cores[core]
+                    .l1
+                    .probe_mut(block)
+                    .expect("line just seen")
+                    .state = written_state;
+                L1LookupResult::Hit { cycles: lat_l1, nc }
+            }
+            // Coherent write hit in Shared: upgrade through the directory.
+            (false, L1State::Shared) => {
+                let cycles = lat_l1 + self.upgrade(core, block, now);
+                self.cores[core]
+                    .l1
+                    .probe_mut(block)
+                    .expect("line just seen")
+                    .state = written_state;
+                L1LookupResult::Hit { cycles, nc: false }
+            }
+        };
+        if wt {
+            self.write_through_update(core, block);
+        }
+        result
+    }
+
+    /// Write-through store propagation: push the written line to the home
+    /// LLC bank (no directory involvement for NC blocks — the message
+    /// carries the NC attribute, §III-C3). Off the critical path (store
+    /// buffer), so no cycles are returned.
+    fn write_through_update(&mut self, core: usize, block: BlockAddr) {
+        let home = self.home_of(block);
+        self.noc.send(core, home, MsgClass::WriteBack);
+        self.stats.write_throughs += 1;
+        if let Some(l) = self.llc[home].probe_mut(block) {
+            l.dirty = true;
+        } else {
+            // LLC replaced the line meanwhile: forward to memory.
+            let mc = self.noc.mem_controller_for(home);
+            self.noc.send(home, mc, MsgClass::WriteBack);
+            self.stats.mem_writes += 1;
+        }
+    }
+
+    /// Upgrade (GetX on an S line): directory access + invalidations.
+    fn upgrade(&mut self, core: usize, block: BlockAddr, now: u64) -> u64 {
+        let home = self.home_of(block);
+        let mut cycles = self.noc.send(core, home, MsgClass::Request);
+        cycles += self.bank_service(home, now + cycles, self.cfg.lat.dir);
+        self.dir[home].record_access(now);
+        self.stats.dir_accesses += 1;
+
+        let inv_mask = match self.dir[home].lookup(block) {
+            Some(entry) => entry.record_getx(core),
+            None => {
+                // Inclusivity guarantees an entry exists for any coherent S
+                // line; reaching here indicates an invariant violation.
+                debug_assert!(false, "upgrade without directory entry for {block:?}");
+                let mut e = DirEntry::uncached();
+                e.record_getx(core);
+                let ev = self.dir[home].allocate(block, now, e);
+                self.stats.dir_allocations += 1;
+                if let Some(ev) = ev {
+                    self.handle_dir_eviction(ev, now);
+                }
+                0
+            }
+        };
+        cycles += self.invalidate_holders(home, block, inv_mask, now);
+        // Ack back to the writer.
+        cycles += self.noc.send(home, core, MsgClass::Control);
+        self.event(CoherenceEvent::Upgrade { core, block });
+        cycles
+    }
+
+    /// Send invalidations to every core in `mask`, removing their L1 lines.
+    /// Dirty data found (the previous owner) is written back to the LLC.
+    /// Returns the added latency (the slowest invalidation round-trip).
+    fn invalidate_holders(&mut self, home: usize, block: BlockAddr, mask: u64, now: u64) -> u64 {
+        let _ = now;
+        let mut worst = 0u64;
+        let mut m = mask;
+        while m != 0 {
+            let holder = m.trailing_zeros() as usize;
+            m &= m - 1;
+            let lat = self.noc.send(home, holder, MsgClass::Control);
+            self.stats.invalidations_sent += 1;
+            if let Some(line) = self.cores[holder].l1.invalidate(block) {
+                if line.dirty() {
+                    // Dirty data travels back to the home LLC bank.
+                    self.noc.send(holder, home, MsgClass::WriteBack);
+                    self.stats.l1_writebacks += 1;
+                    if let Some(llc_line) = self.llc[home].probe_mut(block) {
+                        llc_line.dirty = true;
+                    }
+                }
+            }
+            // Ack control message.
+            let ack = self.noc.send(holder, home, MsgClass::Control);
+            worst = worst.max(lat + ack);
+        }
+        worst
+    }
+
+    /// Fill a block into the requesting L1 after a miss. `nc` is the
+    /// caller's coherence decision for this block (NCRT hit, PT-private
+    /// page, or always-false for FullCoh). Returns cycles charged.
+    pub fn miss_fill(
+        &mut self,
+        core: usize,
+        block: BlockAddr,
+        write: bool,
+        nc: bool,
+        now: u64,
+    ) -> u64 {
+        self.miss_fill_smt(core, 0, block, write, nc, now)
+    }
+
+    /// SMT-aware variant of [`Machine::miss_fill`]: `tid` tags NC fills so
+    /// `raccd_invalidate` can flush selectively (§III-E).
+    pub fn miss_fill_smt(
+        &mut self,
+        core: usize,
+        tid: u8,
+        block: BlockAddr,
+        write: bool,
+        nc: bool,
+        now: u64,
+    ) -> u64 {
+        let cycles = if nc {
+            self.nc_fill_path(core, block, now)
+        } else {
+            self.coherent_fill_path(core, block, write, now)
+        };
+        // Install in L1. NC fills take E (or M on write); coherent GetS may
+        // have been granted S — `coherent_fill_path` stashes that decision
+        // in `self.last_fill_shared`.
+        let state = if write && !self.cfg.l1_write_through {
+            L1State::Modified
+        } else if !nc && self.last_fill_shared && !write {
+            L1State::Shared
+        } else {
+            L1State::Exclusive
+        };
+        if write && self.cfg.l1_write_through {
+            self.write_through_update(core, block);
+        }
+        if nc {
+            self.stats.nc_fills += 1;
+            self.event(CoherenceEvent::NcFill { core, block, write });
+        } else {
+            self.stats.coherent_fills += 1;
+            let from_owner = self.last_fill_from_owner;
+            self.event(CoherenceEvent::CoherentFill {
+                core,
+                block,
+                write,
+                from_owner,
+            });
+        }
+        let victim = self.cores[core].l1.fill(block, L1Line { state, nc, tid });
+        if let Some((vblock, vline)) = victim {
+            self.handle_l1_victim(core, vblock, vline, now);
+        }
+        cycles
+    }
+
+    /// Non-coherent request path: LLC only, no directory (§III-C3).
+    fn nc_fill_path(&mut self, core: usize, block: BlockAddr, now: u64) -> u64 {
+        let home = self.home_of(block);
+        let mut cycles = self.noc.send(core, home, MsgClass::Request);
+        cycles += self.bank_service(home, now + cycles, self.cfg.lat.llc);
+        if let Some(line) = self.llc[home].access(block) {
+            if !line.nc {
+                // Coherent → non-coherent transition (§III-E): deallocate
+                // the directory entry; private copies should already be
+                // flushed (OpenMP flush guarantee), stale silent sharers are
+                // invalidated defensively.
+                line.nc = true;
+                self.event(CoherenceEvent::CoherentToNc { block });
+                self.dir[home].record_access(now);
+                self.stats.dir_accesses += 1;
+                if let Some(entry) = self.dir[home].deallocate(block, now) {
+                    let holders = entry.all_holders();
+                    self.invalidate_holders(home, block, holders, now);
+                }
+                self.maybe_adr(home, now);
+            }
+        } else {
+            // LLC miss: fetch from memory non-coherently.
+            cycles += self.fetch_from_memory(home, block, true, now);
+        }
+        cycles += self.noc.send(home, core, MsgClass::DataResponse);
+        cycles
+    }
+
+    /// Coherent request path: directory + LLC in parallel.
+    fn coherent_fill_path(&mut self, core: usize, block: BlockAddr, write: bool, now: u64) -> u64 {
+        let home = self.home_of(block);
+        let mut cycles = self.noc.send(core, home, MsgClass::Request);
+        cycles += self.bank_service(home, now + cycles, self.cfg.lat.dir.max(self.cfg.lat.llc));
+        self.dir[home].record_access(now);
+        self.stats.dir_accesses += 1;
+        self.last_fill_shared = false;
+        self.last_fill_from_owner = false;
+
+        if self.dir[home].lookup(block).is_some() {
+            // Directory hit ⇒ coherent LLC line present (inclusivity).
+            let hit = self.llc[home].access(block).is_some();
+            debug_assert!(hit, "directory entry without LLC line for {block:?}");
+            let (owner, _) = {
+                let e = self.dir[home].lookup(block).expect("entry just seen");
+                (e.owner, e.sharers)
+            };
+
+            if write {
+                let inv_mask = {
+                    let e = self.dir[home].lookup(block).expect("entry");
+                    e.record_getx(core)
+                };
+                cycles += self.invalidate_holders(home, block, inv_mask, now);
+                // Data: from previous owner (cache-to-cache) or from LLC.
+                if let Some(o) = owner.filter(|&o| o as usize != core) {
+                    self.stats.owner_forwards += 1;
+                    self.last_fill_from_owner = true;
+                    cycles += self.noc.send(o as usize, core, MsgClass::DataResponse);
+                } else {
+                    cycles += self.noc.send(home, core, MsgClass::DataResponse);
+                }
+            } else if owner == Some(core as u8) {
+                // Stale self-ownership: the requester's copy was dropped
+                // without a directory update (e.g. an OS-triggered page
+                // flush). Re-grant Exclusive from the LLC.
+                self.last_fill_shared = false;
+                cycles += self.noc.send(home, core, MsgClass::DataResponse);
+            } else {
+                if let Some(o) = owner.filter(|&o| o as usize != core) {
+                    // Forward GetS to the owner; it downgrades and supplies
+                    // data; dirty data is also written back to the LLC.
+                    self.stats.owner_forwards += 1;
+                    cycles += self.noc.send(home, o as usize, MsgClass::Control);
+                    if let Some(was_dirty) = self.cores[o as usize].l1.downgrade_to_shared(block) {
+                        if was_dirty {
+                            self.noc.send(o as usize, home, MsgClass::WriteBack);
+                            self.stats.l1_writebacks += 1;
+                            if let Some(l) = self.llc[home].probe_mut(block) {
+                                l.dirty = true;
+                            }
+                        }
+                    }
+                    let e = self.dir[home].lookup(block).expect("entry");
+                    e.downgrade_owner();
+                    e.record_gets(core);
+                    self.last_fill_shared = true;
+                    self.last_fill_from_owner = true;
+                    cycles += self.noc.send(o as usize, core, MsgClass::DataResponse);
+                } else {
+                    let e = self.dir[home].lookup(block).expect("entry");
+                    if e.state() == raccd_protocol::DirState::Uncached {
+                        // Sole reader: grant Exclusive and record ownership
+                        // so a later silent E→M write stays tracked.
+                        e.record_getx(core);
+                        self.last_fill_shared = false;
+                    } else {
+                        e.record_gets(core);
+                        self.last_fill_shared = true;
+                    }
+                    cycles += self.noc.send(home, core, MsgClass::DataResponse);
+                }
+            }
+        } else {
+            // Directory miss.
+            let llc_has = self.llc[home].access(block).is_some();
+            if llc_has {
+                // NC → coherent transition (§III-E): clear the bit and
+                // allocate an entry.
+                if let Some(l) = self.llc[home].probe_mut(block) {
+                    l.nc = false;
+                }
+                self.event(CoherenceEvent::NcToCoherent { block });
+            } else {
+                cycles += self.fetch_from_memory(home, block, false, now);
+            }
+            // First requester gets E (read) or M (write); either way the
+            // directory records it as owner.
+            let mut entry = DirEntry::uncached();
+            entry.record_getx(core);
+            let ev = self.dir[home].allocate(block, now, entry);
+            self.stats.dir_allocations += 1;
+            if let Some(ev) = ev {
+                self.handle_dir_eviction(ev, now);
+            }
+            self.maybe_adr(home, now);
+            self.last_fill_shared = false;
+            cycles += self.noc.send(home, core, MsgClass::DataResponse);
+        }
+        cycles
+    }
+
+    /// Fetch a block from main memory into the home LLC bank. Handles the
+    /// LLC victim. Returns added cycles.
+    fn fetch_from_memory(&mut self, home: usize, block: BlockAddr, nc: bool, now: u64) -> u64 {
+        let mc = self.noc.mem_controller_for(home);
+        let mut cycles = self.noc.send(home, mc, MsgClass::Request);
+        cycles += self.cfg.lat.mem;
+        self.stats.mem_reads += 1;
+        cycles += self.noc.send(mc, home, MsgClass::DataResponse);
+        let victim = self.llc[home].fill(block, LlcLine { dirty: false, nc });
+        if let Some((vblock, vline)) = victim {
+            self.handle_llc_victim(home, vblock, vline, now);
+        }
+        cycles
+    }
+
+    /// An LLC line was replaced. Coherent victims drag their directory
+    /// entry and any private copies with them; dirty data goes to memory.
+    fn handle_llc_victim(&mut self, home: usize, block: BlockAddr, line: LlcLine, now: u64) {
+        let mut dirty = line.dirty;
+        if !line.nc {
+            self.dir[home].record_access(now);
+            self.stats.dir_accesses += 1;
+            if let Some(entry) = self.dir[home].deallocate(block, now) {
+                dirty |= self.invalidate_and_collect_dirty(home, block, entry.all_holders());
+            }
+            self.maybe_adr(home, now);
+        }
+        if dirty {
+            let mc = self.noc.mem_controller_for(home);
+            self.noc.send(home, mc, MsgClass::WriteBack);
+            self.stats.mem_writes += 1;
+        }
+    }
+
+    /// A directory entry was evicted for capacity: invalidate its LLC line
+    /// (directory-inclusive-of-LLC, §V-A3) and every private copy.
+    fn handle_dir_eviction(&mut self, ev: DirEviction, now: u64) {
+        let _ = now;
+        let home = self.home_of(ev.block);
+        self.stats.dir_evictions += 1;
+        self.event(CoherenceEvent::DirEviction { block: ev.block });
+        let mut dirty = self.invalidate_and_collect_dirty(home, ev.block, ev.entry.all_holders());
+        if let Some(line) = self.llc[home].invalidate(ev.block) {
+            self.stats.llc_inclusion_invalidations += 1;
+            dirty |= line.dirty;
+        }
+        if dirty {
+            let mc = self.noc.mem_controller_for(home);
+            self.noc.send(home, mc, MsgClass::WriteBack);
+            self.stats.mem_writes += 1;
+        }
+    }
+
+    /// Invalidate private copies in `mask`; returns whether dirty data was
+    /// recovered (M copy in some L1).
+    fn invalidate_and_collect_dirty(&mut self, home: usize, block: BlockAddr, mask: u64) -> bool {
+        let mut dirty = false;
+        let mut m = mask;
+        while m != 0 {
+            let holder = m.trailing_zeros() as usize;
+            m &= m - 1;
+            self.noc.send(home, holder, MsgClass::Control);
+            self.stats.invalidations_sent += 1;
+            if let Some(line) = self.cores[holder].l1.invalidate(block) {
+                if line.dirty() {
+                    self.noc.send(holder, home, MsgClass::WriteBack);
+                    self.stats.l1_writebacks += 1;
+                    dirty = true;
+                }
+            }
+        }
+        dirty
+    }
+
+    /// Dispose of a replaced L1 line. Off the critical path (write-back
+    /// buffers), so traffic and state are accounted but no cycles returned.
+    fn handle_l1_victim(&mut self, core: usize, block: BlockAddr, line: L1Line, now: u64) {
+        let home = self.home_of(block);
+        if line.nc {
+            if line.dirty() {
+                // NC write-back: LLC-only, no directory (§III-C3).
+                self.noc.send(core, home, MsgClass::WriteBack);
+                self.stats.l1_writebacks += 1;
+                if let Some(l) = self.llc[home].probe_mut(block) {
+                    l.dirty = true;
+                } else {
+                    // The LLC replaced it meanwhile: forward to memory.
+                    let mc = self.noc.mem_controller_for(home);
+                    self.noc.send(home, mc, MsgClass::WriteBack);
+                    self.stats.mem_writes += 1;
+                }
+            }
+            return;
+        }
+        match line.state {
+            L1State::Modified => {
+                // PutM: update directory, write data into the LLC.
+                self.noc.send(core, home, MsgClass::WriteBack);
+                self.stats.l1_writebacks += 1;
+                self.dir[home].record_access(now);
+                self.stats.dir_accesses += 1;
+                if let Some(e) = self.dir[home].lookup(block) {
+                    e.owner_writeback(core);
+                }
+                if let Some(l) = self.llc[home].probe_mut(block) {
+                    l.dirty = true;
+                }
+            }
+            L1State::Exclusive => {
+                // PutE: clean notification so the owner pointer stays exact.
+                self.noc.send(core, home, MsgClass::Control);
+                self.dir[home].record_access(now);
+                self.stats.dir_accesses += 1;
+                if let Some(e) = self.dir[home].lookup(block) {
+                    e.owner_writeback(core);
+                }
+            }
+            L1State::Shared => {
+                // Silent eviction (Table I); the stale sharer bit may earn a
+                // spurious invalidation later.
+            }
+        }
+    }
+
+    /// `raccd_invalidate` (§III-C4): walk the private cache, flush every NC
+    /// block. Returns cycles (1 per line slot walked + pipelined write-back
+    /// cost per dirty line).
+    pub fn flush_nc(&mut self, core: usize, now: u64) -> u64 {
+        self.flush_nc_filtered(core, None, now)
+    }
+
+    /// SMT-aware `raccd_invalidate`: with `tid = Some(t)` only thread `t`'s
+    /// NC lines are flushed (§III-E's selective invalidation).
+    pub fn flush_nc_filtered(&mut self, core: usize, tid: Option<u8>, now: u64) -> u64 {
+        let _ = now;
+        let mut cycles = self.cores[core].l1.num_lines() as u64;
+        let flushed = match tid {
+            Some(t) => self.cores[core].l1.flush_nc_thread(t),
+            None => self.cores[core].l1.flush_nc(),
+        };
+        self.stats.nc_lines_flushed += flushed.len() as u64;
+        self.event(CoherenceEvent::FlushNc {
+            core,
+            lines: flushed.len() as u32,
+        });
+        for (block, line) in flushed {
+            if line.dirty() {
+                cycles += 4; // pipelined NC write-back issue
+                let home = self.home_of(block);
+                self.noc.send(core, home, MsgClass::WriteBack);
+                self.stats.l1_writebacks += 1;
+                if let Some(l) = self.llc[home].probe_mut(block) {
+                    l.dirty = true;
+                } else {
+                    let mc = self.noc.mem_controller_for(home);
+                    self.noc.send(home, mc, MsgClass::WriteBack);
+                    self.stats.mem_writes += 1;
+                }
+            }
+        }
+        cycles
+    }
+
+    /// PT baseline private→shared transition: flush every block of physical
+    /// page `page` from `core`'s L1 (plus its TLB entry for `vpage`).
+    /// Returns cycles charged to the *accessing* core, which waits for the
+    /// OS-triggered flush (§II-B).
+    pub fn flush_page(&mut self, core: usize, page: PageNum, vpage: PageNum, now: u64) -> u64 {
+        let mut cycles = 200; // OS/IPI round trip
+        let flushed = self.cores[core].l1.flush_page(page);
+        self.stats.pt_flush_lines += flushed.len() as u64;
+        self.cores[core].tlb.invalidate(vpage);
+        for (block, line) in flushed {
+            cycles += 4;
+            let home = self.home_of(block);
+            if line.dirty() {
+                self.noc.send(core, home, MsgClass::WriteBack);
+                self.stats.l1_writebacks += 1;
+                if let Some(l) = self.llc[home].probe_mut(block) {
+                    l.dirty = true;
+                } else {
+                    let mc = self.noc.mem_controller_for(home);
+                    self.noc.send(home, mc, MsgClass::WriteBack);
+                    self.stats.mem_writes += 1;
+                }
+            }
+            if !line.nc {
+                // The flush acts as a replacement: keep the directory's
+                // owner/sharer tracking exact for coherent lines.
+                self.dir[home].record_access(now);
+                self.stats.dir_accesses += 1;
+                if let Some(e) = self.dir[home].lookup(block) {
+                    e.owner_writeback(core);
+                }
+            }
+        }
+        cycles
+    }
+
+    /// Run the ADR controller for a bank after occupancy changed.
+    fn maybe_adr(&mut self, home: usize, now: u64) {
+        if self.adr.is_empty() {
+            return;
+        }
+        if let Some(ev) = self.adr[home].maybe_resize(&mut self.dir[home], now) {
+            self.stats.adr_reconfigs += 1;
+            self.stats.adr_blocked_cycles += ev.blocked_cycles;
+            for victim in ev.evicted {
+                self.handle_dir_eviction(victim, now);
+            }
+        }
+    }
+
+    /// Pull cache/TLB/NoC/directory counters into [`Stats`] and set the
+    /// final cycle count. Call once, at end of simulation.
+    pub fn finalize(&mut self, end_cycle: u64) -> Stats {
+        self.stats.cycles = end_cycle;
+        for c in &self.cores {
+            let (h, m) = c.l1.stats();
+            self.stats.l1_hits += h;
+            self.stats.l1_misses += m;
+            let (th, tm) = c.tlb.stats();
+            self.stats.tlb_hits += th;
+            self.stats.tlb_misses += tm;
+        }
+        for b in &self.llc {
+            let (h, m) = b.stats();
+            self.stats.llc_hits += h;
+            self.stats.llc_misses += m;
+        }
+        let mut occ_int: u128 = 0;
+        let mut cap_int: u128 = 0;
+        for d in &mut self.dir {
+            let avg = d.avg_occupancy(end_cycle);
+            let cap = d.capacity_integral(end_cycle);
+            occ_int += (avg * cap as f64) as u128;
+            cap_int += cap;
+            for &(sz, n) in d.access_histogram() {
+                match self
+                    .stats
+                    .dir_access_hist
+                    .iter_mut()
+                    .find(|(s, _)| *s == sz)
+                {
+                    Some((_, c)) => *c += n,
+                    None => self.stats.dir_access_hist.push((sz, n)),
+                }
+            }
+        }
+        self.stats.dir_avg_occupancy = if cap_int == 0 {
+            0.0
+        } else {
+            occ_int as f64 / cap_int as f64
+        };
+        self.stats.dir_capacity_integral = cap_int;
+        for d in &self.dir {
+            // Recount: protocol-level counters were mirrored in stats as we
+            // went; assert they agree in debug builds.
+            debug_assert!(d.accesses() <= self.stats.dir_accesses);
+        }
+        self.stats.noc_traffic = self.noc.traffic();
+        self.stats.noc_flits = self.noc.total_flits();
+        self.stats.clone()
+    }
+
+    /// L1 of a core (tests/diagnostics).
+    pub fn l1(&self, core: usize) -> &L1Cache {
+        &self.cores[core].l1
+    }
+
+    /// A directory bank (tests/diagnostics).
+    pub fn dir_bank(&self, bank: usize) -> &DirectoryBank {
+        &self.dir[bank]
+    }
+
+    /// An LLC bank (tests/diagnostics).
+    pub fn llc_bank(&self, bank: usize) -> &LlcBank {
+        &self.llc[bank]
+    }
+
+    /// Verify the coherence-inclusivity invariants (debug/test helper):
+    /// every coherent LLC line has a directory entry and vice versa; every
+    /// coherent L1 line exists in the LLC.
+    pub fn check_invariants(&self) {
+        for (bank, d) in self.dir.iter().enumerate() {
+            for (block, _) in d.iter() {
+                assert_eq!(self.home_of(block), bank, "entry in wrong bank");
+                let line = self.llc[bank]
+                    .probe(block)
+                    .unwrap_or_else(|| panic!("dir entry without LLC line: {block:?}"));
+                assert!(!line.nc, "directory entry for an NC LLC line: {block:?}");
+            }
+        }
+        for (bank, b) in self.llc.iter().enumerate() {
+            for (block, line) in b.iter() {
+                if !line.nc {
+                    assert!(
+                        self.dir[bank].probe(block).is_some(),
+                        "coherent LLC line without dir entry: {block:?}"
+                    );
+                }
+            }
+        }
+        for (c, core) in self.cores.iter().enumerate() {
+            for (block, line) in core.l1.iter() {
+                if !line.nc {
+                    let home = self.home_of(block);
+                    assert!(
+                        self.llc[home].probe(block).is_some(),
+                        "coherent L1 line (core {c}) not in LLC: {block:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The mesh (tests/diagnostics).
+    pub fn noc(&self) -> &Mesh {
+        &self.noc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> MachineConfig {
+        let mut c = MachineConfig::scaled();
+        c.llc_entries_per_bank = 64;
+        c
+    }
+
+    fn machine() -> Machine {
+        Machine::new(small_cfg())
+    }
+
+    /// Drive one full reference (translate → L1 → miss fill) coherently.
+    fn access(m: &mut Machine, core: usize, vaddr: u64, write: bool, nc: bool, now: u64) -> u64 {
+        let (paddr, mut cycles) = m.translate(core, VAddr(vaddr));
+        let block = paddr.block();
+        match m.l1_lookup(core, block, write, now) {
+            L1LookupResult::Hit { cycles: c, .. } => cycles + c,
+            L1LookupResult::Miss => {
+                cycles += m.miss_fill(core, block, write, nc, now);
+                cycles
+            }
+        }
+    }
+
+    #[test]
+    fn coherent_read_fill_and_hit() {
+        let mut m = machine();
+        let c1 = access(&mut m, 0, 0x10_0000, false, false, 0);
+        assert!(c1 > m.cfg.lat.l1, "miss costs more than a hit");
+        let c2 = access(&mut m, 0, 0x10_0000, false, false, 10);
+        assert_eq!(c2, m.cfg.lat.tlb + m.cfg.lat.l1, "second access hits L1");
+        assert_eq!(m.stats.coherent_fills, 1);
+        m.check_invariants();
+    }
+
+    #[test]
+    fn read_then_remote_write_invalidates() {
+        let mut m = machine();
+        access(&mut m, 0, 0x10_0000, false, false, 0);
+        let (paddr0, _) = m.translate(0, VAddr(0x10_0000));
+        assert!(m.l1(0).probe(paddr0.block()).is_some(), "core 0 cached it");
+        // Core 1 writes the same data: core 0 must lose its copy.
+        access(&mut m, 1, 0x10_0000, true, false, 10);
+        let (paddr, _) = m.translate(0, VAddr(0x10_0000));
+        assert!(m.l1(0).probe(paddr.block()).is_none(), "core 0 invalidated");
+        assert!(m.stats.invalidations_sent >= 1);
+        m.check_invariants();
+    }
+
+    #[test]
+    fn dirty_remote_read_forwards_from_owner() {
+        let mut m = machine();
+        access(&mut m, 2, 0x10_0000, true, false, 0); // core 2 owns M
+        access(&mut m, 3, 0x10_0000, false, false, 10); // core 3 reads
+        assert_eq!(m.stats.owner_forwards, 1);
+        let (paddr, _) = m.translate(3, VAddr(0x10_0000));
+        // Both copies now Shared.
+        assert_eq!(m.l1(2).probe(paddr.block()).unwrap().state, L1State::Shared);
+        assert_eq!(m.l1(3).probe(paddr.block()).unwrap().state, L1State::Shared);
+        m.check_invariants();
+    }
+
+    #[test]
+    fn write_hit_shared_upgrades() {
+        let mut m = machine();
+        access(&mut m, 0, 0x10_0000, false, false, 0);
+        access(&mut m, 1, 0x10_0000, false, false, 5); // both shared
+        let before = m.stats.invalidations_sent;
+        access(&mut m, 0, 0x10_0000, true, false, 10); // core 0 upgrades
+        assert!(m.stats.invalidations_sent > before);
+        let (paddr, _) = m.translate(0, VAddr(0x10_0000));
+        assert_eq!(
+            m.l1(0).probe(paddr.block()).unwrap().state,
+            L1State::Modified
+        );
+        assert!(m.l1(1).probe(paddr.block()).is_none());
+        m.check_invariants();
+    }
+
+    #[test]
+    fn nc_fill_bypasses_directory() {
+        let mut m = machine();
+        let before = m.stats.dir_accesses;
+        access(&mut m, 0, 0x10_0000, false, true, 0);
+        assert_eq!(m.stats.dir_accesses, before, "NC path never touches dir");
+        assert_eq!(m.stats.nc_fills, 1);
+        let (paddr, _) = m.translate(0, VAddr(0x10_0000));
+        assert!(m.l1(0).probe(paddr.block()).unwrap().nc);
+        let home = m.home_of(paddr.block());
+        assert!(m.llc_bank(home).probe(paddr.block()).unwrap().nc);
+        assert!(m.dir_bank(home).probe(paddr.block()).is_none());
+        m.check_invariants();
+    }
+
+    #[test]
+    fn nc_to_coherent_transition_allocates_entry() {
+        let mut m = machine();
+        access(&mut m, 0, 0x10_0000, false, true, 0); // NC fill
+        m.flush_nc(0, 5); // leave only the LLC copy
+        access(&mut m, 1, 0x10_0000, false, false, 10); // coherent access
+        let (paddr, _) = m.translate(1, VAddr(0x10_0000));
+        let home = m.home_of(paddr.block());
+        assert!(m.dir_bank(home).probe(paddr.block()).is_some());
+        assert!(!m.llc_bank(home).probe(paddr.block()).unwrap().nc);
+        m.check_invariants();
+    }
+
+    #[test]
+    fn coherent_to_nc_transition_deallocates_entry() {
+        let mut m = machine();
+        access(&mut m, 0, 0x10_0000, false, false, 0); // coherent
+                                                       // Drop the private copy so the transition starts clean, as OpenMP's
+                                                       // flush semantics guarantee (§III-E).
+        let (paddr, _) = m.translate(0, VAddr(0x10_0000));
+        let home = m.home_of(paddr.block());
+        access(&mut m, 1, 0x10_0000, false, true, 10); // NC access
+        assert!(m.dir_bank(home).probe(paddr.block()).is_none());
+        assert!(m.llc_bank(home).probe(paddr.block()).unwrap().nc);
+        m.check_invariants();
+    }
+
+    #[test]
+    fn flush_nc_writes_back_dirty_lines() {
+        let mut m = machine();
+        access(&mut m, 0, 0x10_0000, true, true, 0); // dirty NC line
+        let wb_before = m.stats.l1_writebacks;
+        let cycles = m.flush_nc(0, 5);
+        assert!(cycles >= m.l1(0).num_lines() as u64);
+        assert_eq!(m.stats.nc_lines_flushed, 1);
+        assert_eq!(m.stats.l1_writebacks, wb_before + 1);
+        let (paddr, _) = m.translate(0, VAddr(0x10_0000));
+        assert!(m.l1(0).probe(paddr.block()).is_none());
+        let home = m.home_of(paddr.block());
+        assert!(m.llc_bank(home).probe(paddr.block()).unwrap().dirty);
+        m.check_invariants();
+    }
+
+    #[test]
+    fn directory_eviction_invalidates_llc_line() {
+        // Tiny directory (1:64 of 64-entry LLC banks → 8 entries = 1 set).
+        let mut cfg = small_cfg();
+        cfg.dir_ratio = 64;
+        let mut m = Machine::new(cfg);
+        // Touch many blocks that home on bank 0 (block % 16 == 0, i.e.
+        // vaddr stride 16*64 = 1 KiB), all coherent.
+        for i in 0..32u64 {
+            access(&mut m, 0, 0x10_0000 + i * 1024, false, false, i);
+        }
+        assert!(m.stats.dir_evictions > 0, "tiny directory must thrash");
+        assert!(m.stats.llc_inclusion_invalidations > 0);
+        m.check_invariants();
+    }
+
+    #[test]
+    fn full_directory_no_inclusion_invalidation_at_1to1() {
+        let mut m = machine(); // 1:1
+        for i in 0..32u64 {
+            access(&mut m, 0, 0x10_0000 + i * 1024, false, false, i);
+        }
+        assert_eq!(m.stats.llc_inclusion_invalidations, 0);
+        m.check_invariants();
+    }
+
+    #[test]
+    fn pt_page_flush_clears_core_blocks() {
+        let mut m = machine();
+        access(&mut m, 0, 0x10_0000, true, true, 0); // dirty NC (private page)
+        access(&mut m, 0, 0x10_0040, false, true, 1);
+        let (paddr, _) = m.translate(0, VAddr(0x10_0000));
+        let cycles = m.flush_page(0, paddr.page(), VAddr(0x10_0000).page(), 2);
+        assert!(cycles >= 200);
+        assert_eq!(m.stats.pt_flush_lines, 2);
+        assert!(m.l1(0).probe(paddr.block()).is_none());
+        m.check_invariants();
+    }
+
+    #[test]
+    fn adr_shrinks_idle_directory() {
+        let mut cfg = small_cfg();
+        cfg.adr = true;
+        let mut m = Machine::new(cfg);
+        // One coherent access per bank, then the controllers see ≤20 %.
+        for i in 0..64u64 {
+            access(&mut m, 0, 0x10_0000 + i * 64, false, false, i * 100);
+        }
+        assert!(m.stats.adr_reconfigs > 0, "ADR should shrink");
+        m.check_invariants();
+    }
+
+    #[test]
+    fn finalize_aggregates() {
+        let mut m = machine();
+        access(&mut m, 0, 0x10_0000, false, false, 0);
+        access(&mut m, 0, 0x10_0000, false, false, 5);
+        let stats = m.finalize(1000);
+        assert_eq!(stats.cycles, 1000);
+        assert_eq!(stats.l1_hits, 1);
+        assert_eq!(stats.l1_misses, 1);
+        assert!(stats.llc_misses >= 1);
+        assert!(stats.noc_traffic > 0);
+        assert!(stats.dir_avg_occupancy > 0.0);
+    }
+
+    #[test]
+    fn contention_adds_queueing_delay() {
+        let mut cfg = small_cfg();
+        cfg.bank_contention = true;
+        let mut m = Machine::new(cfg);
+        // Two different cores miss on blocks homed at the same bank at the
+        // same instant: the second must queue.
+        let c1 = access(&mut m, 0, 0x10_0000, false, false, 0);
+        let c2 = access(&mut m, 1, 0x10_0000 + 1024, false, false, 0);
+        assert!(
+            c2 > c1 || m.stats.bank_wait_cycles > 0,
+            "second same-bank request should wait: {c1} vs {c2}"
+        );
+        assert!(m.stats.bank_wait_cycles > 0);
+        // Without contention, no waits are recorded.
+        let mut m2 = Machine::new(small_cfg());
+        access(&mut m2, 0, 0x10_0000, false, false, 0);
+        access(&mut m2, 1, 0x10_0000 + 1024, false, false, 0);
+        assert_eq!(m2.stats.bank_wait_cycles, 0);
+    }
+
+    #[test]
+    fn write_through_updates_llc_and_keeps_l1_clean() {
+        let mut cfg = small_cfg();
+        cfg.l1_write_through = true;
+        let mut m = Machine::new(cfg);
+        access(&mut m, 0, 0x10_0000, true, false, 0); // write miss
+        access(&mut m, 0, 0x10_0000, true, false, 1); // write hit
+        assert_eq!(m.stats.write_throughs, 2);
+        let (paddr, _) = m.translate(0, VAddr(0x10_0000));
+        let line = m.l1(0).probe(paddr.block()).unwrap();
+        assert!(!line.dirty(), "WT caches never hold dirty lines");
+        let home = m.home_of(paddr.block());
+        assert!(m.llc_bank(home).probe(paddr.block()).unwrap().dirty);
+        m.check_invariants();
+    }
+
+    #[test]
+    fn write_through_flush_nc_writes_nothing_back() {
+        let mut cfg = small_cfg();
+        cfg.l1_write_through = true;
+        let mut m = Machine::new(cfg);
+        access(&mut m, 0, 0x10_0000, true, true, 0); // NC write
+        let wb_before = m.stats.l1_writebacks;
+        m.flush_nc(0, 1);
+        assert_eq!(m.stats.l1_writebacks, wb_before, "nothing dirty to flush");
+        assert_eq!(m.stats.nc_lines_flushed, 1);
+        m.check_invariants();
+    }
+
+    #[test]
+    fn write_back_mode_has_no_write_throughs() {
+        let mut m = machine();
+        access(&mut m, 0, 0x10_0000, true, false, 0);
+        access(&mut m, 0, 0x10_0000, true, false, 1);
+        assert_eq!(m.stats.write_throughs, 0);
+    }
+
+    #[test]
+    fn l1_eviction_writes_back_modified() {
+        // 256-byte L1: 4 lines, 2 ways, 2 sets. Same-set blocks: stride 128.
+        let mut cfg = small_cfg();
+        cfg.l1_bytes = 256;
+        let mut m = Machine::new(cfg);
+        access(&mut m, 0, 0x10_0000, true, false, 0);
+        access(&mut m, 0, 0x10_0000 + 128, true, false, 1);
+        let wb_before = m.stats.l1_writebacks;
+        access(&mut m, 0, 0x10_0000 + 256, true, false, 2); // evicts a dirty line
+        assert_eq!(m.stats.l1_writebacks, wb_before + 1);
+        m.check_invariants();
+    }
+}

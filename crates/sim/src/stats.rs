@@ -1,0 +1,194 @@
+//! Statistics for every metric the paper's evaluation reports.
+
+/// Counters accumulated over one simulation run.
+#[derive(Clone, Debug, Default)]
+pub struct Stats {
+    /// Execution cycles (Figure 6: "normalised cycles").
+    pub cycles: u64,
+
+    // --- L1 ---
+    /// L1 data cache hits.
+    pub l1_hits: u64,
+    /// L1 data cache misses.
+    pub l1_misses: u64,
+    /// Dirty L1 lines written back to the LLC (coherent PutM + NC
+    /// write-backs). §V-A1 tracks this for the Kmeans discussion.
+    pub l1_writebacks: u64,
+    /// Store-driven LLC updates under write-through private caches
+    /// (§III-C3's write-through variant; 0 under write-back).
+    pub write_throughs: u64,
+
+    // --- TLB ---
+    /// DTLB hits.
+    pub tlb_hits: u64,
+    /// DTLB misses (page walks).
+    pub tlb_misses: u64,
+
+    // --- Directory (Figure 7a / 8) ---
+    /// Directory bank accesses.
+    pub dir_accesses: u64,
+    /// Directory entry allocations.
+    pub dir_allocations: u64,
+    /// Directory entries evicted for capacity (inclusion victims).
+    pub dir_evictions: u64,
+    /// Average directory occupancy fraction at end of run (Figure 8).
+    pub dir_avg_occupancy: f64,
+    /// Access histogram by directory capacity `(entries_per_bank, count)` —
+    /// feeds the size-dependent energy model (Figures 7d, 10).
+    pub dir_access_hist: Vec<(u64, u64)>,
+    /// ∫ powered directory capacity dt (entry·cycles), for leakage.
+    pub dir_capacity_integral: u128,
+    /// ADR reconfigurations performed (Figure 9 discussion: "low number of
+    /// reconfigurations").
+    pub adr_reconfigs: u64,
+    /// Cycles directory banks spent blocked in ADR reconfigurations.
+    pub adr_blocked_cycles: u64,
+
+    // --- LLC (Figure 7b) ---
+    /// LLC hits.
+    pub llc_hits: u64,
+    /// LLC misses.
+    pub llc_misses: u64,
+    /// LLC lines invalidated because their directory entry was evicted
+    /// (the Directory→LLC inclusivity effect of §V-A3).
+    pub llc_inclusion_invalidations: u64,
+
+    // --- Coherence actions ---
+    /// Invalidation messages sent to private caches.
+    pub invalidations_sent: u64,
+    /// Owner-forwarded requests (dirty data supplied by a peer L1).
+    pub owner_forwards: u64,
+    /// L1 fills performed with the NC bit set.
+    pub nc_fills: u64,
+    /// L1 fills performed coherently.
+    pub coherent_fills: u64,
+
+    /// Cycles requests spent queued behind busy LLC/directory banks
+    /// (only non-zero with `MachineConfig::bank_contention`).
+    pub bank_wait_cycles: u64,
+
+    // --- NoC (Figure 7c) ---
+    /// Total flit·hops injected into the mesh.
+    pub noc_traffic: u64,
+    /// Total flits injected.
+    pub noc_flits: u64,
+
+    // --- Memory ---
+    /// Main-memory fetches.
+    pub mem_reads: u64,
+    /// Main-memory write-backs.
+    pub mem_writes: u64,
+
+    // --- RaCCD / PT mechanism costs ---
+    /// Cycles spent in `raccd_register` (iterative TLB translation).
+    pub register_cycles: u64,
+    /// Cycles spent in `raccd_invalidate` cache walks + flush write-backs.
+    pub invalidate_cycles: u64,
+    /// NC lines flushed by `raccd_invalidate`.
+    pub nc_lines_flushed: u64,
+    /// NCRT registrations that were dropped because the table was full.
+    pub ncrt_overflows: u64,
+    /// PT baseline: pages that transitioned private→shared.
+    pub pt_shared_transitions: u64,
+    /// PT baseline: L1 lines flushed by private→shared transitions.
+    pub pt_flush_lines: u64,
+
+    // --- Runtime ---
+    /// Tasks executed.
+    pub tasks_executed: u64,
+    /// Memory references replayed through the timing model.
+    pub refs_processed: u64,
+    /// Cycles hardware contexts spent non-idle (scheduling, registering,
+    /// executing, invalidating, waking) summed over contexts.
+    pub busy_cycles: u64,
+    /// Hardware contexts the run used (cores × SMT ways).
+    pub contexts: u64,
+    /// Tasks that executed on a different core than the task that woke
+    /// them (dynamic-scheduler migration — what makes data *temporarily
+    /// private*, §II-B).
+    pub task_migrations: u64,
+}
+
+impl Stats {
+    /// LLC hit ratio (Figure 7b). 0 when the LLC was never accessed.
+    pub fn llc_hit_ratio(&self) -> f64 {
+        let total = self.llc_hits + self.llc_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.llc_hits as f64 / total as f64
+        }
+    }
+
+    /// L1 hit ratio.
+    pub fn l1_hit_ratio(&self) -> f64 {
+        let total = self.l1_hits + self.l1_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.l1_hits as f64 / total as f64
+        }
+    }
+
+    /// Average hardware-context utilisation: busy cycles over
+    /// `contexts × total cycles`. A pipelined workload (Gauss) sits far
+    /// below an embarrassingly parallel one (Jacobi's first sweep).
+    pub fn utilization(&self) -> f64 {
+        if self.cycles == 0 || self.contexts == 0 {
+            0.0
+        } else {
+            self.busy_cycles as f64 / (self.cycles * self.contexts) as f64
+        }
+    }
+
+    /// Fraction of L1 fills that were non-coherent.
+    pub fn nc_fill_fraction(&self) -> f64 {
+        let total = self.nc_fills + self.coherent_fills;
+        if total == 0 {
+            0.0
+        } else {
+            self.nc_fills as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_handle_zero_totals() {
+        let s = Stats::default();
+        assert_eq!(s.llc_hit_ratio(), 0.0);
+        assert_eq!(s.l1_hit_ratio(), 0.0);
+        assert_eq!(s.nc_fill_fraction(), 0.0);
+    }
+
+    #[test]
+    fn utilization_bounds() {
+        let s = Stats {
+            cycles: 100,
+            contexts: 4,
+            busy_cycles: 200,
+            ..Stats::default()
+        };
+        assert!((s.utilization() - 0.5).abs() < 1e-12);
+        assert_eq!(Stats::default().utilization(), 0.0);
+    }
+
+    #[test]
+    fn ratios_compute() {
+        let s = Stats {
+            llc_hits: 3,
+            llc_misses: 1,
+            l1_hits: 9,
+            l1_misses: 1,
+            nc_fills: 1,
+            coherent_fills: 3,
+            ..Stats::default()
+        };
+        assert!((s.llc_hit_ratio() - 0.75).abs() < 1e-12);
+        assert!((s.l1_hit_ratio() - 0.9).abs() < 1e-12);
+        assert!((s.nc_fill_fraction() - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,280 @@
+//! **KNN** — "implements the K-nearest neighbours algorithm" (Table II:
+//! 16384 training points, 8192 points to classify, 4 dims, 4 classes).
+//!
+//! The training set is *shared read-only* data: every chunk task reads all
+//! of it. PT classifies those pages shared (coherent) after the second
+//! core touches them; RaCCD registers them as task inputs and keeps them
+//! non-coherent — one of the structural differences Figure 2 measures.
+
+use crate::scale::Scale;
+use raccd_mem::addr::VRange;
+use raccd_mem::{SimMemory, SplitMix64};
+use raccd_runtime::{Dep, Program, ProgramBuilder, Workload};
+
+/// The k-nearest-neighbours benchmark.
+pub struct Knn {
+    /// Training points.
+    pub train: u64,
+    /// Query points to classify.
+    pub queries: u64,
+    /// Dimensions.
+    pub dims: u64,
+    /// Classes.
+    pub classes: u64,
+    /// Neighbours considered.
+    pub k: u64,
+    /// Chunk tasks.
+    pub chunks: u64,
+    /// RNG seed for deterministic input data.
+    pub seed: u64,
+}
+
+impl Knn {
+    /// Configure for a scale (Paper: 16384 train, 8192 classify, 4 dims,
+    /// 4 classes).
+    pub fn new(scale: Scale) -> Self {
+        Knn {
+            train: scale.pick(256, 2048, 16384),
+            queries: scale.pick(128, 1024, 8192),
+            dims: 4,
+            classes: 4,
+            k: 4,
+            chunks: scale.pick(4, 16, 32),
+            seed: 0x4A11,
+        }
+    }
+
+    fn train_data(&self) -> (Vec<f32>, Vec<u8>) {
+        let mut rng = SplitMix64::new(self.seed);
+        let pts: Vec<f32> = (0..self.train * self.dims)
+            .map(|_| rng.next_f32())
+            .collect();
+        // Labels correlate with the first coordinate so classification is
+        // non-trivial but learnable.
+        let labels: Vec<u8> = (0..self.train as usize)
+            .map(|i| {
+                let x = pts[i * self.dims as usize];
+                ((x * self.classes as f32) as u64).min(self.classes - 1) as u8
+            })
+            .collect();
+        (pts, labels)
+    }
+
+    fn query_data(&self) -> Vec<f32> {
+        let mut rng = SplitMix64::new(self.seed ^ 0xFFFF);
+        (0..self.queries * self.dims)
+            .map(|_| rng.next_f32())
+            .collect()
+    }
+
+    fn classify(&self, q: &[f32], train: &[f32], labels: &[u8]) -> u8 {
+        let d = self.dims as usize;
+        // Exact k-NN by selection: indices of the k smallest distances,
+        // ties broken by lower index (deterministic).
+        let mut best: Vec<(f32, usize)> = Vec::with_capacity(self.k as usize + 1);
+        for t in 0..self.train as usize {
+            let mut dist = 0f32;
+            for j in 0..d {
+                let diff = q[j] - train[t * d + j];
+                dist += diff * diff;
+            }
+            let pos = best
+                .iter()
+                .position(|&(bd, bi)| dist < bd || (dist == bd && t < bi))
+                .unwrap_or(best.len());
+            best.insert(pos, (dist, t));
+            best.truncate(self.k as usize);
+        }
+        // Majority vote, ties → lowest class id.
+        let mut votes = vec![0u32; self.classes as usize];
+        for &(_, t) in &best {
+            votes[labels[t] as usize] += 1;
+        }
+        let mut win = 0usize;
+        for c in 1..votes.len() {
+            if votes[c] > votes[win] {
+                win = c;
+            }
+        }
+        win as u8
+    }
+
+    fn reference(&self) -> Vec<u8> {
+        let (train, labels) = self.train_data();
+        let queries = self.query_data();
+        let d = self.dims as usize;
+        (0..self.queries as usize)
+            .map(|q| self.classify(&queries[q * d..(q + 1) * d], &train, &labels))
+            .collect()
+    }
+}
+
+impl Workload for Knn {
+    fn name(&self) -> &str {
+        "KNN"
+    }
+
+    fn problem(&self) -> String {
+        format!(
+            "{} training pts, {} pts to classify, {} dims, {} classes",
+            self.train, self.queries, self.dims, self.classes
+        )
+    }
+
+    fn build(&self) -> Program {
+        let d = self.dims;
+        let mut b = ProgramBuilder::new();
+        let train = b.alloc("train", self.train * d * 4);
+        let labels = b.alloc("labels", self.train);
+        let queries = b.alloc("queries", self.queries * d * 4);
+        // Output labels as u32 with one cache-line-aligned stripe per chunk
+        // task, so independent tasks never false-share a block.
+        let chunk_list = crate::util::chunk_ranges(self.queries, self.chunks);
+        let max_chunk = chunk_list.iter().map(|&(a, z)| z - a).max().unwrap();
+        let out_stride = (max_chunk * 4).next_multiple_of(64);
+        let out = b.alloc("out", self.chunks * out_stride);
+
+        let (tdata, tlabels) = self.train_data();
+        for (i, &v) in tdata.iter().enumerate() {
+            b.mem().write_f32(train.start.offset(i as u64 * 4), v);
+        }
+        for (i, &l) in tlabels.iter().enumerate() {
+            b.mem().write_u8(labels.start.offset(i as u64), l);
+        }
+        for (i, &v) in self.query_data().iter().enumerate() {
+            b.mem().write_f32(queries.start.offset(i as u64 * 4), v);
+        }
+
+        let this = KnnParams {
+            train: self.train,
+            dims: self.dims,
+            classes: self.classes,
+            k: self.k,
+        };
+        for (c, &(q0, q1)) in chunk_list.iter().enumerate() {
+            let qchunk = VRange::new(queries.start.offset(q0 * d * 4), (q1 - q0) * d * 4);
+            let ochunk = VRange::new(out.start.offset(c as u64 * out_stride), (q1 - q0) * 4);
+            b.task(
+                "knn",
+                vec![
+                    Dep::input(train),
+                    Dep::input(labels),
+                    Dep::input(qchunk),
+                    Dep::output(ochunk),
+                ],
+                move |ctx| {
+                    // Stream the training set through the context once per
+                    // chunk (the cache hierarchy does the reuse).
+                    let mut tdata = vec![0f32; (this.train * this.dims) as usize];
+                    for i in 0..tdata.len() as u64 {
+                        tdata[i as usize] = ctx.read_f32(train.start.offset(i * 4));
+                    }
+                    let mut tlabels = vec![0u8; this.train as usize];
+                    for i in 0..this.train {
+                        tlabels[i as usize] = ctx.read_u8(labels.start.offset(i));
+                    }
+                    for q in q0..q1 {
+                        let mut qv = vec![0f32; this.dims as usize];
+                        for j in 0..this.dims {
+                            qv[j as usize] =
+                                ctx.read_f32(queries.start.offset((q * this.dims + j) * 4));
+                        }
+                        let label = this.classify(&qv, &tdata, &tlabels);
+                        ctx.write_u32(ochunk.start.offset((q - q0) * 4), label as u32);
+                    }
+                },
+            );
+        }
+        b.finish()
+    }
+
+    fn verify(&self, mem: &SimMemory) -> Result<(), String> {
+        let expect = self.reference();
+        let base = mem.allocations()[3].1.start;
+        let chunk_list = crate::util::chunk_ranges(self.queries, self.chunks);
+        let max_chunk = chunk_list.iter().map(|&(a, z)| z - a).max().unwrap();
+        let out_stride = (max_chunk * 4).next_multiple_of(64);
+        for (c, &(q0, q1)) in chunk_list.iter().enumerate() {
+            for q in q0..q1 {
+                let got = mem.read_u32(base.offset(c as u64 * out_stride + (q - q0) * 4));
+                let want = expect[q as usize] as u32;
+                if got != want {
+                    return Err(format!("query {q}: got class {got}, want {want}"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Copyable classification parameters shared by task bodies and reference.
+#[derive(Clone, Copy)]
+struct KnnParams {
+    train: u64,
+    dims: u64,
+    classes: u64,
+    k: u64,
+}
+
+impl KnnParams {
+    fn classify(&self, q: &[f32], train: &[f32], labels: &[u8]) -> u8 {
+        let w = Knn {
+            train: self.train,
+            queries: 0,
+            dims: self.dims,
+            classes: self.classes,
+            k: self.k,
+            chunks: 1,
+            seed: 0,
+        };
+        w.classify(q, train, labels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn functional_run_matches_reference() {
+        let w = Knn::new(Scale::Test);
+        let mut p = w.build();
+        p.run_functional();
+        w.verify(&p.mem).expect("labels match");
+    }
+
+    #[test]
+    fn classification_is_sane() {
+        // A query identical to a training point must get that point's
+        // label when k = 1.
+        let w = Knn {
+            train: 64,
+            queries: 1,
+            dims: 4,
+            classes: 4,
+            k: 1,
+            chunks: 1,
+            seed: 0x4A11,
+        };
+        let (train, labels) = w.train_data();
+        let q: Vec<f32> = train[0..4].to_vec();
+        assert_eq!(w.classify(&q, &train, &labels), labels[0]);
+    }
+
+    #[test]
+    fn all_chunk_tasks_independent() {
+        let w = Knn::new(Scale::Test);
+        let p = w.build();
+        assert_eq!(p.graph.len() as u64, w.chunks);
+        assert_eq!(p.graph.initially_ready().len() as u64, w.chunks);
+        assert_eq!(p.graph.edges(), 0);
+    }
+
+    #[test]
+    fn labels_span_multiple_classes() {
+        let w = Knn::new(Scale::Test);
+        let got = w.reference();
+        let distinct: std::collections::HashSet<u8> = got.into_iter().collect();
+        assert!(distinct.len() >= 2, "classifier should not be constant");
+    }
+}

@@ -1,0 +1,239 @@
+//! **MD5** — "cryptographically hashes random input buffers" (Table II:
+//! 128 buffers of 512 KB). Streaming reads with almost no reuse: LLC
+//! accesses are dominated by compulsory misses, so neither directory
+//! capacity nor coherence deactivation moves the needle much (§V-A3).
+//!
+//! The digest implementation is a from-scratch RFC 1321 MD5, validated
+//! against the RFC's official test vectors.
+
+use crate::scale::Scale;
+use raccd_mem::addr::VRange;
+use raccd_mem::{SimMemory, SplitMix64};
+use raccd_runtime::{Dep, Program, ProgramBuilder, Workload};
+
+/// Per-round shift amounts (RFC 1321).
+const S: [u32; 64] = [
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, //
+    5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, //
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, //
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21,
+];
+
+/// Sine-derived constants `K[i] = floor(2^32 · |sin(i+1)|)` (RFC 1321).
+fn k(i: usize) -> u32 {
+    ((i as f64 + 1.0).sin().abs() * 4294967296.0) as u32
+}
+
+/// MD5 of a byte slice (RFC 1321).
+#[allow(clippy::needless_range_loop)] // index i feeds S[i], K(i) and the schedule
+pub fn md5(data: &[u8]) -> [u8; 16] {
+    let mut a0: u32 = 0x67452301;
+    let mut b0: u32 = 0xefcdab89;
+    let mut c0: u32 = 0x98badcfe;
+    let mut d0: u32 = 0x10325476;
+
+    // Padded message: data ‖ 0x80 ‖ zeros ‖ bit-length (LE, 64-bit).
+    let bit_len = (data.len() as u64).wrapping_mul(8);
+    let mut msg = data.to_vec();
+    msg.push(0x80);
+    while msg.len() % 64 != 56 {
+        msg.push(0);
+    }
+    msg.extend_from_slice(&bit_len.to_le_bytes());
+
+    for chunk in msg.chunks_exact(64) {
+        let mut m = [0u32; 16];
+        for (i, w) in m.iter_mut().enumerate() {
+            *w = u32::from_le_bytes(chunk[i * 4..i * 4 + 4].try_into().unwrap());
+        }
+        let (mut a, mut b, mut c, mut d) = (a0, b0, c0, d0);
+        for i in 0..64 {
+            let (f, g) = match i / 16 {
+                0 => ((b & c) | (!b & d), i),
+                1 => ((d & b) | (!d & c), (5 * i + 1) % 16),
+                2 => (b ^ c ^ d, (3 * i + 5) % 16),
+                _ => (c ^ (b | !d), (7 * i) % 16),
+            };
+            let tmp = d;
+            d = c;
+            c = b;
+            b = b.wrapping_add(
+                a.wrapping_add(f)
+                    .wrapping_add(k(i))
+                    .wrapping_add(m[g])
+                    .rotate_left(S[i]),
+            );
+            a = tmp;
+        }
+        a0 = a0.wrapping_add(a);
+        b0 = b0.wrapping_add(b);
+        c0 = c0.wrapping_add(c);
+        d0 = d0.wrapping_add(d);
+    }
+
+    let mut out = [0u8; 16];
+    out[0..4].copy_from_slice(&a0.to_le_bytes());
+    out[4..8].copy_from_slice(&b0.to_le_bytes());
+    out[8..12].copy_from_slice(&c0.to_le_bytes());
+    out[12..16].copy_from_slice(&d0.to_le_bytes());
+    out
+}
+
+/// The MD5 benchmark: one task per buffer.
+pub struct Md5Bench {
+    /// Buffers to hash.
+    pub buffers: u64,
+    /// Bytes per buffer.
+    pub buf_len: u64,
+    /// RNG seed for deterministic input data.
+    pub seed: u64,
+}
+
+impl Md5Bench {
+    /// Configure for a scale (Paper: 128 buffers of 512 KB).
+    pub fn new(scale: Scale) -> Self {
+        Md5Bench {
+            buffers: scale.pick(8, 64, 128),
+            buf_len: scale.pick(4 * 1024, 64 * 1024, 512 * 1024),
+            seed: 0x3D5,
+        }
+    }
+
+    fn buffer(&self, i: u64) -> Vec<u8> {
+        let mut rng = SplitMix64::new(self.seed.wrapping_add(i * 7919));
+        (0..self.buf_len).map(|_| rng.next_u32() as u8).collect()
+    }
+}
+
+impl Workload for Md5Bench {
+    fn name(&self) -> &str {
+        "MD5"
+    }
+
+    fn problem(&self) -> String {
+        format!(
+            "{} buffers of {}KB to hash",
+            self.buffers,
+            self.buf_len / 1024
+        )
+    }
+
+    fn build(&self) -> Program {
+        let mut b = ProgramBuilder::new();
+        let data = b.alloc("buffers", self.buffers * self.buf_len);
+        // One cache line per digest: 16 digest bytes padded to 64 so
+        // independent tasks never false-share a block (and the TDG's
+        // block-granularity region map sees them as disjoint).
+        let digests = b.alloc("digests", self.buffers * 64);
+        for i in 0..self.buffers {
+            b.mem()
+                .write_bytes(data.start.offset(i * self.buf_len), &self.buffer(i));
+        }
+
+        let buf_len = self.buf_len;
+        for i in 0..self.buffers {
+            let buf = VRange::new(data.start.offset(i * buf_len), buf_len);
+            let dig = VRange::new(digests.start.offset(i * 64), 16);
+            b.task("md5", vec![Dep::input(buf), Dep::output(dig)], move |ctx| {
+                // Stream the buffer in (traced word reads), hash, write
+                // the digest out.
+                let mut bytes = Vec::with_capacity(buf_len as usize);
+                let words = buf_len / 8;
+                for w in 0..words {
+                    let v = ctx.read_u64(buf.start.offset(w * 8));
+                    bytes.extend_from_slice(&v.to_le_bytes());
+                }
+                for o in words * 8..buf_len {
+                    bytes.push(ctx.read_u8(buf.start.offset(o)));
+                }
+                let d = md5(&bytes);
+                for (j, chunk) in d.chunks_exact(4).enumerate() {
+                    ctx.write_u32(
+                        dig.start.offset(j as u64 * 4),
+                        u32::from_le_bytes(chunk.try_into().unwrap()),
+                    );
+                }
+            });
+        }
+        b.finish()
+    }
+
+    fn verify(&self, mem: &SimMemory) -> Result<(), String> {
+        let base = mem.allocations()[1].1.start;
+        for i in 0..self.buffers {
+            let want = md5(&self.buffer(i));
+            let got = mem.bytes(base.offset(i * 64), 16);
+            if got != want {
+                return Err(format!("buffer {i}: digest mismatch"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(d: [u8; 16]) -> String {
+        d.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn rfc1321_test_vectors() {
+        assert_eq!(hex(md5(b"")), "d41d8cd98f00b204e9800998ecf8427e");
+        assert_eq!(hex(md5(b"a")), "0cc175b9c0f1b6a831c399e269772661");
+        assert_eq!(hex(md5(b"abc")), "900150983cd24fb0d6963f7d28e17f72");
+        assert_eq!(
+            hex(md5(b"message digest")),
+            "f96b697d7cb7938d525a2f31aaf161d0"
+        );
+        assert_eq!(
+            hex(md5(b"abcdefghijklmnopqrstuvwxyz")),
+            "c3fcd3d76192e4007dfb496cca67e13b"
+        );
+        assert_eq!(
+            hex(md5(
+                b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"
+            )),
+            "d174ab98d277d9f5a5611c2c9f419d9f"
+        );
+        assert_eq!(
+            hex(md5(
+                b"12345678901234567890123456789012345678901234567890123456789012345678901234567890"
+            )),
+            "57edf4a22be3c955ac49da2e2107b67a"
+        );
+    }
+
+    #[test]
+    fn padding_boundaries() {
+        // Lengths around the 56-byte padding boundary and block multiples.
+        for len in [55usize, 56, 57, 63, 64, 65, 127, 128] {
+            let data = vec![0xABu8; len];
+            let d = md5(&data);
+            // Self-consistency: hashing twice must agree, and differ from a
+            // one-byte change.
+            assert_eq!(d, md5(&data));
+            let mut data2 = data.clone();
+            data2[len / 2] ^= 1;
+            assert_ne!(d, md5(&data2));
+        }
+    }
+
+    #[test]
+    fn functional_run_matches_digests() {
+        let w = Md5Bench::new(Scale::Test);
+        let mut p = w.build();
+        p.run_functional();
+        w.verify(&p.mem).expect("digests match");
+    }
+
+    #[test]
+    fn all_tasks_independent_streaming() {
+        let w = Md5Bench::new(Scale::Test);
+        let p = w.build();
+        assert_eq!(p.graph.len() as u64, w.buffers);
+        assert_eq!(p.graph.edges(), 0, "buffers are independent");
+    }
+}

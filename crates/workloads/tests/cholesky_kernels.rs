@@ -1,0 +1,51 @@
+//! Property tests of the Cholesky workload end-to-end on random SPD
+//! matrices: tile sizes, tile counts and seeds must all produce valid
+//! factorisations (the tiled algorithm is numerically equivalent to the
+//! textbook one).
+
+use proptest::prelude::*;
+use raccd_runtime::Workload;
+use raccd_workloads::cholesky::Cholesky;
+use raccd_workloads::Scale;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn tiled_factorisation_verifies(
+        tiles in 1u64..5,
+        t in prop_oneof![Just(4u64), Just(8), Just(16)],
+        seed in 0u64..1000,
+    ) {
+        let w = Cholesky { tiles, t, seed };
+        let mut p = w.build();
+        p.run_functional();
+        prop_assert!(w.verify(&p.mem).is_ok(), "tiles={tiles} t={t} seed={seed}");
+    }
+
+    #[test]
+    fn task_count_formula_holds(tiles in 1u64..7) {
+        let w = Cholesky { tiles, t: 4, seed: 1 };
+        let p = w.build();
+        let gemms = tiles * (tiles.saturating_sub(1)) * (tiles.saturating_sub(2)) / 6;
+        let expect = tiles + tiles * (tiles.saturating_sub(1)) + gemms;
+        prop_assert_eq!(p.graph.len() as u64, expect);
+    }
+
+    #[test]
+    fn critical_path_starts_at_first_potrf(tiles in 2u64..6) {
+        let w = Cholesky { tiles, t: 4, seed: 2 };
+        let p = w.build();
+        prop_assert_eq!(p.graph.initially_ready(), vec![0]);
+    }
+}
+
+#[test]
+fn default_scales_verify() {
+    for scale in [Scale::Test, Scale::Bench] {
+        let w = Cholesky::new(scale);
+        let mut p = w.build();
+        p.run_functional();
+        assert!(w.verify(&p.mem).is_ok(), "{scale}");
+    }
+}

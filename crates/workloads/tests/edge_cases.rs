@@ -1,0 +1,221 @@
+//! Edge-case coverage for every benchmark: degenerate sizes, awkward
+//! alignments and parameter extremes must still build valid TDGs and
+//! verify against their references.
+
+use raccd_runtime::Workload;
+use raccd_workloads::*;
+
+fn run_and_verify(w: &dyn Workload) {
+    let mut p = w.build();
+    p.run_functional();
+    if let Err(e) = w.verify(&p.mem) {
+        panic!("{} failed: {e}", w.name());
+    }
+}
+
+#[test]
+fn jacobi_single_block_is_sequential() {
+    run_and_verify(&jacobi::Jacobi {
+        n: 16,
+        iters: 3,
+        blocks: 1,
+        ..jacobi::Jacobi::new(Scale::Test)
+    });
+}
+
+#[test]
+fn jacobi_more_blocks_than_rows_collapses() {
+    // chunk_ranges hands some blocks zero rows; their tasks are no-ops.
+    run_and_verify(&jacobi::Jacobi {
+        n: 8,
+        iters: 2,
+        blocks: 16,
+        ..jacobi::Jacobi::new(Scale::Test)
+    });
+}
+
+#[test]
+fn gauss_single_block() {
+    run_and_verify(&gauss::Gauss {
+        n: 12,
+        iters: 2,
+        blocks: 1,
+        ..gauss::Gauss::new(Scale::Test)
+    });
+}
+
+#[test]
+fn gauss_minimal_grid() {
+    // 3×3: exactly one interior cell.
+    run_and_verify(&gauss::Gauss {
+        n: 3,
+        iters: 4,
+        blocks: 2,
+        ..gauss::Gauss::new(Scale::Test)
+    });
+}
+
+#[test]
+fn redblack_single_iteration_one_block() {
+    run_and_verify(&redblack::RedBlack {
+        n: 8,
+        iters: 1,
+        blocks: 1,
+        ..redblack::RedBlack::new(Scale::Test)
+    });
+}
+
+#[test]
+fn histo_one_chunk_skips_merge_tree() {
+    let w = histo::Histo {
+        side: 32,
+        bins: 50,
+        chunks: 1,
+        ..histo::Histo::new(Scale::Test)
+    };
+    let p = w.build();
+    // 2 weave tasks + 0 merges + 1 scan.
+    assert_eq!(p.graph.len(), 3);
+    run_and_verify(&w);
+}
+
+#[test]
+fn histo_odd_side_with_uneven_bands() {
+    run_and_verify(&histo::Histo {
+        side: 37,
+        bins: 50,
+        chunks: 8,
+        ..histo::Histo::new(Scale::Test)
+    });
+}
+
+#[test]
+fn kmeans_n_equals_k() {
+    run_and_verify(&kmeans::Kmeans {
+        n: 6,
+        dims: 2,
+        k: 6,
+        iters: 2,
+        chunks: 2,
+        ..kmeans::Kmeans::new(Scale::Test)
+    });
+}
+
+#[test]
+fn kmeans_single_dimension() {
+    run_and_verify(&kmeans::Kmeans {
+        n: 64,
+        dims: 1,
+        k: 6,
+        iters: 3,
+        chunks: 4,
+        ..kmeans::Kmeans::new(Scale::Test)
+    });
+}
+
+#[test]
+fn knn_k_one_and_single_query_chunk() {
+    run_and_verify(&knn::Knn {
+        train: 32,
+        queries: 5,
+        dims: 4,
+        classes: 4,
+        k: 1,
+        chunks: 1,
+        ..knn::Knn::new(Scale::Test)
+    });
+}
+
+#[test]
+fn knn_k_equals_train_size() {
+    // Every training point votes.
+    run_and_verify(&knn::Knn {
+        train: 8,
+        queries: 4,
+        dims: 2,
+        classes: 4,
+        k: 8,
+        chunks: 2,
+        ..knn::Knn::new(Scale::Test)
+    });
+}
+
+#[test]
+fn md5_non_word_multiple_buffer() {
+    // Exercises the tail-byte path of the streaming reader and MD5's
+    // padding boundaries.
+    run_and_verify(&md5::Md5Bench {
+        buffers: 3,
+        buf_len: 4097,
+        ..md5::Md5Bench::new(Scale::Test)
+    });
+}
+
+#[test]
+fn md5_tiny_buffers() {
+    run_and_verify(&md5::Md5Bench {
+        buffers: 4,
+        buf_len: 56, // the classic padding corner
+        ..md5::Md5Bench::new(Scale::Test)
+    });
+}
+
+#[test]
+fn jpeg_single_mcu() {
+    let w = jpeg::Jpeg {
+        mcus_x: 1,
+        mcus_y: 1,
+        ..jpeg::Jpeg::new(Scale::Test)
+    };
+    let p = w.build();
+    assert_eq!(p.graph.len(), 1);
+    run_and_verify(&w);
+}
+
+#[test]
+fn cg_minimal_grid() {
+    run_and_verify(&cg::Cg {
+        g: 2,
+        iters: 2,
+        chunks: 2,
+        ..cg::Cg::new(Scale::Test)
+    });
+}
+
+#[test]
+fn cg_single_chunk_serialises() {
+    run_and_verify(&cg::Cg {
+        g: 4,
+        iters: 1,
+        chunks: 1,
+        ..cg::Cg::new(Scale::Test)
+    });
+}
+
+#[test]
+fn cholesky_single_tile_is_pure_potrf() {
+    let w = cholesky::Cholesky {
+        tiles: 1,
+        t: 8,
+        ..cholesky::Cholesky::new(Scale::Test)
+    };
+    let p = w.build();
+    assert_eq!(p.graph.len(), 1, "just one potrf");
+    run_and_verify(&w);
+}
+
+#[test]
+fn cholesky_two_tiles() {
+    run_and_verify(&cholesky::Cholesky {
+        tiles: 2,
+        t: 8,
+        ..cholesky::Cholesky::new(Scale::Test)
+    });
+}
+
+#[test]
+fn all_benchmarks_have_nonempty_problem_strings() {
+    for w in all_benchmarks(Scale::Paper) {
+        assert!(!w.problem().is_empty(), "{}", w.name());
+    }
+}

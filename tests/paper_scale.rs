@@ -1,0 +1,57 @@
+//! Paper-scale smoke tests. The full Table I machine (32 MiB LLC,
+//! 524288-entry directory) with Table II problem sizes is slow in a unit
+//! test, so the full-size runs are `#[ignore]`d — run them with
+//! `cargo test --release --test paper_scale -- --ignored`.
+
+use raccd::core::{CoherenceMode, Experiment};
+use raccd::sim::MachineConfig;
+use raccd::workloads::{all_benchmarks, Scale};
+
+#[test]
+fn paper_machine_with_test_inputs() {
+    // The Table I machine geometry must work with any problem size.
+    for w in all_benchmarks(Scale::Test).iter().take(3) {
+        let run = Experiment::new(MachineConfig::paper(), CoherenceMode::Raccd).run(w.as_ref());
+        assert!(run.verified, "{}: {:?}", w.name(), run.verify_error);
+    }
+}
+
+#[test]
+#[ignore = "minutes-long: full Table I machine + Table II problem sizes"]
+fn paper_machine_with_paper_inputs() {
+    for w in all_benchmarks(Scale::Paper) {
+        for mode in CoherenceMode::ALL {
+            let run = Experiment::new(MachineConfig::paper(), mode).run(w.as_ref());
+            assert!(
+                run.verified,
+                "{} under {mode} at paper scale: {:?}",
+                w.name(),
+                run.verify_error
+            );
+        }
+    }
+}
+
+#[test]
+#[ignore = "minutes-long: paper-scale Jacobi directory sweep"]
+fn paper_scale_jacobi_shape() {
+    let w = &all_benchmarks(Scale::Paper)[3];
+    let full_1 = Experiment::new(MachineConfig::paper(), CoherenceMode::FullCoh).run(w.as_ref());
+    let full_256 = Experiment::new(
+        MachineConfig::paper().with_dir_ratio(256),
+        CoherenceMode::FullCoh,
+    )
+    .run(w.as_ref());
+    let raccd_256 = Experiment::new(
+        MachineConfig::paper().with_dir_ratio(256),
+        CoherenceMode::Raccd,
+    )
+    .run(w.as_ref());
+    let full_slow = full_256.stats.cycles as f64 / full_1.stats.cycles as f64;
+    let raccd_slow = raccd_256.stats.cycles as f64 / full_1.stats.cycles as f64;
+    assert!(full_slow > 1.3, "FullCoh 1:256 slowdown {full_slow:.2}");
+    assert!(
+        raccd_slow < full_slow,
+        "RaCCD {raccd_slow:.2} beats FullCoh"
+    );
+}

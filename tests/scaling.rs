@@ -1,0 +1,76 @@
+//! Machine-scaling tests: the simulator is parameterised in core count
+//! (mesh k×k), so RaCCD's claims can be examined beyond Table I's 16
+//! cores — the motivation of the paper is precisely directory scalability
+//! "with increasing core counts" (§I).
+
+use raccd::core::{CoherenceMode, Experiment};
+use raccd::sim::MachineConfig;
+use raccd::workloads::{jacobi::Jacobi, Scale};
+
+fn machine(cores: usize) -> MachineConfig {
+    let mut cfg = MachineConfig::scaled();
+    cfg.mesh_k = (cores as f64).sqrt() as usize;
+    cfg.ncores = cores;
+    // Keep total LLC constant so per-bank capacity shrinks with cores.
+    cfg.llc_entries_per_bank = 32768 / cores;
+    cfg
+}
+
+#[test]
+fn four_core_machine_works() {
+    let w = Jacobi::new(Scale::Test);
+    for mode in CoherenceMode::ALL {
+        let run = Experiment::new(machine(4), mode).run(&w);
+        assert!(run.verified, "{mode}: {:?}", run.verify_error);
+    }
+}
+
+#[test]
+fn sixty_four_core_machine_works() {
+    let w = Jacobi::new(Scale::Test);
+    let run = Experiment::new(machine(64), CoherenceMode::Raccd).run(&w);
+    assert!(run.verified, "{:?}", run.verify_error);
+    assert_eq!(run.stats.contexts, 64);
+}
+
+#[test]
+fn raccd_directory_reduction_survives_scaling() {
+    // The headline effect must hold at every core count: RaCCD needs a
+    // small fraction of the baseline's directory accesses.
+    let w = Jacobi::new(Scale::Test);
+    for cores in [4usize, 16, 64] {
+        let full = Experiment::new(machine(cores), CoherenceMode::FullCoh).run(&w);
+        let raccd = Experiment::new(machine(cores), CoherenceMode::Raccd).run(&w);
+        let ratio = raccd.stats.dir_accesses as f64 / full.stats.dir_accesses.max(1) as f64;
+        assert!(
+            ratio < 0.3,
+            "{cores} cores: RaCCD/FullCoh dir accesses = {ratio:.3}"
+        );
+    }
+}
+
+#[test]
+fn utilization_reported_and_bounded() {
+    let w = Jacobi::new(Scale::Test);
+    let run = Experiment::new(MachineConfig::scaled(), CoherenceMode::Raccd).run(&w);
+    let u = run.stats.utilization();
+    assert!(u > 0.0 && u <= 1.0, "utilization {u}");
+}
+
+#[test]
+fn pipelined_workload_has_lower_utilization_than_parallel() {
+    use raccd::workloads::gauss::Gauss;
+    let cfg = MachineConfig::scaled();
+    let jacobi = Experiment::new(cfg, CoherenceMode::FullCoh)
+        .run(&Jacobi::new(Scale::Test))
+        .stats
+        .utilization();
+    let gauss = Experiment::new(cfg, CoherenceMode::FullCoh)
+        .run(&Gauss::new(Scale::Test))
+        .stats
+        .utilization();
+    assert!(
+        gauss < jacobi,
+        "pipelined Gauss {gauss:.3} vs parallel Jacobi {jacobi:.3}"
+    );
+}

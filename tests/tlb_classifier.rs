@@ -1,0 +1,83 @@
+//! End-to-end tests of the §II-B TLB-based classifier extension: it must
+//! preserve semantics, approach RaCCD's classification accuracy on
+//! migration-heavy workloads, and pay the hardware costs RaCCD avoids.
+
+use raccd::core::{CoherenceMode, Experiment};
+use raccd::sim::MachineConfig;
+use raccd::workloads::{all_benchmarks, jacobi::Jacobi, Scale};
+
+#[test]
+fn tlb_mode_verifies_on_all_benchmarks() {
+    for w in all_benchmarks(Scale::Test) {
+        let run = Experiment::new(MachineConfig::scaled(), CoherenceMode::TlbClass).run(w.as_ref());
+        assert!(run.verified, "{}: {:?}", w.name(), run.verify_error);
+    }
+}
+
+fn pressured_jacobi() -> Jacobi {
+    Jacobi {
+        n: 256,
+        iters: 2,
+        blocks: 16,
+        ..Jacobi::new(Scale::Test)
+    }
+}
+
+#[test]
+fn tlb_recovers_temporarily_private_data_pt_cannot() {
+    // On a migration-heavy stencil, the TLB classifier's recovery after
+    // entry eviction/decay beats PT's irreversible classification.
+    let w = pressured_jacobi();
+    let cfg = MachineConfig::scaled();
+    let pt = Experiment::new(cfg, CoherenceMode::PageTable).run(&w);
+    let tlb = Experiment::new(cfg, CoherenceMode::TlbClass).run(&w);
+    let raccd = Experiment::new(cfg, CoherenceMode::Raccd).run(&w);
+    let (p, t, r) = (
+        pt.census.noncoherent_pct(),
+        tlb.census.noncoherent_pct(),
+        raccd.census.noncoherent_pct(),
+    );
+    assert!(t > p, "TLB {t:.1}% must beat PT {p:.1}%");
+    assert!(r >= t, "RaCCD {r:.1}% is the accuracy ceiling ({t:.1}%)");
+}
+
+#[test]
+fn tlb_reduces_directory_pressure_like_raccd() {
+    let w = pressured_jacobi();
+    let cfg = MachineConfig::scaled();
+    let full = Experiment::new(cfg, CoherenceMode::FullCoh).run(&w);
+    let tlb = Experiment::new(cfg, CoherenceMode::TlbClass).run(&w);
+    assert!(
+        (tlb.stats.dir_accesses as f64) < 0.5 * full.stats.dir_accesses as f64,
+        "TLB {} vs FullCoh {}",
+        tlb.stats.dir_accesses,
+        full.stats.dir_accesses
+    );
+    assert!(tlb.stats.dir_avg_occupancy < full.stats.dir_avg_occupancy);
+}
+
+#[test]
+fn tlb_mode_is_deterministic() {
+    let w = pressured_jacobi();
+    let cfg = MachineConfig::scaled();
+    let a = Experiment::new(cfg, CoherenceMode::TlbClass).run(&w);
+    let b = Experiment::new(cfg, CoherenceMode::TlbClass).run(&w);
+    assert_eq!(a.stats.cycles, b.stats.cycles);
+    assert_eq!(a.census, b.census);
+}
+
+#[test]
+fn tlb_pays_flush_costs_raccd_avoids_at_small_tlb() {
+    // Shrink the TLB so inclusivity flushes fire constantly: the §II-B
+    // "costly TLB invalidations" overhead appears as page-flush work that
+    // RaCCD does not have.
+    let mut cfg = MachineConfig::scaled();
+    cfg.tlb_entries = 16;
+    let w = pressured_jacobi();
+    let tlb = Experiment::new(cfg, CoherenceMode::TlbClass).run(&w);
+    assert!(tlb.verified);
+    assert!(
+        tlb.stats.pt_flush_lines > 0,
+        "TLB–L1 inclusivity must flush lines on TLB evictions"
+    );
+}
