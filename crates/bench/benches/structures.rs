@@ -75,7 +75,11 @@ fn bench_tlb(c: &mut Criterion) {
         let mut i = 0u64;
         b.iter(|| {
             // 7/8 hits, 1/8 misses with LRU eviction.
-            let page = if i.is_multiple_of(8) { 1000 + i } else { i % 256 };
+            let page = if i.is_multiple_of(8) {
+                1000 + i
+            } else {
+                i % 256
+            };
             if t.lookup(PageNum(page)).is_none() {
                 t.fill(PageNum(page), PageNum(page + 1000));
             }

@@ -1,8 +1,10 @@
 //! Ablation studies for the design choices DESIGN.md calls out.
 //!
-//! Usage: `ablations [--scale ...] [ncrt|wt|adr|stack|smt|jitterless]`
-//! (default: all sections). Each section varies one knob with everything
-//! else at the paper defaults:
+//! Usage: `ablations [--scale ...] [--telemetry dir/]
+//! [ncrt|wt|adr|stack|smt|jitterless]` (default: all sections). Each
+//! section varies one knob with everything else at the paper defaults;
+//! with `--telemetry` every run dumps its artifact set into
+//! `dir/runNNN_<bench>_<mode>/`. Sections:
 //!
 //! * `ncrt`  — NCRT capacity 4/8/16/32/64 entries: how much coverage is
 //!   lost to overflow (§III-C2's "if no space is available ... accesses
@@ -18,22 +20,65 @@
 //! * `jitterless` — scheduler jitter sensitivity: determinism of results
 //!   under the task-migration model.
 
-use raccd_bench::{config_for_scale, mean, scale_from_args};
+use raccd_bench::{config_for_scale, mean, scale_from_args, telemetry_dir_from_args};
 use raccd_core::{CoherenceMode, Experiment};
 use raccd_energy::EnergyModel;
+use raccd_obs::Recorder;
 use raccd_sim::MachineConfig;
 use raccd_workloads::{all_benchmarks, Scale};
+use std::cell::Cell;
+use std::path::PathBuf;
 
 /// Benchmarks used for ablations (a migration-heavy subset keeps runtime
 /// reasonable: Jacobi, Kmeans, Histo).
 const ABLATION_BENCHES: [usize; 3] = [3, 5, 2];
 
-fn run_all(cfg: MachineConfig, mode: CoherenceMode, scale: Scale) -> Vec<raccd_core::RunResult> {
+/// Optional per-run telemetry capture (`--telemetry <dir>`): each simulated
+/// run writes its artifact set into `dir/runNNN_<bench>_<mode>/`.
+struct Telemetry {
+    dir: Option<PathBuf>,
+    n: Cell<usize>,
+}
+
+impl Telemetry {
+    fn from_args(args: &[String]) -> Self {
+        Telemetry {
+            dir: telemetry_dir_from_args(args),
+            n: Cell::new(0),
+        }
+    }
+
+    fn capture(&self, rec: &Recorder, bench: &str, mode: CoherenceMode) {
+        let Some(dir) = &self.dir else { return };
+        let i = self.n.get();
+        self.n.set(i + 1);
+        let sub = dir.join(format!("run{i:03}_{bench}_{mode}"));
+        raccd_bench::write_telemetry(rec, &sub)
+            .unwrap_or_else(|e| panic!("writing telemetry to {}: {e}", sub.display()));
+    }
+}
+
+fn run_all(
+    cfg: MachineConfig,
+    mode: CoherenceMode,
+    scale: Scale,
+    tel: &Telemetry,
+) -> Vec<raccd_core::RunResult> {
     ABLATION_BENCHES
         .iter()
         .map(|&b| {
             let ws = all_benchmarks(scale);
-            let r = Experiment::new(cfg, mode).run(ws[b].as_ref());
+            let r = if tel.dir.is_some() {
+                let mut cfg = cfg;
+                cfg.record_events = true;
+                let mut rec = Recorder::default();
+                let r =
+                    Experiment::new(cfg, mode).run_with_recorder(ws[b].as_ref(), Some(&mut rec));
+                tel.capture(&rec, ws[b].name(), mode);
+                r
+            } else {
+                Experiment::new(cfg, mode).run(ws[b].as_ref())
+            };
             assert!(r.verified, "{}: {:?}", ws[b].name(), r.verify_error);
             r
         })
@@ -48,6 +93,7 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let scale = scale_from_args(&args);
     let base = config_for_scale(scale);
+    let tel = Telemetry::from_args(&args);
     let sections = [
         "ncrt",
         "wt",
@@ -81,7 +127,7 @@ fn main() {
         for entries in [4usize, 8, 16, 32, 64] {
             let mut cfg = base;
             cfg.ncrt_entries = entries;
-            let rs = run_all(cfg, CoherenceMode::Raccd, scale);
+            let rs = run_all(cfg, CoherenceMode::Raccd, scale, &tel);
             let cycles = avg_cycles(&rs);
             let overflows: u64 = rs.iter().map(|r| r.stats.ncrt_overflows).sum();
             let dir: f64 = mean(
@@ -109,7 +155,12 @@ fn main() {
         println!("# Ablation: L1 write policy under RaCCD (1:1)");
         println!("policy\tcycles\tl1_writebacks\twrite_throughs\tnoc_traffic\tinvalidate_cycles");
         for (label, wt) in [("write-back", false), ("write-through", true)] {
-            let rs = run_all(base.with_write_through(wt), CoherenceMode::Raccd, scale);
+            let rs = run_all(
+                base.with_write_through(wt),
+                CoherenceMode::Raccd,
+                scale,
+                &tel,
+            );
             println!(
                 "{label}\t{:.0}\t{:.0}\t{:.0}\t{:.0}\t{:.0}",
                 avg_cycles(&rs),
@@ -141,7 +192,7 @@ fn main() {
     if chosen.contains(&"adr") {
         println!("# Ablation: ADR hysteresis thresholds (RaCCD, 1:1 design size)");
         println!("theta_inc/dec\tcycles_vs_fixed\treconfigs\tdir_energy_vs_fixed");
-        let fixed = run_all(base, CoherenceMode::Raccd, scale);
+        let fixed = run_all(base, CoherenceMode::Raccd, scale, &tel);
         let model = EnergyModel::default();
         let energy = |rs: &[raccd_core::RunResult]| -> f64 {
             mean(
@@ -162,7 +213,7 @@ fn main() {
             let mut cfg = base.with_adr(true);
             cfg.adr_theta_inc = inc;
             cfg.adr_theta_dec = dec;
-            let rs = run_all(cfg, CoherenceMode::Raccd, scale);
+            let rs = run_all(cfg, CoherenceMode::Raccd, scale, &tel);
             let reconfigs: u64 = rs.iter().map(|r| r.stats.adr_reconfigs).sum();
             println!(
                 "{inc:.1}/{dec:.1}\t{:.4}\t{reconfigs}\t{:.3}",
@@ -180,7 +231,7 @@ fn main() {
         for words in [0u64, 16, 64, 256, 1024] {
             let mut cfg = base;
             cfg.runtime.stack_words_per_task = words;
-            let rs = run_all(cfg, CoherenceMode::Raccd, scale);
+            let rs = run_all(cfg, CoherenceMode::Raccd, scale, &tel);
             println!(
                 "{words}\t{:.0}\t{:.1}",
                 mean(
@@ -204,7 +255,7 @@ fn main() {
         for (label, selective) in [("selective", true), ("full-flush", false)] {
             let mut cfg = base.with_smt(2);
             cfg.smt_selective_flush = selective;
-            let rs = run_all(cfg, CoherenceMode::Raccd, scale);
+            let rs = run_all(cfg, CoherenceMode::Raccd, scale, &tel);
             println!(
                 "{label}\t{:.0}\t{:.0}\t{:.4}",
                 avg_cycles(&rs),
@@ -227,7 +278,7 @@ fn main() {
         println!("# Ablation: TLB-based classifier (§II-B extension) vs paper systems");
         println!("mode\tcycles\tdir_accesses\tnc_pct\tflush_lines");
         for mode in CoherenceMode::EXTENDED {
-            let rs = run_all(base, mode, scale);
+            let rs = run_all(base, mode, scale, &tel);
             println!(
                 "{mode}\t{:.0}\t{:.0}\t{:.1}\t{:.0}",
                 avg_cycles(&rs),
@@ -261,7 +312,7 @@ fn main() {
             for mode in [CoherenceMode::PageTable, CoherenceMode::Raccd] {
                 let mut cfg = base;
                 cfg.sched = policy;
-                let rs = run_all(cfg, mode, scale);
+                let rs = run_all(cfg, mode, scale, &tel);
                 println!(
                     "{policy:?}\t{mode}\t{:.0}\t{:.0}\t{:.1}",
                     avg_cycles(&rs),
@@ -292,7 +343,7 @@ fn main() {
                 (CoherenceMode::Raccd, 256),
             ] {
                 let cfg = base.with_dir_ratio(ratio).with_contention(contention);
-                let rs = run_all(cfg, mode, scale);
+                let rs = run_all(cfg, mode, scale, &tel);
                 println!(
                     "{}\t{mode}\t1:{ratio}\t{:.0}\t{:.0}",
                     if contention { "queued" } else { "ideal" },
@@ -310,8 +361,8 @@ fn main() {
 
     if chosen.contains(&"jitterless") {
         println!("# Determinism check: two identical runs must agree exactly");
-        let a = run_all(base, CoherenceMode::Raccd, scale);
-        let b = run_all(base, CoherenceMode::Raccd, scale);
+        let a = run_all(base, CoherenceMode::Raccd, scale, &tel);
+        let b = run_all(base, CoherenceMode::Raccd, scale, &tel);
         let same = a.iter().zip(&b).all(|(x, y)| {
             x.stats.cycles == y.stats.cycles && x.stats.dir_accesses == y.stats.dir_accesses
         });

@@ -5,10 +5,17 @@
 //! cargo run --release -p raccd-bench --bin sweep -- \
 //!     [--scale test|bench|paper] [--bench Jacobi,...] [--ratios 1,8,256] \
 //!     [--modes FullCoh,PT,TLB,RaCCD] [--adr] [--smt N] [--wt] \
-//!     [--contention] [--permuted] [--steal]
+//!     [--contention] [--permuted] [--steal] [--telemetry out/]
 //! ```
+//!
+//! With `--telemetry <dir>` every job additionally runs with a recorder and
+//! writes its artifact set (Perfetto trace, JSONL events, CSV time-series,
+//! histogram report) into a per-job subdirectory of `dir`.
 
-use raccd_bench::{bench_names, config_for_scale, run_jobs, scale_from_args, Job};
+use raccd_bench::{
+    bench_names, config_for_scale, run_jobs_with_telemetry, scale_from_args,
+    telemetry_dir_from_args, Job,
+};
 use raccd_core::CoherenceMode;
 
 fn main() {
@@ -86,10 +93,14 @@ fn main() {
         }
     }
 
+    let telemetry = telemetry_dir_from_args(&args);
     eprintln!("running {} simulations at scale {scale}...", jobs.len());
     let t0 = std::time::Instant::now();
-    let results = run_jobs(scale, base_cfg, &jobs);
+    let results = run_jobs_with_telemetry(scale, base_cfg, &jobs, telemetry.as_deref());
     eprintln!("done in {:.1}s", t0.elapsed().as_secs_f64());
+    if let Some(dir) = &telemetry {
+        eprintln!("telemetry artifacts under {}", dir.display());
+    }
 
     println!(
         "benchmark\tmode\tratio\tadr\tcycles\tdir_accesses\tdir_evictions\tllc_hit_ratio\tnoc_traffic\tl1_writebacks\tdir_occupancy\tnc_pct\ttasks\trefs\tutilization"

@@ -1,16 +1,24 @@
-//! Protocol-trace inspector: run one benchmark with event recording and
-//! print an event summary plus the first N raw events.
+//! Telemetry inspector: run one benchmark with the full recorder attached,
+//! print an event summary, and optionally dump the complete artifact set.
 //!
 //! ```text
 //! cargo run --release -p raccd-bench --bin trace -- \
-//!     [--scale test|bench] [--bench Jacobi] [--mode RaCCD] [--head 40]
+//!     [--scale test|bench] [--bench Jacobi] [--mode RaCCD] [--head 20] \
+//!     [--interval 4096] [--telemetry out/]
 //! ```
+//!
+//! With `--telemetry <dir>` the run writes `trace.json` (Chrome Trace
+//! Format — load it at <https://ui.perfetto.dev>), `events.jsonl`,
+//! `series.csv` and `histograms.txt` into the directory, then re-parses
+//! the JSON artifacts to prove they are well-formed.
 
-use raccd_bench::{bench_names, config_for_scale, scale_from_args};
-use raccd_core::driver::run_program;
+use raccd_bench::{
+    bench_names, config_for_scale, scale_from_args, telemetry_dir_from_args, write_telemetry,
+};
+use raccd_core::driver::run_program_with;
 use raccd_core::CoherenceMode;
-use raccd_sim::CoherenceEvent;
-use raccd_workloads::all_benchmarks;
+use raccd_obs::{event_json, json, Recorder, RecorderConfig};
+use std::collections::BTreeMap;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -35,51 +43,83 @@ fn main() {
         Some(ref m) if m == "pt" => CoherenceMode::PageTable,
         _ => CoherenceMode::Raccd,
     };
-    let head: usize = pick("--head").and_then(|h| h.parse().ok()).unwrap_or(40);
+    let head: usize = pick("--head").and_then(|h| h.parse().ok()).unwrap_or(20);
+    let interval: u64 = pick("--interval")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(RecorderConfig::default().sample_interval);
+    let telemetry = telemetry_dir_from_args(&args);
 
     let mut cfg = config_for_scale(scale);
     cfg.record_events = true;
 
-    let workloads = all_benchmarks(scale);
+    let workloads = raccd_workloads::all_benchmarks(scale);
     let program = workloads[bench_idx].build();
     eprintln!(
         "tracing {} under {mode} at scale {scale}...",
         names[bench_idx]
     );
-    let out = run_program(cfg, mode, program);
+    let mut rec = Recorder::new(RecorderConfig {
+        sample_interval: interval,
+        buffer_events: true,
+    });
+    let out = run_program_with(cfg, mode, program, Some(&mut rec));
 
-    // Summary by event type.
-    let mut counts = [0u64; 7];
-    for e in &out.events {
-        let i = match e {
-            CoherenceEvent::CoherentFill { .. } => 0,
-            CoherenceEvent::NcFill { .. } => 1,
-            CoherenceEvent::Upgrade { .. } => 2,
-            CoherenceEvent::DirEviction { .. } => 3,
-            CoherenceEvent::NcToCoherent { .. } => 4,
-            CoherenceEvent::CoherentToNc { .. } => 5,
-            CoherenceEvent::FlushNc { .. } => 6,
-        };
-        counts[i] += 1;
+    // Summary by event kind (tags from `Event::kind`).
+    let mut counts: BTreeMap<&str, u64> = BTreeMap::new();
+    for ev in rec.events() {
+        *counts.entry(ev.kind()).or_insert(0) += 1;
     }
-    println!("# event summary ({} events total)", out.events.len());
-    for (label, n) in [
-        "CoherentFill",
-        "NcFill",
-        "Upgrade",
-        "DirEviction",
-        "NcToCoherent",
-        "CoherentToNc",
-        "FlushNc",
-    ]
-    .iter()
-    .zip(counts)
-    {
-        println!("{label}\t{n}");
+    println!("# event summary ({} events total)", rec.events().len());
+    for (kind, n) in &counts {
+        println!("{kind}\t{n}");
     }
     println!();
-    println!("# first {head} events");
-    for e in out.events.iter().take(head) {
-        println!("{e:?}");
+    println!(
+        "# time-series: {} samples at interval {} cycles",
+        rec.samples().len(),
+        rec.sample_interval()
+    );
+    println!(
+        "# mean dir occupancy: sampler {:.4} vs stats {:.4}",
+        rec.mean_dir_occupancy(),
+        out.stats.dir_avg_occupancy
+    );
+    println!(
+        "# latencies (p50<=): mem {} wake-to-dispatch {} bank-wait {}",
+        rec.hist_mem_latency.quantile_ceil(0.5),
+        rec.hist_wake_to_dispatch.quantile_ceil(0.5),
+        rec.hist_bank_wait.quantile_ceil(0.5),
+    );
+    println!();
+    println!("# first {head} events (JSONL)");
+    for ev in rec.events().iter().take(head) {
+        println!("{}", event_json(rec.names(), ev));
+    }
+
+    if let Some(dir) = telemetry {
+        write_telemetry(&rec, &dir)
+            .unwrap_or_else(|e| panic!("writing telemetry to {}: {e}", dir.display()));
+        // Re-parse the JSON artifacts: proof they are well-formed.
+        let trace = std::fs::read_to_string(dir.join("trace.json")).unwrap();
+        let doc = json::parse(&trace).expect("trace.json is valid JSON");
+        let n_trace = doc
+            .get("traceEvents")
+            .expect("traceEvents key")
+            .items()
+            .len();
+        let jsonl = std::fs::read_to_string(dir.join("events.jsonl")).unwrap();
+        let mut n_lines = 0usize;
+        for line in jsonl.lines() {
+            json::parse(line).expect("every events.jsonl line is valid JSON");
+            n_lines += 1;
+        }
+        assert_eq!(n_lines, rec.events().len());
+        println!();
+        println!(
+            "wrote {}: trace.json ({n_trace} trace events), events.jsonl ({n_lines} lines), series.csv ({} rows), histograms.txt",
+            dir.display(),
+            rec.samples().len()
+        );
+        println!("load trace.json at https://ui.perfetto.dev");
     }
 }

@@ -4,14 +4,16 @@
 //!
 //! The evaluation matrix (9 benchmarks × 3 systems × 7 directory sizes) is
 //! embarrassingly parallel across *simulations*, so [`run_jobs`] fans jobs
-//! out over host threads with crossbeam's scoped threads (each worker
-//! builds its own workload instance — simulations never share state).
+//! out over host threads with `std::thread::scope` (each worker builds its
+//! own workload instance — simulations never share state).
 
 pub mod chart;
 
 use raccd_core::{CoherenceMode, Experiment, RunResult};
+use raccd_obs::{Recorder, RecorderConfig};
 use raccd_sim::MachineConfig;
 use raccd_workloads::{all_benchmarks, Scale};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -48,6 +50,19 @@ pub fn bench_names(scale: Scale) -> Vec<String> {
 
 /// Run all jobs across host threads; results are returned in job order.
 pub fn run_jobs(scale: Scale, base_cfg: MachineConfig, jobs: &[Job]) -> Vec<JobResult> {
+    run_jobs_with_telemetry(scale, base_cfg, jobs, None)
+}
+
+/// [`run_jobs`] with optional telemetry capture: with `Some(dir)` each job
+/// runs with a [`Recorder`] attached and writes the standard artifact set
+/// (`trace.json`, `events.jsonl`, `series.csv`, `histograms.txt`) into
+/// `dir/<bench>_<mode>_1-<ratio>[_adr]/`.
+pub fn run_jobs_with_telemetry(
+    scale: Scale,
+    base_cfg: MachineConfig,
+    jobs: &[Job],
+    telemetry: Option<&Path>,
+) -> Vec<JobResult> {
     let next = AtomicUsize::new(0);
     let results: Mutex<Vec<Option<JobResult>>> =
         Mutex::new((0..jobs.len()).map(|_| None).collect());
@@ -56,9 +71,9 @@ pub fn run_jobs(scale: Scale, base_cfg: MachineConfig, jobs: &[Job]) -> Vec<JobR
         .unwrap_or(4)
         .min(jobs.len().max(1));
 
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for _ in 0..threads {
-            s.spawn(|_| loop {
+            s.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= jobs.len() {
                     break;
@@ -66,8 +81,22 @@ pub fn run_jobs(scale: Scale, base_cfg: MachineConfig, jobs: &[Job]) -> Vec<JobR
                 let job = jobs[i];
                 let workloads = all_benchmarks(scale);
                 let w = &workloads[job.bench_idx];
-                let cfg = base_cfg.with_dir_ratio(job.ratio).with_adr(job.adr);
-                let result = Experiment::new(cfg, job.mode).run(w.as_ref());
+                let mut cfg = base_cfg.with_dir_ratio(job.ratio).with_adr(job.adr);
+                let exp = Experiment::new(cfg, job.mode);
+                let result = match telemetry {
+                    None => exp.run(w.as_ref()),
+                    Some(dir) => {
+                        cfg.record_events = true;
+                        let mut rec = Recorder::new(RecorderConfig::default());
+                        let result = Experiment::new(cfg, job.mode)
+                            .run_with_recorder(w.as_ref(), Some(&mut rec));
+                        let sub = dir.join(telemetry_run_name(w.name(), job));
+                        write_telemetry(&rec, &sub).unwrap_or_else(|e| {
+                            panic!("writing telemetry to {}: {e}", sub.display())
+                        });
+                        result
+                    }
+                };
                 assert!(
                     result.verified,
                     "{} [{} 1:{}] failed verification: {:?}",
@@ -84,8 +113,7 @@ pub fn run_jobs(scale: Scale, base_cfg: MachineConfig, jobs: &[Job]) -> Vec<JobR
                 results.lock().unwrap()[i] = Some(out);
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
 
     results
         .into_inner()
@@ -93,6 +121,50 @@ pub fn run_jobs(scale: Scale, base_cfg: MachineConfig, jobs: &[Job]) -> Vec<JobR
         .into_iter()
         .map(|r| r.expect("job not run"))
         .collect()
+}
+
+/// Artifact subdirectory name for one job's telemetry.
+pub fn telemetry_run_name(bench: &str, job: Job) -> String {
+    format!(
+        "{}_{}_1-{}{}",
+        bench,
+        job.mode,
+        job.ratio,
+        if job.adr { "_adr" } else { "" }
+    )
+}
+
+/// Parse `--telemetry <dir>` from argv.
+pub fn telemetry_dir_from_args(args: &[String]) -> Option<PathBuf> {
+    args.iter()
+        .position(|a| a == "--telemetry")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+}
+
+/// Write a finished recorder's full artifact set into `dir` (created if
+/// missing): Perfetto-loadable `trace.json`, `events.jsonl`, `series.csv`,
+/// and `histograms.txt`.
+pub fn write_telemetry(rec: &Recorder, dir: &Path) -> std::io::Result<()> {
+    use std::io::Write;
+    std::fs::create_dir_all(dir)?;
+    let file = |name: &str| -> std::io::Result<std::io::BufWriter<std::fs::File>> {
+        Ok(std::io::BufWriter::new(std::fs::File::create(
+            dir.join(name),
+        )?))
+    };
+    let mut w = file("trace.json")?;
+    raccd_obs::write_chrome_trace(rec, &mut w)?;
+    w.flush()?;
+    let mut w = file("events.jsonl")?;
+    raccd_obs::write_events_jsonl(rec.names(), rec.events(), &mut w)?;
+    w.flush()?;
+    let mut w = file("series.csv")?;
+    raccd_obs::write_series_csv(rec.samples(), &mut w)?;
+    w.flush()?;
+    let mut w = file("histograms.txt")?;
+    raccd_obs::write_histograms(rec, &mut w)?;
+    w.flush()
 }
 
 /// Parse `--scale test|bench|paper` from argv (default: bench).

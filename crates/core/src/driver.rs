@@ -22,8 +22,9 @@ use crate::ncrt::Ncrt;
 use crate::pt::{PageClassifier, PtDecision};
 use crate::tlbclass::TlbClassifier;
 use raccd_mem::{SimMemory, VAddr};
+use raccd_obs::{Event, Gauges, Recorder};
 use raccd_runtime::{MemRef, Program, ReadyQueue, StealQueues, TaskCtx};
-use raccd_sim::{L1LookupResult, Machine, MachineConfig, SchedPolicy, Stats};
+use raccd_sim::{L1LookupResult, Machine, MachineConfig, SchedPolicy, Stats, TimedEvent};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -81,8 +82,11 @@ impl Sched {
 pub struct DriverOutput {
     /// Machine statistics.
     pub stats: Stats,
-    /// Protocol events (non-empty only with `cfg.record_events`).
-    pub events: Vec<raccd_sim::CoherenceEvent>,
+    /// Protocol events, time-stamped (non-empty only with
+    /// `cfg.record_events` and no recorder attached: with telemetry active
+    /// they are delivered to the [`Recorder`] as [`Event::Coherence`]
+    /// instead).
+    pub events: Vec<TimedEvent>,
     /// The Figure 2 block census.
     pub census: Census,
     /// Final memory image (for functional verification).
@@ -96,6 +100,21 @@ pub struct DriverOutput {
 /// Run a program to completion on a machine configured per `cfg` under the
 /// given coherence mode.
 pub fn run_program(cfg: MachineConfig, mode: CoherenceMode, program: Program) -> DriverOutput {
+    run_program_with(cfg, mode, program, None)
+}
+
+/// [`run_program`] with optional telemetry. With `Some(recorder)` the
+/// driver emits the full task-lifecycle and RaCCD-mechanism event stream,
+/// feeds the latency histograms, samples the interval time-series on the
+/// global heap clock, and drains the machine's protocol events into the
+/// recorder. With `None` every hook is a single branch on a niche pointer,
+/// keeping the disabled path within the telemetry overhead budget.
+pub fn run_program_with(
+    cfg: MachineConfig,
+    mode: CoherenceMode,
+    program: Program,
+    mut rec: Option<&mut Recorder>,
+) -> DriverOutput {
     let Program { mut mem, mut graph } = program;
     let edges = graph.edges();
     // Scheduling happens over hardware contexts: cores × SMT ways (§III-E).
@@ -112,15 +131,36 @@ pub fn run_program(cfg: MachineConfig, mode: CoherenceMode, program: Program) ->
         SchedPolicy::CentralFifo => Sched::Central(ReadyQueue::new()),
         SchedPolicy::WorkStealing => Sched::Steal(StealQueues::new(nctx)),
     };
+    // Telemetry: announce the TDG and the initial ready set at cycle 0.
+    if let Some(r) = rec.as_deref_mut() {
+        for t in 0..graph.len() {
+            let name = r.intern(graph.name(t));
+            r.record(Event::TaskCreated {
+                cycle: 0,
+                task: t as u32,
+                name,
+                deps: graph.deps(t).len() as u32,
+            });
+        }
+    }
     // Initial ready set: central queue in creation order; work stealing
     // distributes round-robin so every context starts with local work.
     for (i, t) in graph.initially_ready().into_iter().enumerate() {
+        if let Some(r) = rec.as_deref_mut() {
+            r.record(Event::TaskWoken {
+                cycle: 0,
+                task: t as u32,
+                waker_core: None,
+            });
+        }
         ready.push(i % nctx, t);
     }
 
     let mut running: Vec<Option<Running>> = (0..nctx).map(|_| None).collect();
     // Core that woke each task (migration accounting, §II-B).
     let mut waker_core: Vec<Option<u32>> = vec![None; graph.len()];
+    // Cycle each task became ready (wake-to-dispatch histogram).
+    let mut wake_time: Vec<u64> = vec![0; graph.len()];
     let mut trace_pool: Vec<Vec<MemRef>> = (0..nctx).map(|_| Vec::new()).collect();
     let mut core_time = vec![0u64; nctx];
     let mut idle: Vec<usize> = Vec::new();
@@ -131,6 +171,26 @@ pub fn run_program(cfg: MachineConfig, mode: CoherenceMode, program: Program) ->
     let mut end_time = 0u64;
 
     while let Some(Reverse((t, ctx))) = heap.pop() {
+        // Telemetry: the heap time is globally non-decreasing, so it is
+        // the sampling clock; machine protocol events are drained here so
+        // the unified stream stays roughly time-ordered.
+        if let Some(r) = rec.as_deref_mut() {
+            if r.sample_due(t) {
+                let gauges = Gauges {
+                    dir_occupied: machine.dir_occupied_total(),
+                    dir_capacity: machine.dir_capacity_total(),
+                    ready_tasks: ready.len() as u64,
+                    busy_contexts: running.iter().filter(|x| x.is_some()).count() as u32,
+                };
+                r.maybe_sample(t, &machine.stats, gauges);
+            }
+            for te in machine.take_events() {
+                r.record(Event::Coherence {
+                    cycle: te.cycle,
+                    ev: te.ev,
+                });
+            }
+        }
         let mut now = t;
         let core = ctx / cfg.smt_ways;
         let tid = (ctx % cfg.smt_ways) as u8;
@@ -144,17 +204,43 @@ pub fn run_program(cfg: MachineConfig, mode: CoherenceMode, program: Program) ->
                             machine.stats.task_migrations += 1;
                         }
                     }
+                    if let Some(r) = rec.as_deref_mut() {
+                        let wait = now.saturating_sub(wake_time[task]);
+                        r.hist_wake_to_dispatch.record(wait);
+                        let name = r.intern(graph.name(task));
+                        r.record(Event::TaskScheduled {
+                            cycle: now,
+                            task: task as u32,
+                            name,
+                            ctx: ctx as u32,
+                            core: core as u32,
+                            wait_cycles: wait,
+                        });
+                    }
                     if mode == CoherenceMode::Raccd {
                         // Deactivate coherence: one raccd_register per
                         // dependence (§III-B).
                         for i in 0..graph.deps(task).len() {
                             let range = graph.deps(task)[i].range;
+                            let reg_start = now;
                             let out =
                                 ncrts[ctx].register_region(&mut machine, core, range, &cfg.runtime);
                             now += out.cycles;
                             machine.stats.register_cycles += out.cycles;
                             if out.overflowed {
                                 machine.stats.ncrt_overflows += 1;
+                            }
+                            if let Some(r) = rec.as_deref_mut() {
+                                r.record(Event::NcrtRegister {
+                                    cycle: reg_start,
+                                    ctx: ctx as u32,
+                                    core: core as u32,
+                                    task: task as u32,
+                                    dur: out.cycles,
+                                    entries_added: out.entries_added as u32,
+                                    tlb_lookups: out.tlb_lookups as u32,
+                                    overflowed: out.overflowed,
+                                });
                             }
                         }
                     }
@@ -187,7 +273,8 @@ pub fn run_program(cfg: MachineConfig, mode: CoherenceMode, program: Program) ->
                 while run.pos < end {
                     let r = run.trace[run.pos];
                     run.pos += 1;
-                    now += process_ref(
+                    let bank_wait_before = machine.stats.bank_wait_cycles;
+                    let cycles = process_ref(
                         &mut machine,
                         mode,
                         ctx,
@@ -200,7 +287,14 @@ pub fn run_program(cfg: MachineConfig, mode: CoherenceMode, program: Program) ->
                         &mut tlbc,
                         &mut census,
                         &cfg,
+                        rec.as_deref_mut(),
                     );
+                    now += cycles;
+                    if let Some(rr) = rec.as_deref_mut() {
+                        rr.hist_mem_latency.record(cycles);
+                        rr.hist_bank_wait
+                            .record(machine.stats.bank_wait_cycles - bank_wait_before);
+                    }
                 }
                 if run.pos < run.trace.len() {
                     running[ctx] = Some(run);
@@ -214,15 +308,43 @@ pub fn run_program(cfg: MachineConfig, mode: CoherenceMode, program: Program) ->
                         } else {
                             None
                         };
+                        let inv_start = now;
+                        let flushed_before = machine.stats.nc_lines_flushed;
                         let cycles = machine.flush_nc_filtered(core, flt, now);
                         machine.stats.invalidate_cycles += cycles;
                         now += cycles;
                         ncrts[ctx].clear();
+                        if let Some(r) = rec.as_deref_mut() {
+                            r.record(Event::NcrtInvalidate {
+                                cycle: inv_start,
+                                ctx: ctx as u32,
+                                core: core as u32,
+                                task: run.tid as u32,
+                                dur: cycles,
+                                lines_flushed: machine.stats.nc_lines_flushed - flushed_before,
+                            });
+                        }
                     }
                     let ndeps = graph.dependent_count(run.tid) as u64;
                     now += cfg.runtime.wakeup_base + ndeps * cfg.runtime.wakeup_per_dep;
+                    if let Some(r) = rec.as_deref_mut() {
+                        r.record(Event::TaskCompleted {
+                            cycle: now,
+                            task: run.tid as u32,
+                            ctx: ctx as u32,
+                            refs: run.trace.len() as u64,
+                        });
+                    }
                     for woken in graph.complete(run.tid) {
                         waker_core[woken] = Some(core as u32);
+                        wake_time[woken] = now;
+                        if let Some(r) = rec.as_deref_mut() {
+                            r.record(Event::TaskWoken {
+                                cycle: now,
+                                task: woken as u32,
+                                waker_core: Some(core as u32),
+                            });
+                        }
                         ready.push(ctx, woken);
                     }
                     completed += 1;
@@ -258,8 +380,29 @@ pub fn run_program(cfg: MachineConfig, mode: CoherenceMode, program: Program) ->
     drop(graph);
 
     machine.stats.contexts = nctx as u64;
-    let events = machine.events().to_vec();
+    let mut events = machine.take_events();
+    if let Some(r) = rec.as_deref_mut() {
+        // Tail of the protocol stream goes to the recorder, like the rest.
+        for te in events.drain(..) {
+            r.record(Event::Coherence {
+                cycle: te.cycle,
+                ev: te.ev,
+            });
+        }
+    }
     let stats = machine.finalize(end_time);
+    if let Some(r) = rec {
+        r.finish(
+            end_time,
+            &stats,
+            Gauges {
+                dir_occupied: machine.dir_occupied_total(),
+                dir_capacity: machine.dir_capacity_total(),
+                ready_tasks: 0,
+                busy_contexts: 0,
+            },
+        );
+    }
     DriverOutput {
         stats,
         events,
@@ -286,6 +429,7 @@ fn process_ref(
     tlbc: &mut TlbClassifier,
     census: &mut Census,
     cfg: &MachineConfig,
+    rec: Option<&mut Recorder>,
 ) -> u64 {
     let vaddr = if r.is_stack() {
         VAddr(cfg.stack_base(ctx) + r.addr().0)
@@ -312,7 +456,16 @@ fn process_ref(
             PtDecision::Shared => {}
             PtDecision::Transition { prev_owner } => {
                 machine.stats.pt_shared_transitions += 1;
+                let flushed_before = machine.stats.pt_flush_lines;
                 cycles += machine.flush_page(prev_owner, paddr.page(), vaddr.page(), now);
+                if let Some(r) = rec {
+                    r.record(Event::PtTransition {
+                        cycle: now,
+                        prev_owner: prev_owner as u32,
+                        page: paddr.page().0,
+                        flushed_lines: machine.stats.pt_flush_lines - flushed_before,
+                    });
+                }
             }
         }
     }

@@ -25,8 +25,9 @@
 //! ```
 
 use crate::census::CensusSummary;
-use crate::driver::{run_program, DriverOutput};
+use crate::driver::{run_program_with, DriverOutput};
 use crate::mode::CoherenceMode;
+use raccd_obs::Recorder;
 use raccd_runtime::Workload;
 use raccd_sim::{MachineConfig, Stats};
 
@@ -64,6 +65,17 @@ impl Experiment {
 
     /// Build the workload's program, simulate it, and verify the output.
     pub fn run(&self, workload: &dyn Workload) -> RunResult {
+        self.run_with_recorder(workload, None)
+    }
+
+    /// [`Experiment::run`] with optional telemetry: with `Some(recorder)`
+    /// the driver streams the unified event model, latency histograms and
+    /// interval time-series into it (see [`raccd_obs`]).
+    pub fn run_with_recorder(
+        &self,
+        workload: &dyn Workload,
+        rec: Option<&mut Recorder>,
+    ) -> RunResult {
         let program = workload.build();
         let DriverOutput {
             stats,
@@ -72,7 +84,7 @@ impl Experiment {
             tasks,
             edges,
             events: _,
-        } = run_program(self.config, self.mode, program);
+        } = run_program_with(self.config, self.mode, program, rec);
         let verify = workload.verify(&mem);
         RunResult {
             stats,

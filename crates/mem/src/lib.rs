@@ -28,7 +28,9 @@ pub mod page_table;
 pub mod rng;
 pub mod tlb;
 
-pub use addr::{BlockAddr, PAddr, PageNum, VAddr, BLOCK_SHIFT, BLOCK_SIZE, PAGE_SHIFT, PAGE_SIZE};
+pub use addr::{
+    BlockAddr, PAddr, PageNum, VAddr, VRange, BLOCK_SHIFT, BLOCK_SIZE, PAGE_SHIFT, PAGE_SIZE,
+};
 pub use memory::SimMemory;
 pub use page_table::{FrameAllocPolicy, PageTable};
 pub use rng::SplitMix64;

@@ -1,0 +1,174 @@
+//! The unified telemetry event model.
+//!
+//! Every observable thing the stack does — protocol transactions in the
+//! machine, task lifecycle transitions in the runtime driver, and RaCCD
+//! mechanism activity (NCRT registration, `raccd_invalidate`, ADR resizes,
+//! PT reclassification) — is normalised into one [`Event`] stream, stamped
+//! with the simulated cycle it happened at. Consumers implement [`Sink`];
+//! the [`crate::Recorder`] buffers events and fans them out to sinks.
+
+use raccd_sim::CoherenceEvent;
+
+/// Interned task-name identifier (see [`crate::Recorder::intern`]).
+pub type NameId = u32;
+
+/// One telemetry event, stamped with its simulated cycle.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Event {
+    /// A task exists in the dependence graph (emitted at cycle 0 for the
+    /// whole TDG, before simulation starts).
+    TaskCreated {
+        /// Simulated cycle.
+        cycle: u64,
+        /// Task id in the TDG.
+        task: u32,
+        /// Interned task name.
+        name: NameId,
+        /// Number of declared dependences.
+        deps: u32,
+    },
+    /// A task's dependences were satisfied and it entered the ready queue.
+    TaskWoken {
+        /// Simulated cycle.
+        cycle: u64,
+        /// Task id.
+        task: u32,
+        /// Core whose wake-up phase released it (`None` for initially
+        /// ready tasks).
+        waker_core: Option<u32>,
+    },
+    /// A hardware context dequeued the task and began running it.
+    TaskScheduled {
+        /// Simulated cycle (dispatch time, after the scheduling phase).
+        cycle: u64,
+        /// Task id.
+        task: u32,
+        /// Interned task name.
+        name: NameId,
+        /// Hardware context (core × SMT way).
+        ctx: u32,
+        /// Physical core.
+        core: u32,
+        /// Cycles the task waited between wake-up and dispatch.
+        wait_cycles: u64,
+    },
+    /// The task's reference trace finished replaying.
+    TaskCompleted {
+        /// Simulated cycle.
+        cycle: u64,
+        /// Task id.
+        task: u32,
+        /// Hardware context it ran on.
+        ctx: u32,
+        /// References the task replayed.
+        refs: u64,
+    },
+    /// One `raccd_register` instruction (per task dependence, §III-B).
+    NcrtRegister {
+        /// Cycle the instruction issued.
+        cycle: u64,
+        /// Issuing hardware context.
+        ctx: u32,
+        /// Issuing core.
+        core: u32,
+        /// Task being set up.
+        task: u32,
+        /// Cycles the iterative TLB walk took.
+        dur: u64,
+        /// Collapsed physical ranges inserted.
+        entries_added: u32,
+        /// TLB lookups performed (one per virtual page, Figure 5).
+        tlb_lookups: u32,
+        /// Whether a sub-range was dropped because the NCRT was full.
+        overflowed: bool,
+    },
+    /// One `raccd_invalidate` cache walk at task end (§III-C4).
+    NcrtInvalidate {
+        /// Cycle the walk started.
+        cycle: u64,
+        /// Finishing hardware context.
+        ctx: u32,
+        /// Core walked.
+        core: u32,
+        /// Finishing task.
+        task: u32,
+        /// Cycles the walk plus write-backs took.
+        dur: u64,
+        /// NC lines flushed.
+        lines_flushed: u64,
+    },
+    /// PT baseline: a page transitioned private → shared, flushing the
+    /// previous owner (§II-B).
+    PtTransition {
+        /// Simulated cycle.
+        cycle: u64,
+        /// Core that lost its private mapping.
+        prev_owner: u32,
+        /// Physical page number.
+        page: u64,
+        /// L1 lines the OS-triggered flush removed.
+        flushed_lines: u64,
+    },
+    /// A machine-level protocol event (fills, upgrades, directory
+    /// evictions, NC transitions, ADR resizes), absorbed from
+    /// [`raccd_sim::Machine`]'s recorder.
+    Coherence {
+        /// Simulated cycle.
+        cycle: u64,
+        /// The protocol event.
+        ev: CoherenceEvent,
+    },
+}
+
+impl Event {
+    /// The cycle stamp of any event.
+    pub fn cycle(&self) -> u64 {
+        match *self {
+            Event::TaskCreated { cycle, .. }
+            | Event::TaskWoken { cycle, .. }
+            | Event::TaskScheduled { cycle, .. }
+            | Event::TaskCompleted { cycle, .. }
+            | Event::NcrtRegister { cycle, .. }
+            | Event::NcrtInvalidate { cycle, .. }
+            | Event::PtTransition { cycle, .. }
+            | Event::Coherence { cycle, .. } => cycle,
+        }
+    }
+
+    /// Short machine-readable kind tag (JSONL `kind` field).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::TaskCreated { .. } => "task_created",
+            Event::TaskWoken { .. } => "task_woken",
+            Event::TaskScheduled { .. } => "task_scheduled",
+            Event::TaskCompleted { .. } => "task_completed",
+            Event::NcrtRegister { .. } => "ncrt_register",
+            Event::NcrtInvalidate { .. } => "ncrt_invalidate",
+            Event::PtTransition { .. } => "pt_transition",
+            Event::Coherence { ev, .. } => match ev {
+                CoherenceEvent::CoherentFill { .. } => "coherent_fill",
+                CoherenceEvent::NcFill { .. } => "nc_fill",
+                CoherenceEvent::Upgrade { .. } => "upgrade",
+                CoherenceEvent::DirEviction { .. } => "dir_eviction",
+                CoherenceEvent::NcToCoherent { .. } => "nc_to_coherent",
+                CoherenceEvent::CoherentToNc { .. } => "coherent_to_nc",
+                CoherenceEvent::FlushNc { .. } => "flush_nc",
+                CoherenceEvent::AdrResize { .. } => "adr_resize",
+            },
+        }
+    }
+}
+
+/// A consumer of the unified event stream. Sinks registered on a
+/// [`crate::Recorder`] see every event in record order, plus each interval
+/// sample as it is taken.
+pub trait Sink {
+    /// Called once per recorded event.
+    fn on_event(&mut self, recorder_names: &[String], ev: &Event);
+
+    /// Called once per interval sample (default: ignore).
+    fn on_sample(&mut self, _sample: &crate::sampler::Sample) {}
+
+    /// Called when the run finishes (flush buffers).
+    fn on_finish(&mut self) {}
+}

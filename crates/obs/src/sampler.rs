@@ -1,0 +1,274 @@
+//! Interval time-series sampling.
+//!
+//! Figure 8 of the paper plots directory occupancy *over execution time*;
+//! end-of-run aggregates cannot reproduce it. The [`IntervalSampler`]
+//! snapshots the live [`Stats`] counters every `interval` cycles and stores
+//! the per-interval deltas next to instantaneous gauges (directory
+//! occupancy, ready-queue depth, busy contexts), producing a real
+//! time-series from a single simulation pass.
+
+use raccd_sim::Stats;
+
+/// Instantaneous machine/runtime state the driver supplies per sample.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Gauges {
+    /// Directory entries currently resident across banks.
+    pub dir_occupied: u64,
+    /// Directory entries currently powered across banks (ADR shrinks this).
+    pub dir_capacity: u64,
+    /// Tasks currently in the ready queue(s).
+    pub ready_tasks: u64,
+    /// Hardware contexts currently executing a task.
+    pub busy_contexts: u32,
+}
+
+/// One point of the interval time-series.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Sample {
+    /// Cycle at which the sample was taken.
+    pub cycle: u64,
+    /// Directory occupancy fraction (occupied / powered capacity).
+    pub dir_occupancy: f64,
+    /// Directory entries resident.
+    pub dir_occupied: u64,
+    /// Directory entries powered (tracks ADR reconfigurations).
+    pub dir_capacity: u64,
+    /// Ready-queue depth.
+    pub ready_tasks: u64,
+    /// Contexts executing a task.
+    pub busy_contexts: u32,
+    /// Fraction of this interval's L1 fills that were non-coherent.
+    pub nc_fill_frac: f64,
+    /// Directory bank accesses in this interval.
+    pub d_dir_accesses: u64,
+    /// Non-coherent L1 fills in this interval.
+    pub d_nc_fills: u64,
+    /// Coherent L1 fills in this interval.
+    pub d_coherent_fills: u64,
+    /// Invalidation messages sent in this interval.
+    pub d_invalidations: u64,
+    /// L1 write-backs in this interval.
+    pub d_l1_writebacks: u64,
+    /// Main-memory reads in this interval.
+    pub d_mem_reads: u64,
+    /// Main-memory writes in this interval.
+    pub d_mem_writes: u64,
+    /// Cycles requests spent queued at banks in this interval.
+    pub d_bank_wait_cycles: u64,
+    /// Memory references replayed in this interval.
+    pub d_refs: u64,
+    /// Tasks dispatched in this interval.
+    pub d_tasks: u64,
+}
+
+/// Live counters we difference between samples (the subset of [`Stats`]
+/// that is updated during the run rather than in `finalize`).
+#[derive(Clone, Copy, Debug, Default)]
+struct Snapshot {
+    dir_accesses: u64,
+    nc_fills: u64,
+    coherent_fills: u64,
+    invalidations_sent: u64,
+    l1_writebacks: u64,
+    mem_reads: u64,
+    mem_writes: u64,
+    bank_wait_cycles: u64,
+    refs_processed: u64,
+    tasks_executed: u64,
+}
+
+impl Snapshot {
+    fn of(stats: &Stats) -> Self {
+        Snapshot {
+            dir_accesses: stats.dir_accesses,
+            nc_fills: stats.nc_fills,
+            coherent_fills: stats.coherent_fills,
+            invalidations_sent: stats.invalidations_sent,
+            l1_writebacks: stats.l1_writebacks,
+            mem_reads: stats.mem_reads,
+            mem_writes: stats.mem_writes,
+            bank_wait_cycles: stats.bank_wait_cycles,
+            refs_processed: stats.refs_processed,
+            tasks_executed: stats.tasks_executed,
+        }
+    }
+}
+
+/// Snapshots [`Stats`] deltas every `interval` cycles.
+#[derive(Clone, Debug)]
+pub struct IntervalSampler {
+    interval: u64,
+    next_due: u64,
+    prev: Snapshot,
+    samples: Vec<Sample>,
+}
+
+impl IntervalSampler {
+    /// Sampler with the given cadence in cycles (`interval` ≥ 1).
+    pub fn new(interval: u64) -> Self {
+        let interval = interval.max(1);
+        IntervalSampler {
+            interval,
+            next_due: interval,
+            prev: Snapshot::default(),
+            samples: Vec::new(),
+        }
+    }
+
+    /// The configured cadence in cycles.
+    pub fn interval(&self) -> u64 {
+        self.interval
+    }
+
+    /// Whether `cycle` has crossed the next sampling boundary. Lets hot
+    /// callers skip computing gauges when no sample will be taken.
+    #[inline]
+    pub fn due(&self, cycle: u64) -> bool {
+        cycle >= self.next_due
+    }
+
+    /// Record a sample if `cycle` crossed the next interval boundary.
+    /// Driver global time is non-decreasing, so at most one sample is taken
+    /// per call; after a quiet period the next boundary is realigned so
+    /// idle stretches do not produce a burst of identical samples.
+    pub fn maybe_sample(&mut self, cycle: u64, stats: &Stats, gauges: Gauges) {
+        if cycle < self.next_due {
+            return;
+        }
+        self.force_sample(cycle, stats, gauges);
+        self.next_due = (cycle / self.interval + 1) * self.interval;
+    }
+
+    /// Record a sample unconditionally (used for the end-of-run point).
+    pub fn force_sample(&mut self, cycle: u64, stats: &Stats, gauges: Gauges) {
+        let cur = Snapshot::of(stats);
+        let p = self.prev;
+        let d_nc = cur.nc_fills - p.nc_fills;
+        let d_coh = cur.coherent_fills - p.coherent_fills;
+        let fills = d_nc + d_coh;
+        self.samples.push(Sample {
+            cycle,
+            dir_occupancy: if gauges.dir_capacity == 0 {
+                0.0
+            } else {
+                gauges.dir_occupied as f64 / gauges.dir_capacity as f64
+            },
+            dir_occupied: gauges.dir_occupied,
+            dir_capacity: gauges.dir_capacity,
+            ready_tasks: gauges.ready_tasks,
+            busy_contexts: gauges.busy_contexts,
+            nc_fill_frac: if fills == 0 {
+                0.0
+            } else {
+                d_nc as f64 / fills as f64
+            },
+            d_dir_accesses: cur.dir_accesses - p.dir_accesses,
+            d_nc_fills: d_nc,
+            d_coherent_fills: d_coh,
+            d_invalidations: cur.invalidations_sent - p.invalidations_sent,
+            d_l1_writebacks: cur.l1_writebacks - p.l1_writebacks,
+            d_mem_reads: cur.mem_reads - p.mem_reads,
+            d_mem_writes: cur.mem_writes - p.mem_writes,
+            d_bank_wait_cycles: cur.bank_wait_cycles - p.bank_wait_cycles,
+            d_refs: cur.refs_processed - p.refs_processed,
+            d_tasks: cur.tasks_executed - p.tasks_executed,
+        });
+        self.prev = cur;
+    }
+
+    /// The collected time-series.
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// Time-weighted mean directory occupancy over the sampled series:
+    /// each sample's occupancy is weighted by the span it covers (the gap
+    /// to the previous sample, i.e. step interpolation from the left).
+    /// Converges on the machine's exact integral as the interval shrinks.
+    pub fn mean_occupancy(&self) -> f64 {
+        let mut weighted = 0.0f64;
+        let mut span_total = 0u64;
+        let mut prev_cycle = 0u64;
+        for s in &self.samples {
+            let span = s.cycle.saturating_sub(prev_cycle);
+            weighted += s.dir_occupancy * span as f64;
+            span_total += span;
+            prev_cycle = s.cycle;
+        }
+        if span_total == 0 {
+            0.0
+        } else {
+            weighted / span_total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gauges(occ: u64, cap: u64) -> Gauges {
+        Gauges {
+            dir_occupied: occ,
+            dir_capacity: cap,
+            ready_tasks: 0,
+            busy_contexts: 0,
+        }
+    }
+
+    #[test]
+    fn samples_only_on_boundaries() {
+        let mut s = IntervalSampler::new(100);
+        let stats = Stats::default();
+        s.maybe_sample(10, &stats, gauges(0, 8));
+        s.maybe_sample(99, &stats, gauges(0, 8));
+        assert!(s.samples().is_empty());
+        s.maybe_sample(100, &stats, gauges(4, 8));
+        assert_eq!(s.samples().len(), 1);
+        assert_eq!(s.samples()[0].cycle, 100);
+        assert!((s.samples()[0].dir_occupancy - 0.5).abs() < 1e-12);
+        // Still inside the next interval: no new sample.
+        s.maybe_sample(150, &stats, gauges(4, 8));
+        assert_eq!(s.samples().len(), 1);
+        s.maybe_sample(205, &stats, gauges(8, 8));
+        assert_eq!(s.samples().len(), 2);
+        // Boundary realigns after a quiet gap: next due is 300, not 210.
+        s.maybe_sample(299, &stats, gauges(8, 8));
+        assert_eq!(s.samples().len(), 2);
+    }
+
+    #[test]
+    fn deltas_are_per_interval() {
+        let mut s = IntervalSampler::new(10);
+        let mut stats = Stats {
+            dir_accesses: 5,
+            nc_fills: 3,
+            coherent_fills: 1,
+            ..Default::default()
+        };
+        s.maybe_sample(10, &stats, gauges(0, 1));
+        stats.dir_accesses = 12;
+        stats.nc_fills = 3;
+        stats.coherent_fills = 8;
+        s.maybe_sample(20, &stats, gauges(0, 1));
+        let [a, b] = s.samples() else { panic!() };
+        assert_eq!(a.d_dir_accesses, 5);
+        assert!((a.nc_fill_frac - 0.75).abs() < 1e-12);
+        assert_eq!(b.d_dir_accesses, 7);
+        assert_eq!(b.d_nc_fills, 0);
+        assert_eq!(b.d_coherent_fills, 7);
+        assert_eq!(b.nc_fill_frac, 0.0);
+    }
+
+    #[test]
+    fn mean_occupancy_is_time_weighted() {
+        let mut s = IntervalSampler::new(10);
+        let stats = Stats::default();
+        // Occupancy 1.0 for the first 10 cycles, then 0.0 for 30 more.
+        s.maybe_sample(10, &stats, gauges(8, 8));
+        s.maybe_sample(40, &stats, gauges(0, 8));
+        let expect = (1.0 * 10.0 + 0.0 * 30.0) / 40.0;
+        assert!((s.mean_occupancy() - expect).abs() < 1e-12);
+        assert_eq!(IntervalSampler::new(5).mean_occupancy(), 0.0);
+    }
+}

@@ -25,5 +25,5 @@ pub mod machine;
 pub mod stats;
 
 pub use config::{Latencies, MachineConfig, RuntimeCosts, SchedPolicy, DIR_RATIOS};
-pub use machine::{CoherenceEvent, L1LookupResult, Machine};
+pub use machine::{CoherenceEvent, L1LookupResult, Machine, TimedEvent};
 pub use stats::Stats;

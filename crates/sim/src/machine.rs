@@ -31,7 +31,7 @@ use crate::stats::Stats;
 use raccd_cache::{L1Cache, L1Line, L1State, LlcBank, LlcLine};
 use raccd_mem::{BlockAddr, PAddr, PageNum, PageTable, Tlb, VAddr};
 use raccd_noc::{Mesh, MsgClass};
-use raccd_protocol::{Adr, AdrConfig, DirEntry, DirEviction, DirectoryBank};
+use raccd_protocol::{Adr, AdrConfig, DirEntry, DirEviction, DirectoryBank, ResizeDirection};
 
 /// A protocol-level event, recorded when `MachineConfig::record_events`
 /// is set. Used by protocol-conformance tests and the `trace` binary.
@@ -86,6 +86,27 @@ pub enum CoherenceEvent {
         /// NC lines removed.
         lines: u32,
     },
+    /// The ADR controller resized a directory bank (§III-D).
+    AdrResize {
+        /// Bank index (home tile).
+        bank: usize,
+        /// Grow (double) vs shrink (halve).
+        grow: bool,
+        /// New powered capacity in entries.
+        new_entries: usize,
+        /// Cycles the bank port was blocked for the rebuild.
+        blocked_cycles: u64,
+    },
+}
+
+/// A [`CoherenceEvent`] stamped with the cycle it occurred at (the
+/// requesting core's local time when the transaction issued).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TimedEvent {
+    /// Cycle stamp.
+    pub cycle: u64,
+    /// The protocol event.
+    pub ev: CoherenceEvent,
 }
 
 /// Result of a private-cache lookup.
@@ -123,7 +144,7 @@ pub struct Machine {
     /// (index: home tile). Directory and LLC share a bank port here.
     bank_busy: Vec<u64>,
     /// Recorded protocol events (only with `cfg.record_events`).
-    events: Vec<CoherenceEvent>,
+    events: Vec<TimedEvent>,
     /// Run statistics.
     pub stats: Stats,
     /// Scratch: whether the last coherent fill was granted Shared (vs
@@ -199,20 +220,37 @@ impl Machine {
 
     /// Record a protocol event when event recording is enabled.
     #[inline]
-    fn event(&mut self, ev: CoherenceEvent) {
+    fn event(&mut self, now: u64, ev: CoherenceEvent) {
         if self.cfg.record_events {
-            self.events.push(ev);
+            self.events.push(TimedEvent { cycle: now, ev });
         }
     }
 
     /// Recorded protocol events (empty unless `cfg.record_events`).
-    pub fn events(&self) -> &[CoherenceEvent] {
+    pub fn events(&self) -> &[TimedEvent] {
         &self.events
+    }
+
+    /// Drain the recorded events, leaving the buffer empty (telemetry
+    /// consumers call this periodically to bound memory).
+    pub fn take_events(&mut self) -> Vec<TimedEvent> {
+        std::mem::take(&mut self.events)
     }
 
     /// Drop recorded events.
     pub fn clear_events(&mut self) {
         self.events.clear();
+    }
+
+    /// Resident directory entries summed across banks (telemetry gauge).
+    pub fn dir_occupied_total(&self) -> u64 {
+        self.dir.iter().map(|b| b.occupancy() as u64).sum()
+    }
+
+    /// Powered directory capacity summed across banks; shrinks and grows
+    /// under ADR (telemetry gauge).
+    pub fn dir_capacity_total(&self) -> u64 {
+        self.dir.iter().map(|b| b.capacity() as u64).sum()
     }
 
     /// Occupy `home`'s bank port for `service` cycles starting no earlier
@@ -419,7 +457,7 @@ impl Machine {
         cycles += self.invalidate_holders(home, block, inv_mask, now);
         // Ack back to the writer.
         cycles += self.noc.send(home, core, MsgClass::Control);
-        self.event(CoherenceEvent::Upgrade { core, block });
+        self.event(now, CoherenceEvent::Upgrade { core, block });
         cycles
     }
 
@@ -497,16 +535,19 @@ impl Machine {
         }
         if nc {
             self.stats.nc_fills += 1;
-            self.event(CoherenceEvent::NcFill { core, block, write });
+            self.event(now, CoherenceEvent::NcFill { core, block, write });
         } else {
             self.stats.coherent_fills += 1;
             let from_owner = self.last_fill_from_owner;
-            self.event(CoherenceEvent::CoherentFill {
-                core,
-                block,
-                write,
-                from_owner,
-            });
+            self.event(
+                now,
+                CoherenceEvent::CoherentFill {
+                    core,
+                    block,
+                    write,
+                    from_owner,
+                },
+            );
         }
         let victim = self.cores[core].l1.fill(block, L1Line { state, nc, tid });
         if let Some((vblock, vline)) = victim {
@@ -527,7 +568,7 @@ impl Machine {
                 // flushed (OpenMP flush guarantee), stale silent sharers are
                 // invalidated defensively.
                 line.nc = true;
-                self.event(CoherenceEvent::CoherentToNc { block });
+                self.event(now, CoherenceEvent::CoherentToNc { block });
                 self.dir[home].record_access(now);
                 self.stats.dir_accesses += 1;
                 if let Some(entry) = self.dir[home].deallocate(block, now) {
@@ -627,7 +668,7 @@ impl Machine {
                 if let Some(l) = self.llc[home].probe_mut(block) {
                     l.nc = false;
                 }
-                self.event(CoherenceEvent::NcToCoherent { block });
+                self.event(now, CoherenceEvent::NcToCoherent { block });
             } else {
                 cycles += self.fetch_from_memory(home, block, false, now);
             }
@@ -684,10 +725,9 @@ impl Machine {
     /// A directory entry was evicted for capacity: invalidate its LLC line
     /// (directory-inclusive-of-LLC, §V-A3) and every private copy.
     fn handle_dir_eviction(&mut self, ev: DirEviction, now: u64) {
-        let _ = now;
         let home = self.home_of(ev.block);
         self.stats.dir_evictions += 1;
-        self.event(CoherenceEvent::DirEviction { block: ev.block });
+        self.event(now, CoherenceEvent::DirEviction { block: ev.block });
         let mut dirty = self.invalidate_and_collect_dirty(home, ev.block, ev.entry.all_holders());
         if let Some(line) = self.llc[home].invalidate(ev.block) {
             self.stats.llc_inclusion_invalidations += 1;
@@ -781,17 +821,19 @@ impl Machine {
     /// SMT-aware `raccd_invalidate`: with `tid = Some(t)` only thread `t`'s
     /// NC lines are flushed (§III-E's selective invalidation).
     pub fn flush_nc_filtered(&mut self, core: usize, tid: Option<u8>, now: u64) -> u64 {
-        let _ = now;
         let mut cycles = self.cores[core].l1.num_lines() as u64;
         let flushed = match tid {
             Some(t) => self.cores[core].l1.flush_nc_thread(t),
             None => self.cores[core].l1.flush_nc(),
         };
         self.stats.nc_lines_flushed += flushed.len() as u64;
-        self.event(CoherenceEvent::FlushNc {
-            core,
-            lines: flushed.len() as u32,
-        });
+        self.event(
+            now,
+            CoherenceEvent::FlushNc {
+                core,
+                lines: flushed.len() as u32,
+            },
+        );
         for (block, line) in flushed {
             if line.dirty() {
                 cycles += 4; // pipelined NC write-back issue
@@ -854,6 +896,15 @@ impl Machine {
         if let Some(ev) = self.adr[home].maybe_resize(&mut self.dir[home], now) {
             self.stats.adr_reconfigs += 1;
             self.stats.adr_blocked_cycles += ev.blocked_cycles;
+            self.event(
+                now,
+                CoherenceEvent::AdrResize {
+                    bank: home,
+                    grow: ev.direction == ResizeDirection::Grow,
+                    new_entries: ev.new_entries,
+                    blocked_cycles: ev.blocked_cycles,
+                },
+            );
             for victim in ev.evicted {
                 self.handle_dir_eviction(victim, now);
             }
@@ -1159,6 +1210,54 @@ mod tests {
         }
         assert!(m.stats.adr_reconfigs > 0, "ADR should shrink");
         m.check_invariants();
+    }
+
+    #[test]
+    fn dir_avg_occupancy_matches_hand_computed_integral() {
+        let mut m = machine();
+        // The directory is empty until t = 100, when one coherent access
+        // allocates exactly one entry; nothing changes until finalize at
+        // t = 1000. Hand-computed integrals:
+        //   ∫occupancy dt = 1 entry × (1000 − 100) = 900 entry·cycles
+        //   ∫capacity  dt = total capacity × 1000 cycles
+        access(&mut m, 0, 0x10_0000, false, false, 100);
+        assert_eq!(m.dir_occupied_total(), 1);
+        let cap = m.dir_capacity_total();
+        let stats = m.finalize(1000);
+        let expect = 900.0 / (cap as f64 * 1000.0);
+        assert!(
+            (stats.dir_avg_occupancy - expect).abs() / expect < 1e-6,
+            "time-weighted occupancy {} != hand-computed {expect}",
+            stats.dir_avg_occupancy
+        );
+        assert_eq!(stats.dir_capacity_integral, cap as u128 * 1000);
+    }
+
+    #[test]
+    fn adr_resize_is_recorded_as_timed_event() {
+        let mut cfg = small_cfg();
+        cfg.adr = true;
+        cfg.record_events = true;
+        let mut m = Machine::new(cfg);
+        for i in 0..64u64 {
+            access(&mut m, 0, 0x10_0000 + i * 64, false, false, i * 100);
+        }
+        assert!(m.stats.adr_reconfigs > 0, "ADR should shrink");
+        let resizes: Vec<_> = m
+            .events()
+            .iter()
+            .filter(|te| matches!(te.ev, CoherenceEvent::AdrResize { .. }))
+            .collect();
+        assert_eq!(resizes.len() as u64, m.stats.adr_reconfigs);
+        let mut last = 0;
+        for te in m.events() {
+            assert!(te.cycle >= last, "event stream is time-ordered");
+            last = te.cycle;
+        }
+        // take_events drains.
+        let drained = m.take_events();
+        assert!(!drained.is_empty());
+        assert!(m.events().is_empty());
     }
 
     #[test]

@@ -31,7 +31,9 @@ pub struct Stats {
     pub dir_allocations: u64,
     /// Directory entries evicted for capacity (inclusion victims).
     pub dir_evictions: u64,
-    /// Average directory occupancy fraction at end of run (Figure 8).
+    /// Time-weighted average directory occupancy fraction over the whole
+    /// run: ∫occupancy dt / ∫capacity dt, accumulated by the per-bank
+    /// occupancy integrals on every directory state change (Figure 8).
     pub dir_avg_occupancy: f64,
     /// Access histogram by directory capacity `(entries_per_bank, count)` —
     /// feeds the size-dependent energy model (Figures 7d, 10).
@@ -150,6 +152,114 @@ impl Stats {
             self.nc_fills as f64 / total as f64
         }
     }
+
+    /// Accumulate another run's counters into this one (multi-run
+    /// aggregation in `bench`, shard merging in tests).
+    ///
+    /// Counters, cycle totals and integrals add. `dir_avg_occupancy` is
+    /// recombined weighted by each side's capacity integral, so the result
+    /// is still the time-weighted mean over the union of both runs (cycle
+    /// totals are the fallback weight when integrals are absent).
+    /// `dir_access_hist` merges by capacity key. `contexts` keeps the max:
+    /// merged runs describe the same machine, not a bigger one.
+    pub fn merge(&mut self, other: &Stats) {
+        // Exhaustive destructure: adding a Stats field without deciding
+        // its merge rule becomes a compile error here.
+        let Stats {
+            cycles,
+            l1_hits,
+            l1_misses,
+            l1_writebacks,
+            write_throughs,
+            tlb_hits,
+            tlb_misses,
+            dir_accesses,
+            dir_allocations,
+            dir_evictions,
+            dir_avg_occupancy,
+            dir_access_hist: ref other_hist,
+            dir_capacity_integral,
+            adr_reconfigs,
+            adr_blocked_cycles,
+            llc_hits,
+            llc_misses,
+            llc_inclusion_invalidations,
+            invalidations_sent,
+            owner_forwards,
+            nc_fills,
+            coherent_fills,
+            bank_wait_cycles,
+            noc_traffic,
+            noc_flits,
+            mem_reads,
+            mem_writes,
+            register_cycles,
+            invalidate_cycles,
+            nc_lines_flushed,
+            ncrt_overflows,
+            pt_shared_transitions,
+            pt_flush_lines,
+            tasks_executed,
+            refs_processed,
+            busy_cycles,
+            contexts,
+            task_migrations,
+        } = *other;
+
+        let (wa, wb) = (self.dir_capacity_integral, dir_capacity_integral);
+        self.dir_avg_occupancy = if wa + wb > 0 {
+            (self.dir_avg_occupancy * wa as f64 + dir_avg_occupancy * wb as f64) / (wa + wb) as f64
+        } else if self.cycles + cycles > 0 {
+            (self.dir_avg_occupancy * self.cycles as f64 + dir_avg_occupancy * cycles as f64)
+                / (self.cycles + cycles) as f64
+        } else {
+            (self.dir_avg_occupancy + dir_avg_occupancy) / 2.0
+        };
+        for &(cap, count) in other_hist {
+            match self.dir_access_hist.iter_mut().find(|e| e.0 == cap) {
+                Some(e) => e.1 += count,
+                None => self.dir_access_hist.push((cap, count)),
+            }
+        }
+        self.dir_access_hist.sort_unstable_by_key(|e| e.0);
+
+        self.cycles += cycles;
+        self.l1_hits += l1_hits;
+        self.l1_misses += l1_misses;
+        self.l1_writebacks += l1_writebacks;
+        self.write_throughs += write_throughs;
+        self.tlb_hits += tlb_hits;
+        self.tlb_misses += tlb_misses;
+        self.dir_accesses += dir_accesses;
+        self.dir_allocations += dir_allocations;
+        self.dir_evictions += dir_evictions;
+        self.dir_capacity_integral += dir_capacity_integral;
+        self.adr_reconfigs += adr_reconfigs;
+        self.adr_blocked_cycles += adr_blocked_cycles;
+        self.llc_hits += llc_hits;
+        self.llc_misses += llc_misses;
+        self.llc_inclusion_invalidations += llc_inclusion_invalidations;
+        self.invalidations_sent += invalidations_sent;
+        self.owner_forwards += owner_forwards;
+        self.nc_fills += nc_fills;
+        self.coherent_fills += coherent_fills;
+        self.bank_wait_cycles += bank_wait_cycles;
+        self.noc_traffic += noc_traffic;
+        self.noc_flits += noc_flits;
+        self.mem_reads += mem_reads;
+        self.mem_writes += mem_writes;
+        self.register_cycles += register_cycles;
+        self.invalidate_cycles += invalidate_cycles;
+        self.nc_lines_flushed += nc_lines_flushed;
+        self.ncrt_overflows += ncrt_overflows;
+        self.pt_shared_transitions += pt_shared_transitions;
+        self.pt_flush_lines += pt_flush_lines;
+        self.tasks_executed += tasks_executed;
+        self.refs_processed += refs_processed;
+        self.busy_cycles += busy_cycles;
+        self.contexts = self.contexts.max(contexts);
+        self.task_migrations += task_migrations;
+    }
 }
 
 #[cfg(test)]
@@ -174,6 +284,90 @@ mod tests {
         };
         assert!((s.utilization() - 0.5).abs() < 1e-12);
         assert_eq!(Stats::default().utilization(), 0.0);
+    }
+
+    #[test]
+    fn merge_sums_counters_and_merges_hist() {
+        let mut a = Stats {
+            cycles: 100,
+            dir_accesses: 10,
+            contexts: 8,
+            dir_access_hist: vec![(64, 5), (128, 2)],
+            ..Stats::default()
+        };
+        let b = Stats {
+            cycles: 50,
+            dir_accesses: 4,
+            contexts: 8,
+            dir_access_hist: vec![(32, 1), (64, 3)],
+            ..Stats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.cycles, 150);
+        assert_eq!(a.dir_accesses, 14);
+        assert_eq!(a.contexts, 8, "same machine, not summed");
+        // Shared key 64 adds; disjoint keys union, sorted by capacity.
+        assert_eq!(a.dir_access_hist, vec![(32, 1), (64, 8), (128, 2)]);
+    }
+
+    #[test]
+    fn merge_weights_occupancy_by_capacity_integral() {
+        let mut a = Stats {
+            dir_avg_occupancy: 0.8,
+            dir_capacity_integral: 1000,
+            ..Stats::default()
+        };
+        let b = Stats {
+            dir_avg_occupancy: 0.2,
+            dir_capacity_integral: 3000,
+            ..Stats::default()
+        };
+        a.merge(&b);
+        // (0.8·1000 + 0.2·3000) / 4000 = 0.35 — NOT the naive mean 0.5.
+        assert!((a.dir_avg_occupancy - 0.35).abs() < 1e-12);
+        assert_eq!(a.dir_capacity_integral, 4000);
+    }
+
+    #[test]
+    fn merge_occupancy_falls_back_to_cycle_weights() {
+        let mut a = Stats {
+            dir_avg_occupancy: 1.0,
+            cycles: 10,
+            ..Stats::default()
+        };
+        let b = Stats {
+            dir_avg_occupancy: 0.0,
+            cycles: 30,
+            ..Stats::default()
+        };
+        a.merge(&b);
+        assert!((a.dir_avg_occupancy - 0.25).abs() < 1e-12);
+        // Both sides empty: plain mean, no NaN.
+        let mut e = Stats {
+            dir_avg_occupancy: 0.5,
+            ..Stats::default()
+        };
+        e.merge(&Stats::default());
+        assert!((e.dir_avg_occupancy - 0.25).abs() < 1e-12);
+        assert!(e.dir_avg_occupancy.is_finite());
+    }
+
+    #[test]
+    fn merge_into_default_is_identity_for_counters() {
+        let mut a = Stats::default();
+        let b = Stats {
+            cycles: 7,
+            nc_fills: 3,
+            dir_avg_occupancy: 0.4,
+            dir_capacity_integral: 500,
+            dir_access_hist: vec![(64, 9)],
+            ..Stats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.cycles, 7);
+        assert_eq!(a.nc_fills, 3);
+        assert!((a.dir_avg_occupancy - 0.4).abs() < 1e-12);
+        assert_eq!(a.dir_access_hist, vec![(64, 9)]);
     }
 
     #[test]

@@ -18,6 +18,9 @@
 //! * [`energy`] — CACTI/McPAT-like analytical area & energy models
 //!   (calibrated to the paper's Table III).
 //! * [`sim`] — the multicore machine: timing, access paths, statistics.
+//! * [`obs`] — the telemetry subsystem: unified event stream, interval
+//!   time-series sampler, log2 latency histograms, and JSONL / CSV /
+//!   Chrome-trace (Perfetto) exporters.
 //! * [`runtime`] — the task-dataflow runtime: dependences, task dependence
 //!   graph, ready queue, scheduler.
 //! * [`core`] — the paper's contribution: the NCRT, `raccd_register` /
@@ -55,6 +58,7 @@ pub use raccd_core as core;
 pub use raccd_energy as energy;
 pub use raccd_mem as mem;
 pub use raccd_noc as noc;
+pub use raccd_obs as obs;
 pub use raccd_protocol as protocol;
 pub use raccd_runtime as runtime;
 pub use raccd_sim as sim;
