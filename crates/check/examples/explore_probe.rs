@@ -1,0 +1,116 @@
+//! Full-closure run of the exhaustive explorer (release-mode CI gate).
+//!
+//! Runs every exploration scenario of `tests/explorer.rs` *unbounded*:
+//! the four closed configurations must exhaust their entire reachable
+//! state space with zero invariant violations, and the 3-core frontier
+//! must stay clean to depth 6. The in-tree tests bound the larger
+//! configurations for debug-build speed; this example is the
+//! release-mode complement (`cargo run --release -p raccd-check
+//! --example explore_probe`) and exits non-zero on any violation or
+//! failed closure.
+
+use raccd_check::{explore, ExploreConfig};
+use raccd_sim::MachineConfig;
+use std::time::Instant;
+
+fn tiny(dir_ratio: usize, dir_ways: usize, wt: bool, adr: bool) -> MachineConfig {
+    let mut cfg = MachineConfig::scaled()
+        .with_dir_ratio(dir_ratio)
+        .with_write_through(wt)
+        .with_adr(adr);
+    cfg.ncores = 4;
+    cfg.mesh_k = 2;
+    cfg.llc_entries_per_bank = 32;
+    cfg.dir_ways = dir_ways;
+    cfg
+}
+
+fn main() {
+    let scenarios: Vec<(&str, ExploreConfig)> = vec![
+        (
+            "A 2c/1b wb 1-entry dir",
+            ExploreConfig {
+                cfg: tiny(32, 1, false, false),
+                cores: vec![0, 1],
+                blocks: vec![0x40],
+                flush_nc: true,
+                flush_pages: true,
+                max_depth: 64,
+                max_states: 1_000_000,
+            },
+        ),
+        (
+            "B 2c/1b wt",
+            ExploreConfig {
+                cfg: tiny(32, 1, true, false),
+                cores: vec![0, 1],
+                blocks: vec![0x40],
+                flush_nc: true,
+                flush_pages: true,
+                max_depth: 64,
+                max_states: 1_000_000,
+            },
+        ),
+        (
+            "C 2c/2b dir storm",
+            ExploreConfig {
+                cfg: tiny(32, 1, false, false),
+                cores: vec![0, 1],
+                blocks: vec![0x40, 0x44],
+                flush_nc: true,
+                flush_pages: true,
+                max_depth: 64,
+                max_states: 1_000_000,
+            },
+        ),
+        (
+            "D adr",
+            ExploreConfig {
+                cfg: tiny(8, 1, false, true),
+                cores: vec![0, 1],
+                blocks: vec![0x40, 0x44],
+                flush_nc: true,
+                flush_pages: false,
+                max_depth: 64,
+                max_states: 1_000_000,
+            },
+        ),
+        (
+            "E 3c/2b bounded",
+            ExploreConfig {
+                cfg: tiny(32, 1, false, false),
+                cores: vec![0, 1, 2],
+                blocks: vec![0x40, 0x44],
+                flush_nc: true,
+                flush_pages: false,
+                max_depth: 6,
+                max_states: 1_000_000,
+            },
+        ),
+    ];
+    let mut failed = false;
+    for (name, ec) in scenarios {
+        let t = Instant::now();
+        let r = explore(&ec);
+        println!(
+            "{name}: states={} ops={} exhausted={} violations={} in {:?}",
+            r.states,
+            r.ops_applied,
+            r.exhausted,
+            r.violations.len(),
+            t.elapsed()
+        );
+        for (seq, v) in r.violations.iter().take(3) {
+            println!("  [{v}] after {} ops: {seq:?}", seq.len());
+        }
+        // The depth-bounded 3-core scenario cannot exhaust; all others must.
+        let closure_expected = !name.starts_with('E');
+        if !r.violations.is_empty() || (closure_expected && !r.exhausted) {
+            failed = true;
+        }
+    }
+    if failed {
+        eprintln!("exploration FAILED: violations found or closure incomplete");
+        std::process::exit(1);
+    }
+}

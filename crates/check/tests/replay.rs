@@ -1,0 +1,104 @@
+//! Counterexample trace round-trips, replay determinism and minimisation.
+
+use raccd_check::{minimize, parse, replay, serialize, CheckedMachine, TraceOp};
+use raccd_sim::MachineConfig;
+
+fn tiny() -> MachineConfig {
+    let mut cfg = MachineConfig::scaled().with_dir_ratio(32);
+    cfg.ncores = 4;
+    cfg.mesh_k = 2;
+    cfg.llc_entries_per_bank = 32;
+    cfg.dir_ways = 1;
+    cfg
+}
+
+fn sample_ops() -> Vec<TraceOp> {
+    vec![
+        TraceOp::Access {
+            core: 0,
+            block: 0x40,
+            write: false,
+            nc: false,
+        },
+        TraceOp::Access {
+            core: 1,
+            block: 0x40,
+            write: true,
+            nc: false,
+        },
+        TraceOp::Access {
+            core: 1,
+            block: 0x44,
+            write: true,
+            nc: true,
+        },
+        TraceOp::FlushNc { core: 1 },
+        TraceOp::FlushPage { core: 0, page: 0x1 },
+        TraceOp::Access {
+            core: 0,
+            block: 0x40,
+            write: false,
+            nc: false,
+        },
+    ]
+}
+
+/// serialize → parse → replay reproduces the exact machine end state the
+/// directly-applied trace reaches (fingerprint equality).
+#[test]
+fn serialized_trace_replays_to_identical_state() {
+    let cfg = tiny();
+    let ops = sample_ops();
+
+    let mut direct = CheckedMachine::new(cfg);
+    for &op in &ops {
+        direct.apply(op);
+    }
+    let want_key = direct.state_key();
+    assert!(direct.drain_violations().is_empty());
+
+    let text = serialize(&cfg, &ops);
+    let (cfg2, ops2) = parse(&text).expect("own output must parse");
+    assert_eq!(ops, ops2);
+    let mut replayed = CheckedMachine::new(cfg2);
+    for &op in &ops2 {
+        replayed.apply(op);
+    }
+    assert_eq!(replayed.state_key(), want_key, "replay diverged");
+}
+
+/// `replay` on a clean trace returns no violations, twice in a row
+/// (replays must not perturb global state).
+#[test]
+fn replay_is_deterministic_and_clean() {
+    let cfg = tiny();
+    let ops = sample_ops();
+    assert!(replay(cfg, &ops).is_empty());
+    assert!(replay(cfg, &ops).is_empty());
+}
+
+/// Minimising a clean trace is the identity (nothing to shrink toward).
+#[test]
+fn minimize_leaves_clean_traces_alone() {
+    let cfg = tiny();
+    let ops = sample_ops();
+    assert_eq!(minimize(cfg, &ops), ops);
+}
+
+/// A counterexample file written by the dump helper parses and replays.
+#[test]
+fn dumped_counterexample_round_trips_through_disk() {
+    let dir = std::env::temp_dir().join(format!("raccd-check-test-{}", std::process::id()));
+    // Scope the env override to this test binary; the explorer tests run
+    // in other processes.
+    std::env::set_var("RACCD_CHECK_DUMP_DIR", &dir);
+    let cfg = tiny();
+    let ops = sample_ops();
+    let path =
+        raccd_check::write_counterexample(&cfg, &ops, "roundtrip", &[]).expect("dump must succeed");
+    let text = std::fs::read_to_string(&path).expect("dump file exists");
+    let (cfg2, ops2) = parse(&text).expect("dump must parse");
+    assert_eq!(ops, ops2);
+    assert!(replay(cfg2, &ops2).is_empty());
+    let _ = std::fs::remove_dir_all(&dir);
+}

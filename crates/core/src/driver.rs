@@ -24,7 +24,9 @@ use crate::tlbclass::TlbClassifier;
 use raccd_mem::{SimMemory, VAddr};
 use raccd_obs::{Event, Gauges, Recorder};
 use raccd_runtime::{MemRef, Program, ReadyQueue, StealQueues, TaskCtx};
-use raccd_sim::{L1LookupResult, Machine, MachineConfig, SchedPolicy, Stats, TimedEvent};
+use raccd_sim::{
+    CheckEvent, CheckReport, L1LookupResult, Machine, MachineConfig, SchedPolicy, Stats, TimedEvent,
+};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -95,6 +97,10 @@ pub struct DriverOutput {
     pub tasks: usize,
     /// TDG edges.
     pub edges: usize,
+    /// Shadow-checker report, when a checker was attached to the machine
+    /// (`cfg.shadow_check`, `RACCD_SHADOW_CHECK=1`, or a harness-installed
+    /// sink). `None` when no checker ran.
+    pub check: Option<CheckReport>,
 }
 
 /// Run a program to completion on a machine configured per `cfg` under the
@@ -122,6 +128,13 @@ pub fn run_program_with(
     let nctx = cfg.ncontexts();
 
     let mut machine = Machine::new(cfg);
+    // Under RaCCD without SMT, a core's NC fills must fall inside the
+    // ranges its NCRT currently holds — arm the shadow checker's
+    // registration-discipline invariant. (With SMT, sibling contexts share
+    // a core-level view the per-core mirror cannot track.)
+    if machine.has_checker() && mode == CoherenceMode::Raccd && cfg.smt_ways == 1 {
+        machine.check_note(CheckEvent::DisciplineOn);
+    }
     let mut ncrts: Vec<Ncrt> = (0..nctx).map(|_| Ncrt::new(cfg.ncrt_entries)).collect();
     let mut pt = PageClassifier::new();
     let mut tlbc = TlbClassifier::new();
@@ -243,6 +256,12 @@ pub fn run_program_with(
                                 });
                             }
                         }
+                        if machine.has_checker() && cfg.smt_ways == 1 {
+                            machine.check_note(CheckEvent::NcrtLoaded {
+                                core,
+                                ranges: ncrts[ctx].entries().to_vec(),
+                            });
+                        }
                     }
                     // Run the body functionally, recording the trace.
                     let body = graph.take_body(task);
@@ -314,6 +333,9 @@ pub fn run_program_with(
                         machine.stats.invalidate_cycles += cycles;
                         now += cycles;
                         ncrts[ctx].clear();
+                        if machine.has_checker() && cfg.smt_ways == 1 {
+                            machine.check_note(CheckEvent::NcInvalidate { core });
+                        }
                         if let Some(r) = rec.as_deref_mut() {
                             r.record(Event::NcrtInvalidate {
                                 cycle: inv_start,
@@ -403,6 +425,7 @@ pub fn run_program_with(
             },
         );
     }
+    let check = machine.detach_checker();
     DriverOutput {
         stats,
         events,
@@ -410,6 +433,7 @@ pub fn run_program_with(
         mem,
         tasks: completed,
         edges,
+        check,
     }
 }
 

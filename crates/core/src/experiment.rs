@@ -84,6 +84,7 @@ impl Experiment {
             tasks,
             edges,
             events: _,
+            check: _,
         } = run_program_with(self.config, self.mode, program, rec);
         let verify = workload.verify(&mem);
         RunResult {

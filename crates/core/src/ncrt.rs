@@ -90,6 +90,13 @@ impl Ncrt {
         self.entries.len()
     }
 
+    /// The registered physical ranges (start inclusive, end exclusive) —
+    /// exactly what [`Ncrt::lookup`] consults. The shadow coherence
+    /// checker mirrors these for its registration-discipline invariant.
+    pub fn entries(&self) -> &[(u64, u64)] {
+        &self.entries
+    }
+
     /// Whether the table has no entries.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()

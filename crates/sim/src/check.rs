@@ -1,0 +1,1297 @@
+//! Shadow golden-memory coherence checker (the correctness oracle).
+//!
+//! The paper's entire claim rests on RaCCD deactivating coherence *without
+//! changing program results*: the NC bit, `raccd_invalidate` flushes and
+//! ADR resizes must never let a core observe stale data. This module is a
+//! reference model that shadows every [`crate::machine::Machine`] mutation
+//! and machine-checks the protocol invariants after every operation:
+//!
+//! * **SWMR** — at most one writer per block: a coherent Modified/Exclusive
+//!   line excludes every other coherent copy.
+//! * **Data-value** — a read returns the value of the last write. The
+//!   shadow model is *version based*: every write to a block bumps a
+//!   per-block version counter, every copy of the block (L1 line, LLC line,
+//!   memory) carries the version it holds, and writebacks propagate
+//!   versions along the same paths the machine moves data. A read that
+//!   observes an old version is a violation — unless the newer data lives
+//!   only in an unflushed non-coherent line, which is exactly the race
+//!   RaCCD's programming model excludes (tasks access annotated data only
+//!   between `raccd_register` and `raccd_invalidate`). Such excused
+//!   observations are counted in [`CheckStats::stale_excused`];
+//!   disciplined runs assert the count is zero.
+//! * **Inclusion** — a coherent L1 line implies a coherent LLC line and a
+//!   directory entry; a directory entry implies a coherent LLC line.
+//! * **RaCCD safety** — no coherent sharer of an NC-marked LLC line; under
+//!   RaCCD, every NC fill falls inside a region registered by
+//!   `raccd_register` and not yet dropped by `raccd_invalidate`; a
+//!   directory eviction (capacity or ADR resize) never strands a tracked
+//!   sharer.
+//!
+//! The checker hangs off [`crate::machine::Machine`] as a [`CheckSink`];
+//! the machine emits a [`CheckEvent`] at every access, fill, invalidation,
+//! eviction, flush and resize. Setting the environment variable
+//! `RACCD_SHADOW_CHECK=1` force-attaches a fail-fast checker to every
+//! machine built in the process (CI runs the whole test suite this way).
+//! On a violation the fail-fast checker panics, dumping the recent event
+//! window — and, when `RACCD_CHECK_DUMP_DIR` is set, writing the dump to a
+//! file so CI can upload counterexamples as artifacts. The `raccd-check`
+//! crate builds replayable *operation* traces, an exhaustive small-state
+//! explorer and a differential harness on top of this module.
+
+use crate::config::MachineConfig;
+use crate::machine::Machine;
+use raccd_cache::L1State;
+use raccd_mem::{BlockAddr, BLOCK_SIZE};
+use std::any::Any;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+use std::fmt::Write as _;
+
+/// One shadow-checkable machine mutation. The machine emits these from
+/// every path that moves data or metadata; the order of emission matches
+/// the order the machine applies the mutations.
+#[derive(Clone, Debug)]
+pub enum CheckEvent {
+    /// An L1 hit (read, or write completing locally / after upgrade).
+    /// Emitted after any upgrade invalidations.
+    L1Hit {
+        /// Accessing core.
+        core: usize,
+        /// Block accessed.
+        block: BlockAddr,
+        /// Store vs load.
+        write: bool,
+        /// NC bit of the hit line.
+        nc: bool,
+    },
+    /// A fill into the requesting L1 after a miss. Emitted after the
+    /// fill-path events (LLC fill, transitions, invalidations) and before
+    /// the L1 victim is disposed of.
+    Fill {
+        /// Requesting core.
+        core: usize,
+        /// Block filled.
+        block: BlockAddr,
+        /// Store vs load.
+        write: bool,
+        /// Non-coherent fill.
+        nc: bool,
+        /// L1 state installed.
+        state: L1State,
+        /// Data supplied cache-to-cache by the previous owner.
+        from_owner: bool,
+    },
+    /// An L1 line was replaced (capacity victim).
+    L1Evict {
+        /// Core evicting.
+        core: usize,
+        /// Victim block.
+        block: BlockAddr,
+        /// Victim state.
+        state: L1State,
+        /// Victim NC bit.
+        nc: bool,
+    },
+    /// A directory-initiated invalidation reached a core.
+    L1Invalidated {
+        /// Core invalidated.
+        core: usize,
+        /// Block invalidated.
+        block: BlockAddr,
+        /// Whether the line was actually present (stale sharer bits make
+        /// spurious invalidations legal).
+        present: bool,
+        /// Whether the invalidated line was dirty (written back).
+        dirty: bool,
+    },
+    /// The owner downgraded Modified/Exclusive → Shared on a remote GetS.
+    L1Downgraded {
+        /// Previous owner.
+        core: usize,
+        /// Block downgraded.
+        block: BlockAddr,
+        /// Whether dirty data was written back to the LLC.
+        was_dirty: bool,
+    },
+    /// `raccd_invalidate` flushed one NC line.
+    L1FlushedNc {
+        /// Core flushed.
+        core: usize,
+        /// Block flushed.
+        block: BlockAddr,
+        /// State of the flushed line (Modified ⇒ written back).
+        state: L1State,
+    },
+    /// A PT / TLB-classifier page flush removed one line.
+    L1FlushedPage {
+        /// Core flushed.
+        core: usize,
+        /// Block flushed.
+        block: BlockAddr,
+        /// State of the flushed line.
+        state: L1State,
+        /// NC bit of the flushed line.
+        nc: bool,
+    },
+    /// A block was fetched from memory into the home LLC bank.
+    LlcFill {
+        /// Block fetched.
+        block: BlockAddr,
+        /// Fetched with the NC attribute.
+        nc: bool,
+    },
+    /// An LLC line was removed (capacity victim or inclusion invalidation).
+    LlcEvict {
+        /// Victim block.
+        block: BlockAddr,
+        /// NC bit of the victim.
+        nc: bool,
+        /// Machine-side dirty flag (dirty data goes to memory).
+        dirty: bool,
+    },
+    /// A write-through store updated the home LLC (or memory if the LLC
+    /// line was replaced meanwhile).
+    WriteThrough {
+        /// Writing core.
+        core: usize,
+        /// Block written.
+        block: BlockAddr,
+    },
+    /// NC → coherent transition (§III-E): the LLC line's NC bit cleared.
+    NcToCoherent {
+        /// The block.
+        block: BlockAddr,
+    },
+    /// Coherent → NC transition (§III-E): the LLC line's NC bit set.
+    CoherentToNc {
+        /// The block.
+        block: BlockAddr,
+    },
+    /// A directory entry was allocated (first coherent requester).
+    DirAllocate {
+        /// The block.
+        block: BlockAddr,
+        /// The requesting core (recorded as owner).
+        core: usize,
+    },
+    /// A directory entry was deallocated (transition or LLC victim).
+    DirDeallocate {
+        /// The block.
+        block: BlockAddr,
+    },
+    /// A directory entry was evicted for capacity (set conflict or ADR
+    /// shrink); all tracked holders must be invalidated before the
+    /// operation completes.
+    DirEvicted {
+        /// The block.
+        block: BlockAddr,
+        /// Tracked holder mask at eviction.
+        holders: u64,
+    },
+    /// The ADR controller resized a bank.
+    AdrResized {
+        /// Bank index.
+        bank: usize,
+        /// New powered capacity.
+        new_entries: usize,
+    },
+    /// Runtime note: the driver (re)loaded a core's NCRT for the next task
+    /// (physical byte ranges, end exclusive).
+    NcrtLoaded {
+        /// The core.
+        core: usize,
+        /// Registered physical byte ranges.
+        ranges: Vec<(u64, u64)>,
+    },
+    /// Runtime note: `raccd_invalidate` completed on a core — its NC lines
+    /// are flushed and its NCRT cleared.
+    NcInvalidate {
+        /// The core.
+        core: usize,
+    },
+    /// Runtime note: the driver runs RaCCD with registration discipline —
+    /// arm the NC-fill-must-be-registered check.
+    DisciplineOn,
+    /// A public machine operation (lookup hit, miss fill, flush) finished:
+    /// run the structural invariants over every block it touched.
+    OpEnd,
+}
+
+/// Receiver of [`CheckEvent`]s, attached to a machine.
+pub trait CheckSink: Any {
+    /// Process one event, in machine emission order.
+    fn on_event(&mut self, ev: &CheckEvent);
+    /// Downcast support.
+    fn as_any(&self) -> &dyn Any;
+    /// Downcast support (mutable).
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+    /// Produce the final report (called when the checker is detached).
+    fn finish(&mut self) -> CheckReport;
+}
+
+/// A detected invariant violation.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Stable short code naming the violated invariant (`swmr`,
+    /// `data-value`, `l1-inclusion`, `dir-inclusion`, `nc-exclusivity`,
+    /// `stranded-sharer`, `nc-discipline`, `mirror-desync`, ...).
+    pub code: &'static str,
+    /// Human-readable description with the offending block and cores.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.code, self.detail)
+    }
+}
+
+/// Checker counters (all monotone).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CheckStats {
+    /// Events processed.
+    pub events: u64,
+    /// Load observations checked against the golden version.
+    pub reads_checked: u64,
+    /// Store base-value observations checked (a partial-block store merges
+    /// into the fetched data, so its base must be current too).
+    pub writes_checked: u64,
+    /// Stale observations excused because the newer data lived only in an
+    /// unflushed NC line (the race RaCCD's programming model excludes).
+    /// Disciplined runs assert this is zero.
+    pub stale_excused: u64,
+    /// Writes that raced an existing copy in another core's L1 through the
+    /// non-coherent world (the racing copies are marked stale-excused).
+    pub nc_write_races: u64,
+    /// NC fills checked against the registered-region discipline.
+    pub discipline_checked: u64,
+    /// Full mirror-vs-machine audits run.
+    pub audits: u64,
+}
+
+/// Final checker output.
+#[derive(Clone, Debug)]
+pub struct CheckReport {
+    /// Counters.
+    pub stats: CheckStats,
+    /// Violations collected (empty in fail-fast mode: the first one
+    /// panics).
+    pub violations: Vec<Violation>,
+}
+
+impl CheckReport {
+    /// No violations and no excused stale observations: the run was fully
+    /// disciplined and coherent.
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty()
+            && self.stats.stale_excused == 0
+            && self.stats.nc_write_races == 0
+    }
+}
+
+/// A shadow L1 line.
+#[derive(Clone, Copy, Debug)]
+struct ShadowLine {
+    state: L1State,
+    nc: bool,
+    /// Version of the block's data this copy holds.
+    ver: u64,
+    /// The copy is known-stale through an NC race; reads of it are excused.
+    stale_ok: bool,
+}
+
+/// A shadow LLC line.
+#[derive(Clone, Copy, Debug)]
+struct ShadowLlc {
+    nc: bool,
+    ver: u64,
+}
+
+/// The golden-memory shadow model. See the module docs for the invariant
+/// list. Construct with [`ShadowChecker::new`] (fail fast) or
+/// [`ShadowChecker::collecting`] (accumulate violations for harnesses),
+/// then attach via [`Machine::attach_checker`].
+pub struct ShadowChecker {
+    ncores: usize,
+    write_through: bool,
+    fail_fast: bool,
+    discipline: bool,
+    l1: Vec<BTreeMap<u64, ShadowLine>>,
+    llc: BTreeMap<u64, ShadowLlc>,
+    mem: BTreeMap<u64, u64>,
+    /// Golden model: latest written version per block.
+    cur: BTreeMap<u64, u64>,
+    /// Directory-presence mirror (which blocks have an entry).
+    dir: BTreeSet<u64>,
+    /// Per-core registered physical ranges (mirror of the NCRT).
+    ncrt: Vec<Vec<(u64, u64)>>,
+    touched: BTreeSet<u64>,
+    violations: Vec<Violation>,
+    /// Recent events, for counterexample dumps.
+    recent: VecDeque<CheckEvent>,
+    /// Checker counters.
+    pub stats: CheckStats,
+}
+
+/// Number of recent events kept for failure dumps.
+const RECENT_EVENTS: usize = 96;
+
+/// Whether `RACCD_SHADOW_CHECK` force-enables the checker process-wide.
+pub fn shadow_check_forced() -> bool {
+    static FORCED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *FORCED.get_or_init(|| {
+        std::env::var("RACCD_SHADOW_CHECK")
+            .map(|v| !v.is_empty() && v != "0")
+            .unwrap_or(false)
+    })
+}
+
+impl ShadowChecker {
+    /// A fail-fast checker for `cfg`: the first violation panics with a
+    /// recent-event dump.
+    pub fn new(cfg: &MachineConfig) -> Self {
+        ShadowChecker {
+            ncores: cfg.ncores,
+            write_through: cfg.l1_write_through,
+            fail_fast: true,
+            discipline: false,
+            l1: (0..cfg.ncores).map(|_| BTreeMap::new()).collect(),
+            llc: BTreeMap::new(),
+            mem: BTreeMap::new(),
+            cur: BTreeMap::new(),
+            dir: BTreeSet::new(),
+            ncrt: (0..cfg.ncores).map(|_| Vec::new()).collect(),
+            touched: BTreeSet::new(),
+            violations: Vec::new(),
+            recent: VecDeque::with_capacity(RECENT_EVENTS),
+            stats: CheckStats::default(),
+        }
+    }
+
+    /// A collecting checker: violations accumulate and are drained by the
+    /// harness ([`ShadowChecker::take_violations`]) — used by the explorer
+    /// and trace minimizer, which need to continue past a failure.
+    pub fn collecting(cfg: &MachineConfig) -> Self {
+        let mut c = Self::new(cfg);
+        c.fail_fast = false;
+        c
+    }
+
+    /// Violations collected so far (collecting mode).
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// Drain collected violations.
+    pub fn take_violations(&mut self) -> Vec<Violation> {
+        std::mem::take(&mut self.violations)
+    }
+
+    /// The recent-event window, rendered one event per line.
+    pub fn recent_events(&self) -> String {
+        let mut s = String::new();
+        for ev in &self.recent {
+            let _ = writeln!(s, "  {ev:?}");
+        }
+        s
+    }
+
+    fn violation(&mut self, code: &'static str, detail: String) {
+        let v = Violation { code, detail };
+        if self.fail_fast {
+            let dump = format!(
+                "shadow coherence checker violation: {v}\nrecent events:\n{}",
+                self.recent_events()
+            );
+            if let Ok(dir) = std::env::var("RACCD_CHECK_DUMP_DIR") {
+                if !dir.is_empty() {
+                    let _ = std::fs::create_dir_all(&dir);
+                    let path = format!("{}/shadow-{}-{}.log", dir, v.code, std::process::id());
+                    let _ = std::fs::write(&path, &dump);
+                }
+            }
+            panic!("{dump}");
+        }
+        self.violations.push(v);
+    }
+
+    #[inline]
+    fn cur_of(&self, b: u64) -> u64 {
+        self.cur.get(&b).copied().unwrap_or(0)
+    }
+
+    #[inline]
+    fn mem_of(&self, b: u64) -> u64 {
+        self.mem.get(&b).copied().unwrap_or(0)
+    }
+
+    fn bump(&mut self, b: u64) -> u64 {
+        let e = self.cur.entry(b).or_insert(0);
+        *e += 1;
+        *e
+    }
+
+    /// Is there an unflushed NC copy of `b` newer than version `v`
+    /// anywhere (another L1, or the NC LLC line)? Such a copy excuses a
+    /// stale observation: the newer data is outside the coherent world.
+    fn nc_newer_exists(&self, b: u64, v: u64) -> bool {
+        if let Some(l) = self.llc.get(&b) {
+            if l.nc && l.ver > v {
+                return true;
+            }
+        }
+        self.l1
+            .iter()
+            .any(|m| m.get(&b).is_some_and(|l| l.nc && l.ver > v))
+    }
+
+    /// Check one observed version against the golden model.
+    fn observe(&mut self, core: usize, b: u64, v: u64, line_excused: bool, what: &str) {
+        let cur = self.cur_of(b);
+        if v == cur {
+            return;
+        }
+        if line_excused || self.nc_newer_exists(b, v) {
+            self.stats.stale_excused += 1;
+        } else {
+            self.violation(
+                "data-value",
+                format!(
+                    "core {core} {what} of block {b:#x} observed version {v}, \
+                     last write is version {cur}"
+                ),
+            );
+        }
+    }
+
+    /// Record a write by `core`: a *coherent* write must have invalidated
+    /// every other coherent copy already (SWMR); surviving NC copies (and,
+    /// for NC writes, any surviving copy) are racing through the
+    /// non-coherent world — mark them excused and count the race.
+    fn record_write(&mut self, core: usize, b: u64, coherent_write: bool) -> u64 {
+        let mut coherent_survivors = Vec::new();
+        let mut raced = Vec::new();
+        for c in 0..self.ncores {
+            if c == core {
+                continue;
+            }
+            if let Some(l) = self.l1[c].get(&b) {
+                if coherent_write && !l.nc {
+                    coherent_survivors.push(c);
+                } else {
+                    raced.push(c);
+                }
+            }
+        }
+        for c in coherent_survivors {
+            self.violation(
+                "swmr",
+                format!(
+                    "core {core} wrote block {b:#x} coherently while core {c} \
+                     still holds a coherent copy"
+                ),
+            );
+        }
+        for c in raced {
+            if let Some(l) = self.l1[c].get_mut(&b) {
+                l.stale_ok = true;
+            }
+            self.stats.nc_write_races += 1;
+        }
+        self.bump(b)
+    }
+
+    /// Version of the data the fill response carries, resolved along the
+    /// same path the machine serves it: previous owner's cache (owner
+    /// forward — necessarily a *coherent* copy; on a write forward the
+    /// owner was already invalidated and its dirty data folded into the
+    /// LLC), else the home LLC, else memory (an LLC refill always precedes
+    /// the response, so the LLC branch covers memory fetches too).
+    /// Returns `(version, excused)`: `excused` is set when the source line
+    /// itself holds excused-stale data (it read through an NC race) — the
+    /// taint travels with the forwarded data.
+    fn source_version(&self, core: usize, b: u64, from_owner: bool) -> (u64, bool) {
+        if from_owner {
+            let best = (0..self.ncores)
+                .filter(|&c| c != core)
+                .filter_map(|c| self.l1[c].get(&b).filter(|l| !l.nc))
+                .max_by_key(|l| l.ver);
+            if let Some(l) = best {
+                return (l.ver, l.stale_ok);
+            }
+        }
+        match self.llc.get(&b) {
+            Some(l) => (l.ver, false),
+            None => (self.mem_of(b), false),
+        }
+    }
+
+    /// Propagate a written-back version: into the LLC if the line is
+    /// resident, else to memory when the machine path has a memory
+    /// fallback, else the data was dropped — an inclusion violation.
+    fn writeback(&mut self, b: u64, ver: u64, mem_fallback_ok: bool, what: &str) {
+        if let Some(l) = self.llc.get_mut(&b) {
+            if ver > l.ver {
+                l.ver = ver;
+            }
+        } else if mem_fallback_ok {
+            let m = self.mem.entry(b).or_insert(0);
+            if ver > *m {
+                *m = ver;
+            }
+        } else {
+            self.violation(
+                "writeback-lost",
+                format!("{what} of block {b:#x}: no LLC line to receive dirty data"),
+            );
+        }
+    }
+
+    /// Whether block `b` overlaps a range registered at `core`. Overlap —
+    /// not containment — because the NCRT lookup is byte-granular: a block
+    /// straddling a region boundary goes non-coherent when the *accessed
+    /// byte* is registered.
+    fn registered(&self, core: usize, b: u64) -> bool {
+        let lo = b * BLOCK_SIZE;
+        let hi = lo + BLOCK_SIZE;
+        self.ncrt[core].iter().any(|&(s, e)| lo < e && hi > s)
+    }
+
+    /// Structural invariants for one block, from the mirror alone.
+    fn block_violations(&self, b: u64) -> Vec<Violation> {
+        let mut out = Vec::new();
+        let mut push = |code, detail| out.push(Violation { code, detail });
+        let mut coherent = 0usize;
+        let mut exclusive_holders = 0usize;
+        for (c, m) in self.l1.iter().enumerate() {
+            if let Some(l) = m.get(&b) {
+                if self.write_through && l.state == L1State::Modified {
+                    push(
+                        "wt-dirty",
+                        format!("core {c} holds a Modified line {b:#x} under write-through"),
+                    );
+                }
+                if !l.nc {
+                    coherent += 1;
+                    if l.state != L1State::Shared {
+                        exclusive_holders += 1;
+                    }
+                }
+            }
+        }
+        if exclusive_holders > 1 || (exclusive_holders == 1 && coherent > 1) {
+            push(
+                "swmr",
+                format!(
+                    "block {b:#x}: {exclusive_holders} M/E holder(s) among \
+                     {coherent} coherent copies"
+                ),
+            );
+        }
+        let llc = self.llc.get(&b);
+        let in_dir = self.dir_contains(b);
+        if let Some(l) = llc {
+            if l.nc {
+                if in_dir {
+                    push(
+                        "nc-exclusivity",
+                        format!("directory entry for NC LLC line {b:#x}"),
+                    );
+                }
+                if coherent > 0 {
+                    push(
+                        "nc-exclusivity",
+                        format!("{coherent} coherent sharer(s) of NC LLC line {b:#x}"),
+                    );
+                }
+            }
+        }
+        if in_dir && llc.is_none_or(|l| l.nc) {
+            push(
+                "dir-inclusion",
+                format!("directory entry without coherent LLC line for {b:#x}"),
+            );
+        }
+        if coherent > 0 {
+            if llc.is_none() {
+                push(
+                    "l1-inclusion",
+                    format!("coherent L1 line {b:#x} not resident in the LLC"),
+                );
+            }
+            if !in_dir {
+                push(
+                    "stranded-sharer",
+                    format!(
+                        "{coherent} coherent L1 cop(ies) of {b:#x} with no \
+                         directory entry tracking them"
+                    ),
+                );
+            }
+        }
+        out
+    }
+
+    fn dir_contains(&self, b: u64) -> bool {
+        self.dir.contains(&b)
+    }
+
+    fn check_touched(&mut self) {
+        let touched = std::mem::take(&mut self.touched);
+        for b in touched {
+            for v in self.block_violations(b) {
+                self.violation(v.code, v.detail);
+            }
+        }
+    }
+
+    /// Full cross-validation of the shadow mirror against the real machine
+    /// state, plus the structural invariants over every tracked block.
+    /// Catches any machine mutation path that failed to emit its event.
+    pub fn audit(&self, m: &Machine) -> Vec<Violation> {
+        let mut out = Vec::new();
+        let mut push = |code, detail| out.push(Violation { code, detail });
+        // L1 mirrors match exactly.
+        for c in 0..self.ncores {
+            let mut machine_blocks = BTreeSet::new();
+            for (block, line) in m.l1(c).iter() {
+                machine_blocks.insert(block.0);
+                match self.l1[c].get(&block.0) {
+                    None => push(
+                        "mirror-desync",
+                        format!("core {c} holds {block:?} unknown to the shadow"),
+                    ),
+                    Some(sl) => {
+                        if sl.state != line.state || sl.nc != line.nc {
+                            push(
+                                "mirror-desync",
+                                format!(
+                                    "core {c} line {block:?}: machine {:?}/nc={} vs \
+                                     shadow {:?}/nc={}",
+                                    line.state, line.nc, sl.state, sl.nc
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+            for &b in self.l1[c].keys() {
+                if !machine_blocks.contains(&b) {
+                    push(
+                        "mirror-desync",
+                        format!("shadow thinks core {c} holds {b:#x}; machine does not"),
+                    );
+                }
+            }
+        }
+        // LLC mirror matches; a machine-clean line must not hide a newer
+        // shadow version (that would be dirty data the machine lost).
+        let mut machine_llc = BTreeSet::new();
+        for bank in 0..self.ncores {
+            for (block, line) in m.llc_bank(bank).iter() {
+                machine_llc.insert(block.0);
+                match self.llc.get(&block.0) {
+                    None => push(
+                        "mirror-desync",
+                        format!("LLC holds {block:?} unknown to the shadow"),
+                    ),
+                    Some(sl) => {
+                        if sl.nc != line.nc {
+                            push(
+                                "mirror-desync",
+                                format!(
+                                    "LLC line {block:?}: machine nc={} vs shadow nc={}",
+                                    line.nc, sl.nc
+                                ),
+                            );
+                        }
+                        if !line.dirty && sl.ver > self.mem_of(block.0) {
+                            push(
+                                "lost-dirty",
+                                format!(
+                                    "LLC line {block:?} is clean but the shadow \
+                                     says it is newer than memory"
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        for &b in self.llc.keys() {
+            if !machine_llc.contains(&b) {
+                push(
+                    "mirror-desync",
+                    format!("shadow thinks the LLC holds {b:#x}; machine does not"),
+                );
+            }
+        }
+        // Directory: presence matches the shadow; tracked sharers are a
+        // superset of the actual coherent holders (silent Shared evictions
+        // leave stale bits — the other direction would lose invalidations);
+        // the owner pointer is precise for M/E holders.
+        let mut machine_dir = BTreeSet::new();
+        for bank in 0..self.ncores {
+            for (block, entry) in m.dir_bank(bank).iter() {
+                machine_dir.insert(block.0);
+                if !self.dir.contains(&block.0) {
+                    push(
+                        "mirror-desync",
+                        format!("directory holds {block:?} unknown to the shadow"),
+                    );
+                }
+                let holders = entry.all_holders();
+                for (c, lm) in self.l1.iter().enumerate() {
+                    if let Some(l) = lm.get(&block.0) {
+                        if l.nc {
+                            continue;
+                        }
+                        if holders & (1u64 << c) == 0 {
+                            push(
+                                "stranded-sharer",
+                                format!(
+                                    "core {c} holds coherent {block:?} but the \
+                                     directory does not track it"
+                                ),
+                            );
+                        }
+                        if l.state != L1State::Shared && entry.owner != Some(c as u8) {
+                            push(
+                                "swmr",
+                                format!(
+                                    "core {c} holds {block:?} in {:?} but the \
+                                     directory owner is {:?}",
+                                    l.state, entry.owner
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        for &b in &self.dir {
+            if !machine_dir.contains(&b) {
+                push(
+                    "mirror-desync",
+                    format!("shadow thinks the directory holds {b:#x}; machine does not"),
+                );
+            }
+        }
+        // Structural invariants over every tracked block.
+        let mut blocks: BTreeSet<u64> = BTreeSet::new();
+        blocks.extend(self.llc.keys().copied());
+        blocks.extend(self.dir.iter().copied());
+        for lm in &self.l1 {
+            blocks.extend(lm.keys().copied());
+        }
+        for b in blocks {
+            out.extend(self.block_violations(b));
+        }
+        out
+    }
+
+    /// Run [`ShadowChecker::audit`] and route the findings through the
+    /// violation policy (panic in fail-fast mode, collect otherwise).
+    pub fn run_audit(&mut self, m: &Machine) {
+        self.stats.audits += 1;
+        for v in self.audit(m) {
+            self.violation(v.code, v.detail);
+        }
+    }
+
+    /// A canonical fingerprint of the combined shadow + machine coherence
+    /// state, with per-block versions renamed to dense ranks so that runs
+    /// differing only in absolute version numbers (or cycle counts)
+    /// collapse to the same key. The exhaustive explorer uses this to
+    /// close its state space. PLRU replacement state is *not* included:
+    /// explorer configurations are sized so no L1/LLC capacity eviction
+    /// can occur (directory conflicts use 1-way banks, which replace
+    /// deterministically).
+    pub fn state_key(&self, m: &Machine) -> String {
+        let mut blocks: BTreeSet<u64> = BTreeSet::new();
+        blocks.extend(self.cur.keys().copied());
+        blocks.extend(self.llc.keys().copied());
+        blocks.extend(self.mem.keys().copied());
+        for lm in &self.l1 {
+            blocks.extend(lm.keys().copied());
+        }
+        let mut s = String::new();
+        for b in blocks {
+            let mut vers: BTreeSet<u64> = BTreeSet::new();
+            vers.insert(self.cur_of(b));
+            vers.insert(self.mem_of(b));
+            if let Some(l) = self.llc.get(&b) {
+                vers.insert(l.ver);
+            }
+            for lm in &self.l1 {
+                if let Some(l) = lm.get(&b) {
+                    vers.insert(l.ver);
+                }
+            }
+            let rank = |v: u64| vers.iter().position(|&x| x == v).unwrap_or(0);
+            let _ = write!(
+                s,
+                "b{:x}[cur{} mem{}",
+                b,
+                rank(self.cur_of(b)),
+                rank(self.mem_of(b))
+            );
+            let home = m.home_of(BlockAddr(b));
+            if let Some(l) = self.llc.get(&b) {
+                let dirty = m
+                    .llc_bank(home)
+                    .probe(BlockAddr(b))
+                    .map(|ml| ml.dirty)
+                    .unwrap_or(false);
+                let _ = write!(
+                    s,
+                    " llc{}{}{}",
+                    u8::from(l.nc),
+                    u8::from(dirty),
+                    rank(l.ver)
+                );
+            }
+            if let Some(e) = m.dir_bank(home).probe(BlockAddr(b)) {
+                let _ = write!(s, " dir{:?}/{:x}", e.owner, e.all_holders());
+            }
+            for (c, lm) in self.l1.iter().enumerate() {
+                if let Some(l) = lm.get(&b) {
+                    let st = match l.state {
+                        L1State::Modified => 'M',
+                        L1State::Exclusive => 'E',
+                        L1State::Shared => 'S',
+                    };
+                    let _ = write!(
+                        s,
+                        " c{}{}{}{}{}",
+                        c,
+                        st,
+                        u8::from(l.nc),
+                        rank(l.ver),
+                        u8::from(l.stale_ok)
+                    );
+                }
+            }
+            s.push(']');
+        }
+        for bank in 0..self.ncores {
+            let _ = write!(s, "k{}", m.dir_bank(bank).capacity());
+        }
+        s
+    }
+
+    fn apply(&mut self, ev: &CheckEvent) {
+        self.stats.events += 1;
+        if self.recent.len() == RECENT_EVENTS {
+            self.recent.pop_front();
+        }
+        self.recent.push_back(ev.clone());
+        match *ev {
+            CheckEvent::L1Hit {
+                core,
+                block,
+                write,
+                nc,
+            } => {
+                let b = block.0;
+                self.touched.insert(b);
+                let Some(line) = self.l1[core].get(&b).copied() else {
+                    self.violation(
+                        "mirror-desync",
+                        format!("core {core} hit {block:?} absent from the shadow"),
+                    );
+                    return;
+                };
+                if line.nc != nc {
+                    self.violation(
+                        "mirror-desync",
+                        format!(
+                            "core {core} hit {block:?}: machine nc={nc} vs shadow nc={}",
+                            line.nc
+                        ),
+                    );
+                }
+                if write {
+                    self.stats.writes_checked += 1;
+                    self.observe(core, b, line.ver, line.stale_ok, "write base");
+                    let ver = self.record_write(core, b, !nc);
+                    let state = if self.write_through {
+                        L1State::Exclusive
+                    } else {
+                        L1State::Modified
+                    };
+                    let l = self.l1[core].get_mut(&b).expect("line just seen");
+                    l.ver = ver;
+                    l.state = state;
+                    l.stale_ok = false;
+                } else {
+                    self.stats.reads_checked += 1;
+                    self.observe(core, b, line.ver, line.stale_ok, "read");
+                }
+            }
+            CheckEvent::Fill {
+                core,
+                block,
+                write,
+                nc,
+                state,
+                from_owner,
+            } => {
+                let b = block.0;
+                self.touched.insert(b);
+                if self.l1[core].contains_key(&b) {
+                    self.violation(
+                        "mirror-desync",
+                        format!("core {core} filled {block:?} it already holds"),
+                    );
+                }
+                let (v_src, src_excused) = self.source_version(core, b, from_owner);
+                if write {
+                    self.stats.writes_checked += 1;
+                    self.observe(core, b, v_src, src_excused, "write base (fill)");
+                } else {
+                    self.stats.reads_checked += 1;
+                    self.observe(core, b, v_src, src_excused, "read (fill)");
+                }
+                if nc && self.discipline {
+                    self.stats.discipline_checked += 1;
+                    if !self.registered(core, b) {
+                        self.violation(
+                            "nc-discipline",
+                            format!(
+                                "core {core} filled {block:?} non-coherently outside \
+                                 every registered region"
+                            ),
+                        );
+                    }
+                }
+                let (ver, stale_ok) = if write {
+                    (self.record_write(core, b, !nc), false)
+                } else {
+                    (v_src, src_excused || v_src != self.cur_of(b))
+                };
+                self.l1[core].insert(
+                    b,
+                    ShadowLine {
+                        state,
+                        nc,
+                        ver,
+                        stale_ok,
+                    },
+                );
+            }
+            CheckEvent::L1Evict {
+                core,
+                block,
+                state,
+                nc,
+            } => {
+                let b = block.0;
+                self.touched.insert(b);
+                match self.l1[core].remove(&b) {
+                    None => self.violation(
+                        "mirror-desync",
+                        format!("core {core} evicted {block:?} absent from the shadow"),
+                    ),
+                    Some(l) => {
+                        if l.state != state || l.nc != nc {
+                            self.violation(
+                                "mirror-desync",
+                                format!(
+                                    "core {core} evicted {block:?} as {state:?}/nc={nc}, \
+                                     shadow had {:?}/nc={}",
+                                    l.state, l.nc
+                                ),
+                            );
+                        }
+                        if l.state == L1State::Modified {
+                            // NC write-backs fall through to memory when the
+                            // LLC replaced the line; coherent ones cannot
+                            // (inclusion keeps the line resident).
+                            self.writeback(b, l.ver, l.nc, "L1 eviction write-back");
+                        }
+                    }
+                }
+            }
+            CheckEvent::L1Invalidated {
+                core,
+                block,
+                present,
+                dirty,
+            } => {
+                let b = block.0;
+                self.touched.insert(b);
+                let line = self.l1[core].remove(&b);
+                if line.is_some() != present {
+                    self.violation(
+                        "mirror-desync",
+                        format!(
+                            "invalidation of {block:?} at core {core}: machine \
+                             present={present}, shadow present={}",
+                            line.is_some()
+                        ),
+                    );
+                }
+                if let Some(l) = line {
+                    if (l.state == L1State::Modified) != dirty {
+                        self.violation(
+                            "mirror-desync",
+                            format!(
+                                "invalidation of {block:?} at core {core}: machine \
+                                 dirty={dirty}, shadow state {:?}",
+                                l.state
+                            ),
+                        );
+                    }
+                    if dirty {
+                        // Capacity/ADR eviction paths forward recovered dirty
+                        // data to memory once the LLC line is gone.
+                        self.writeback(b, l.ver, true, "invalidation write-back");
+                    }
+                }
+            }
+            CheckEvent::L1Downgraded {
+                core,
+                block,
+                was_dirty,
+            } => {
+                let b = block.0;
+                self.touched.insert(b);
+                let prev = match self.l1[core].get_mut(&b) {
+                    None => {
+                        self.violation(
+                            "mirror-desync",
+                            format!("downgrade of {block:?} at core {core}: no shadow line"),
+                        );
+                        return;
+                    }
+                    Some(l) => {
+                        let prev = *l;
+                        l.state = L1State::Shared;
+                        prev
+                    }
+                };
+                if (prev.state == L1State::Modified) != was_dirty {
+                    self.violation(
+                        "mirror-desync",
+                        format!(
+                            "downgrade of {block:?} at core {core}: machine \
+                             dirty={was_dirty}, shadow state {:?}",
+                            prev.state
+                        ),
+                    );
+                }
+                if was_dirty {
+                    self.writeback(b, prev.ver, false, "downgrade write-back");
+                }
+            }
+            CheckEvent::L1FlushedNc { core, block, state } => {
+                let b = block.0;
+                self.touched.insert(b);
+                match self.l1[core].remove(&b) {
+                    None => self.violation(
+                        "mirror-desync",
+                        format!("NC flush of {block:?} at core {core}: no shadow line"),
+                    ),
+                    Some(l) => {
+                        if !l.nc {
+                            self.violation(
+                                "mirror-desync",
+                                format!("NC flush removed coherent shadow line {block:?}"),
+                            );
+                        }
+                        if state == L1State::Modified {
+                            self.writeback(b, l.ver, true, "raccd_invalidate write-back");
+                        }
+                    }
+                }
+            }
+            CheckEvent::L1FlushedPage {
+                core,
+                block,
+                state,
+                nc: _,
+            } => {
+                let b = block.0;
+                self.touched.insert(b);
+                match self.l1[core].remove(&b) {
+                    None => self.violation(
+                        "mirror-desync",
+                        format!("page flush of {block:?} at core {core}: no shadow line"),
+                    ),
+                    Some(l) => {
+                        if state == L1State::Modified {
+                            self.writeback(b, l.ver, true, "page flush write-back");
+                        }
+                    }
+                }
+            }
+            CheckEvent::LlcFill { block, nc } => {
+                let b = block.0;
+                self.touched.insert(b);
+                let ver = self.mem_of(b);
+                if self.llc.insert(b, ShadowLlc { nc, ver }).is_some() {
+                    self.violation(
+                        "mirror-desync",
+                        format!("LLC filled {block:?} it already holds"),
+                    );
+                }
+            }
+            CheckEvent::LlcEvict { block, nc, dirty } => {
+                let b = block.0;
+                self.touched.insert(b);
+                match self.llc.remove(&b) {
+                    None => self.violation(
+                        "mirror-desync",
+                        format!("LLC evicted {block:?} absent from the shadow"),
+                    ),
+                    Some(l) => {
+                        if l.nc != nc {
+                            self.violation(
+                                "mirror-desync",
+                                format!(
+                                    "LLC evicted {block:?} with nc={nc}, shadow had nc={}",
+                                    l.nc
+                                ),
+                            );
+                        }
+                        if l.ver > self.mem_of(b) {
+                            if !dirty {
+                                self.violation(
+                                    "lost-dirty",
+                                    format!(
+                                        "LLC evicted {block:?} clean while holding data \
+                                         newer than memory"
+                                    ),
+                                );
+                            }
+                            self.mem.insert(b, l.ver);
+                        }
+                    }
+                }
+            }
+            CheckEvent::WriteThrough { core, block } => {
+                let b = block.0;
+                self.touched.insert(b);
+                let ver = match self.l1[core].get(&b) {
+                    Some(l) => l.ver,
+                    None => {
+                        self.violation(
+                            "mirror-desync",
+                            format!("write-through from core {core} without a shadow line"),
+                        );
+                        return;
+                    }
+                };
+                self.writeback(b, ver, true, "write-through");
+            }
+            CheckEvent::NcToCoherent { block } => {
+                let b = block.0;
+                self.touched.insert(b);
+                match self.llc.get_mut(&b) {
+                    Some(l) if l.nc => l.nc = false,
+                    _ => self.violation(
+                        "mirror-desync",
+                        format!("NC→coherent transition on non-NC/absent LLC line {block:?}"),
+                    ),
+                }
+            }
+            CheckEvent::CoherentToNc { block } => {
+                let b = block.0;
+                self.touched.insert(b);
+                match self.llc.get_mut(&b) {
+                    Some(l) if !l.nc => l.nc = true,
+                    _ => self.violation(
+                        "mirror-desync",
+                        format!("coherent→NC transition on NC/absent LLC line {block:?}"),
+                    ),
+                }
+            }
+            CheckEvent::DirAllocate { block, core: _ } => {
+                let b = block.0;
+                self.touched.insert(b);
+                if !self.dir.insert(b) {
+                    self.violation(
+                        "mirror-desync",
+                        format!("directory allocated {block:?} it already tracks"),
+                    );
+                }
+            }
+            CheckEvent::DirDeallocate { block } => {
+                let b = block.0;
+                self.touched.insert(b);
+                if !self.dir.remove(&b) {
+                    self.violation(
+                        "mirror-desync",
+                        format!("directory deallocated untracked {block:?}"),
+                    );
+                }
+            }
+            CheckEvent::DirEvicted { block, holders: _ } => {
+                let b = block.0;
+                self.touched.insert(b);
+                if !self.dir.remove(&b) {
+                    self.violation(
+                        "mirror-desync",
+                        format!("directory evicted untracked {block:?}"),
+                    );
+                }
+                // The holder invalidations follow as events; OpEnd's
+                // stranded-sharer check over this touched block verifies
+                // none survive the eviction.
+            }
+            CheckEvent::AdrResized { .. } => {}
+            CheckEvent::NcrtLoaded { core, ref ranges } => {
+                self.ncrt[core] = ranges.clone();
+            }
+            CheckEvent::NcInvalidate { core } => {
+                self.ncrt[core].clear();
+                let leftover: Vec<u64> = self.l1[core]
+                    .iter()
+                    .filter(|(_, l)| l.nc)
+                    .map(|(&b, _)| b)
+                    .collect();
+                for b in leftover {
+                    self.violation(
+                        "nc-discipline",
+                        format!(
+                            "core {core} still holds NC line {b:#x} after \
+                             raccd_invalidate completed"
+                        ),
+                    );
+                }
+            }
+            CheckEvent::DisciplineOn => self.discipline = true,
+            CheckEvent::OpEnd => self.check_touched(),
+        }
+    }
+}
+
+/// Directory-presence mirror, stored separately so `block_violations` can
+/// borrow the rest of the checker immutably.
+impl ShadowChecker {
+    fn finish_report(&mut self) -> CheckReport {
+        CheckReport {
+            stats: self.stats,
+            violations: std::mem::take(&mut self.violations),
+        }
+    }
+}
+
+impl CheckSink for ShadowChecker {
+    fn on_event(&mut self, ev: &CheckEvent) {
+        self.apply(ev);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+
+    fn finish(&mut self) -> CheckReport {
+        self.finish_report()
+    }
+}

@@ -159,6 +159,10 @@ pub struct MachineConfig {
     /// drain. Off by default (the paper's normalised comparisons do not
     /// depend on it); enables the `ablations -- contention` study.
     pub bank_contention: bool,
+    /// Attach a fail-fast shadow coherence checker ([`crate::check`]) to
+    /// every machine built with this configuration. Also force-enabled
+    /// process-wide by the `RACCD_SHADOW_CHECK` environment variable.
+    pub shadow_check: bool,
     /// Latencies.
     pub lat: Latencies,
     /// Runtime phase costs.
@@ -190,6 +194,7 @@ impl MachineConfig {
             record_events: false,
             permuted_pages: false,
             bank_contention: false,
+            shadow_check: false,
             lat: Latencies::default(),
             runtime: RuntimeCosts::default(),
         }
@@ -260,6 +265,13 @@ impl MachineConfig {
     /// Enable/disable bank-contention modelling.
     pub fn with_contention(mut self, on: bool) -> Self {
         self.bank_contention = on;
+        self
+    }
+
+    /// Enable/disable the shadow coherence checker for machines built from
+    /// this configuration.
+    pub fn with_shadow_check(mut self, on: bool) -> Self {
+        self.shadow_check = on;
         self
     }
 

@@ -14,16 +14,21 @@
 //!   proportionally scaled default used by tests and benches (DESIGN.md §2).
 //! * [`stats`] — counters for every metric the evaluation reports.
 //! * [`machine`] — the machine state and access paths.
+//! * [`check`] — the shadow golden-memory coherence checker (SWMR,
+//!   data-value, inclusion and RaCCD-safety invariants), attachable to any
+//!   machine and force-enabled via `RACCD_SHADOW_CHECK=1`.
 //!
 //! Timing model: each memory reference is processed atomically at its
 //! core's local time; latencies accumulate per Table I. Directory and LLC
 //! lookups of a coherent transaction proceed in parallel (both 15 cycles);
 //! non-coherent requests skip the directory entirely.
 
+pub mod check;
 pub mod config;
 pub mod machine;
 pub mod stats;
 
+pub use check::{CheckEvent, CheckReport, CheckSink, CheckStats, ShadowChecker, Violation};
 pub use config::{Latencies, MachineConfig, RuntimeCosts, SchedPolicy, DIR_RATIOS};
 pub use machine::{CoherenceEvent, L1LookupResult, Machine, TimedEvent};
 pub use stats::Stats;

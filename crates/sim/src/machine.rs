@@ -26,6 +26,7 @@
 //! (inclusive hierarchy). NC blocks may live in L1/LLC with no entry.
 //! `debug_assert`s and the `machine_invariants` test enforce this.
 
+use crate::check::{shadow_check_forced, CheckEvent, CheckReport, CheckSink, ShadowChecker};
 use crate::config::MachineConfig;
 use crate::stats::Stats;
 use raccd_cache::{L1Cache, L1Line, L1State, LlcBank, LlcLine};
@@ -152,6 +153,9 @@ pub struct Machine {
     last_fill_shared: bool,
     /// Scratch: whether the last coherent fill was served cache-to-cache.
     last_fill_from_owner: bool,
+    /// Optional shadow coherence checker (see [`crate::check`]); receives a
+    /// [`CheckEvent`] from every state-mutating path.
+    checker: Option<Box<dyn CheckSink>>,
 }
 
 impl Machine {
@@ -196,7 +200,7 @@ impl Machine {
         } else {
             Vec::new()
         };
-        Machine {
+        let mut m = Machine {
             noc: Mesh::new(cfg.mesh_k, cfg.lat.link, cfg.lat.router, cfg.flit_bytes),
             bank_busy: vec![0; cfg.ncores],
             events: Vec::new(),
@@ -209,6 +213,72 @@ impl Machine {
             stats: Stats::default(),
             last_fill_shared: false,
             last_fill_from_owner: false,
+            checker: None,
+        };
+        if m.cfg.shadow_check || shadow_check_forced() {
+            m.checker = Some(Box::new(ShadowChecker::new(&m.cfg)));
+        }
+        m
+    }
+
+    /// Attach a checker sink (replacing any existing one). Harnesses use
+    /// this to install a collecting [`ShadowChecker`]; a fresh machine is
+    /// required (the shadow mirrors start empty).
+    pub fn attach_checker(&mut self, sink: Box<dyn CheckSink>) {
+        self.checker = Some(sink);
+    }
+
+    /// Detach the checker, producing its final report.
+    pub fn detach_checker(&mut self) -> Option<CheckReport> {
+        self.checker.take().map(|mut c| c.finish())
+    }
+
+    /// Whether a checker is attached.
+    pub fn has_checker(&self) -> bool {
+        self.checker.is_some()
+    }
+
+    /// The attached checker, for harness downcasts.
+    pub fn checker_mut(&mut self) -> Option<&mut dyn CheckSink> {
+        self.checker.as_deref_mut()
+    }
+
+    /// Forward a runtime-level note (NCRT loads, `raccd_invalidate`
+    /// completion, discipline arming) to the attached checker.
+    pub fn check_note(&mut self, ev: CheckEvent) {
+        self.check_ev(ev);
+    }
+
+    /// Cross-validate the shadow mirror against the real machine state
+    /// (no-op without a [`ShadowChecker`] attached). Called from
+    /// [`Machine::finalize`] and after every explorer step.
+    pub fn shadow_audit(&mut self) {
+        let Some(mut sink) = self.checker.take() else {
+            return;
+        };
+        if let Some(sc) = sink.as_any_mut().downcast_mut::<ShadowChecker>() {
+            sc.run_audit(self);
+        }
+        self.checker = Some(sink);
+    }
+
+    /// Canonical coherence-state fingerprint from the attached
+    /// [`ShadowChecker`] (None without one) — see
+    /// [`ShadowChecker::state_key`].
+    pub fn shadow_state_key(&self) -> Option<String> {
+        let sc = self
+            .checker
+            .as_ref()?
+            .as_any()
+            .downcast_ref::<ShadowChecker>()?;
+        Some(sc.state_key(self))
+    }
+
+    /// Forward an event to the attached checker, if any.
+    #[inline]
+    fn check_ev(&mut self, ev: CheckEvent) {
+        if let Some(c) = self.checker.as_mut() {
+            c.on_event(&ev);
         }
     }
 
@@ -375,6 +445,13 @@ impl Machine {
         let nc = line.nc;
         let state = line.state;
         if !write {
+            self.check_ev(CheckEvent::L1Hit {
+                core,
+                block,
+                write: false,
+                nc,
+            });
+            self.check_ev(CheckEvent::OpEnd);
             return L1LookupResult::Hit { cycles: lat_l1, nc };
         }
         let wt = self.cfg.l1_write_through;
@@ -406,9 +483,16 @@ impl Machine {
                 L1LookupResult::Hit { cycles, nc: false }
             }
         };
+        self.check_ev(CheckEvent::L1Hit {
+            core,
+            block,
+            write: true,
+            nc,
+        });
         if wt {
             self.write_through_update(core, block);
         }
+        self.check_ev(CheckEvent::OpEnd);
         result
     }
 
@@ -420,6 +504,7 @@ impl Machine {
         let home = self.home_of(block);
         self.noc.send(core, home, MsgClass::WriteBack);
         self.stats.write_throughs += 1;
+        self.check_ev(CheckEvent::WriteThrough { core, block });
         if let Some(l) = self.llc[home].probe_mut(block) {
             l.dirty = true;
         } else {
@@ -448,6 +533,7 @@ impl Machine {
                 e.record_getx(core);
                 let ev = self.dir[home].allocate(block, now, e);
                 self.stats.dir_allocations += 1;
+                self.check_ev(CheckEvent::DirAllocate { block, core });
                 if let Some(ev) = ev {
                     self.handle_dir_eviction(ev, now);
                 }
@@ -473,16 +559,23 @@ impl Machine {
             m &= m - 1;
             let lat = self.noc.send(home, holder, MsgClass::Control);
             self.stats.invalidations_sent += 1;
-            if let Some(line) = self.cores[holder].l1.invalidate(block) {
-                if line.dirty() {
-                    // Dirty data travels back to the home LLC bank.
-                    self.noc.send(holder, home, MsgClass::WriteBack);
-                    self.stats.l1_writebacks += 1;
-                    if let Some(llc_line) = self.llc[home].probe_mut(block) {
-                        llc_line.dirty = true;
-                    }
+            let invalidated = self.cores[holder].l1.invalidate(block);
+            let present = invalidated.is_some();
+            let dirty = invalidated.is_some_and(|line| line.dirty());
+            if dirty {
+                // Dirty data travels back to the home LLC bank.
+                self.noc.send(holder, home, MsgClass::WriteBack);
+                self.stats.l1_writebacks += 1;
+                if let Some(llc_line) = self.llc[home].probe_mut(block) {
+                    llc_line.dirty = true;
                 }
             }
+            self.check_ev(CheckEvent::L1Invalidated {
+                core: holder,
+                block,
+                present,
+                dirty,
+            });
             // Ack control message.
             let ack = self.noc.send(holder, home, MsgClass::Control);
             worst = worst.max(lat + ack);
@@ -530,15 +623,12 @@ impl Machine {
         } else {
             L1State::Exclusive
         };
-        if write && self.cfg.l1_write_through {
-            self.write_through_update(core, block);
-        }
+        let from_owner = !nc && self.last_fill_from_owner;
         if nc {
             self.stats.nc_fills += 1;
             self.event(now, CoherenceEvent::NcFill { core, block, write });
         } else {
             self.stats.coherent_fills += 1;
-            let from_owner = self.last_fill_from_owner;
             self.event(
                 now,
                 CoherenceEvent::CoherentFill {
@@ -549,10 +639,25 @@ impl Machine {
                 },
             );
         }
+        self.check_ev(CheckEvent::Fill {
+            core,
+            block,
+            write,
+            nc,
+            state,
+            from_owner,
+        });
+        // The store completes (and, under write-through, propagates) once
+        // the response arrives; the victim write-back is off the critical
+        // path behind it.
+        if write && self.cfg.l1_write_through {
+            self.write_through_update(core, block);
+        }
         let victim = self.cores[core].l1.fill(block, L1Line { state, nc, tid });
         if let Some((vblock, vline)) = victim {
             self.handle_l1_victim(core, vblock, vline, now);
         }
+        self.check_ev(CheckEvent::OpEnd);
         cycles
     }
 
@@ -569,10 +674,12 @@ impl Machine {
                 // invalidated defensively.
                 line.nc = true;
                 self.event(now, CoherenceEvent::CoherentToNc { block });
+                self.check_ev(CheckEvent::CoherentToNc { block });
                 self.dir[home].record_access(now);
                 self.stats.dir_accesses += 1;
                 if let Some(entry) = self.dir[home].deallocate(block, now) {
                     let holders = entry.all_holders();
+                    self.check_ev(CheckEvent::DirDeallocate { block });
                     self.invalidate_holders(home, block, holders, now);
                 }
                 self.maybe_adr(home, now);
@@ -638,6 +745,11 @@ impl Machine {
                                 l.dirty = true;
                             }
                         }
+                        self.check_ev(CheckEvent::L1Downgraded {
+                            core: o as usize,
+                            block,
+                            was_dirty,
+                        });
                     }
                     let e = self.dir[home].lookup(block).expect("entry");
                     e.downgrade_owner();
@@ -669,6 +781,7 @@ impl Machine {
                     l.nc = false;
                 }
                 self.event(now, CoherenceEvent::NcToCoherent { block });
+                self.check_ev(CheckEvent::NcToCoherent { block });
             } else {
                 cycles += self.fetch_from_memory(home, block, false, now);
             }
@@ -678,6 +791,7 @@ impl Machine {
             entry.record_getx(core);
             let ev = self.dir[home].allocate(block, now, entry);
             self.stats.dir_allocations += 1;
+            self.check_ev(CheckEvent::DirAllocate { block, core });
             if let Some(ev) = ev {
                 self.handle_dir_eviction(ev, now);
             }
@@ -697,6 +811,7 @@ impl Machine {
         self.stats.mem_reads += 1;
         cycles += self.noc.send(mc, home, MsgClass::DataResponse);
         let victim = self.llc[home].fill(block, LlcLine { dirty: false, nc });
+        self.check_ev(CheckEvent::LlcFill { block, nc });
         if let Some((vblock, vline)) = victim {
             self.handle_llc_victim(home, vblock, vline, now);
         }
@@ -707,10 +822,16 @@ impl Machine {
     /// entry and any private copies with them; dirty data goes to memory.
     fn handle_llc_victim(&mut self, home: usize, block: BlockAddr, line: LlcLine, now: u64) {
         let mut dirty = line.dirty;
+        self.check_ev(CheckEvent::LlcEvict {
+            block,
+            nc: line.nc,
+            dirty: line.dirty,
+        });
         if !line.nc {
             self.dir[home].record_access(now);
             self.stats.dir_accesses += 1;
             if let Some(entry) = self.dir[home].deallocate(block, now) {
+                self.check_ev(CheckEvent::DirDeallocate { block });
                 dirty |= self.invalidate_and_collect_dirty(home, block, entry.all_holders());
             }
             self.maybe_adr(home, now);
@@ -728,10 +849,21 @@ impl Machine {
         let home = self.home_of(ev.block);
         self.stats.dir_evictions += 1;
         self.event(now, CoherenceEvent::DirEviction { block: ev.block });
+        self.check_ev(CheckEvent::DirEvicted {
+            block: ev.block,
+            holders: ev.entry.all_holders(),
+        });
         let mut dirty = self.invalidate_and_collect_dirty(home, ev.block, ev.entry.all_holders());
         if let Some(line) = self.llc[home].invalidate(ev.block) {
             self.stats.llc_inclusion_invalidations += 1;
             dirty |= line.dirty;
+            // `dirty` here already folds in data recovered from private
+            // copies above — the single memory write below covers both.
+            self.check_ev(CheckEvent::LlcEvict {
+                block: ev.block,
+                nc: line.nc,
+                dirty,
+            });
         }
         if dirty {
             let mc = self.noc.mem_controller_for(home);
@@ -750,13 +882,20 @@ impl Machine {
             m &= m - 1;
             self.noc.send(home, holder, MsgClass::Control);
             self.stats.invalidations_sent += 1;
-            if let Some(line) = self.cores[holder].l1.invalidate(block) {
-                if line.dirty() {
-                    self.noc.send(holder, home, MsgClass::WriteBack);
-                    self.stats.l1_writebacks += 1;
-                    dirty = true;
-                }
+            let invalidated = self.cores[holder].l1.invalidate(block);
+            let present = invalidated.is_some();
+            let line_dirty = invalidated.is_some_and(|line| line.dirty());
+            if line_dirty {
+                self.noc.send(holder, home, MsgClass::WriteBack);
+                self.stats.l1_writebacks += 1;
+                dirty = true;
             }
+            self.check_ev(CheckEvent::L1Invalidated {
+                core: holder,
+                block,
+                present,
+                dirty: line_dirty,
+            });
         }
         dirty
     }
@@ -765,6 +904,12 @@ impl Machine {
     /// buffers), so traffic and state are accounted but no cycles returned.
     fn handle_l1_victim(&mut self, core: usize, block: BlockAddr, line: L1Line, now: u64) {
         let home = self.home_of(block);
+        self.check_ev(CheckEvent::L1Evict {
+            core,
+            block,
+            state: line.state,
+            nc: line.nc,
+        });
         if line.nc {
             if line.dirty() {
                 // NC write-back: LLC-only, no directory (§III-C3).
@@ -835,6 +980,11 @@ impl Machine {
             },
         );
         for (block, line) in flushed {
+            self.check_ev(CheckEvent::L1FlushedNc {
+                core,
+                block,
+                state: line.state,
+            });
             if line.dirty() {
                 cycles += 4; // pipelined NC write-back issue
                 let home = self.home_of(block);
@@ -849,6 +999,7 @@ impl Machine {
                 }
             }
         }
+        self.check_ev(CheckEvent::OpEnd);
         cycles
     }
 
@@ -864,6 +1015,12 @@ impl Machine {
         for (block, line) in flushed {
             cycles += 4;
             let home = self.home_of(block);
+            self.check_ev(CheckEvent::L1FlushedPage {
+                core,
+                block,
+                state: line.state,
+                nc: line.nc,
+            });
             if line.dirty() {
                 self.noc.send(core, home, MsgClass::WriteBack);
                 self.stats.l1_writebacks += 1;
@@ -885,6 +1042,7 @@ impl Machine {
                 }
             }
         }
+        self.check_ev(CheckEvent::OpEnd);
         cycles
     }
 
@@ -905,6 +1063,10 @@ impl Machine {
                     blocked_cycles: ev.blocked_cycles,
                 },
             );
+            self.check_ev(CheckEvent::AdrResized {
+                bank: home,
+                new_entries: ev.new_entries,
+            });
             for victim in ev.evicted {
                 self.handle_dir_eviction(victim, now);
             }
@@ -914,6 +1076,7 @@ impl Machine {
     /// Pull cache/TLB/NoC/directory counters into [`Stats`] and set the
     /// final cycle count. Call once, at end of simulation.
     pub fn finalize(&mut self, end_cycle: u64) -> Stats {
+        self.shadow_audit();
         self.stats.cycles = end_cycle;
         for c in &self.cores {
             let (h, m) = c.l1.stats();

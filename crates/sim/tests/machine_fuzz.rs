@@ -120,3 +120,28 @@ proptest! {
         prop_assert!(stats.llc_hit_ratio() >= 0.0 && stats.llc_hit_ratio() <= 1.0);
     }
 }
+
+/// Named regression for the seed committed in
+/// `machine_fuzz.proptest-regressions`: a page flush between two reads of
+/// the same block by the same core once desynchronised the L1 from the
+/// directory. The offline proptest shim does not read regression files,
+/// so the shrunken case is pinned here deterministically — and the shadow
+/// checker (when attached) revalidates the full data-value/inclusion
+/// invariant set over it.
+#[test]
+fn regression_page_flush_between_rereads() {
+    // cc c8b938c0…: ops = [Access(14, 21, false, false), FlushPage(14, 16),
+    // Access(14, 21, false, false)], dir_ratio = 1, write_through = false
+    let ops = [
+        Op::Access(14, 21, false, false),
+        Op::FlushPage(14, 16),
+        Op::Access(14, 21, false, false),
+    ];
+    let mut m = Machine::new(tiny_cfg(1, false));
+    for (i, &op) in ops.iter().enumerate() {
+        apply(&mut m, op, i as u64 * 10);
+        m.check_invariants();
+    }
+    let stats = m.finalize(100);
+    assert_eq!(stats.l1_hits + stats.l1_misses, 2);
+}

@@ -49,3 +49,25 @@ fn default_scales_verify() {
         assert!(w.verify(&p.mem).is_ok(), "{scale}");
     }
 }
+
+/// Named regression for the seed committed in
+/// `cholesky_kernels.proptest-regressions`: the degenerate single-tile
+/// factorisation (`tiles = 1`) — one POTRF, no TRSM/SYRK/GEMM — once
+/// failed verification. The offline proptest shim does not replay
+/// regression files, so the shrunken case is pinned deterministically
+/// across the kernel sizes the property test draws from.
+#[test]
+fn regression_single_tile_factorisation() {
+    // cc 3726c654…: shrinks to tiles = 1
+    for t in [4u64, 8, 16] {
+        let w = Cholesky {
+            tiles: 1,
+            t,
+            seed: 0,
+        };
+        let mut p = w.build();
+        assert_eq!(p.graph.len(), 1, "single tile is one POTRF task");
+        p.run_functional();
+        assert!(w.verify(&p.mem).is_ok(), "tiles=1 t={t}");
+    }
+}

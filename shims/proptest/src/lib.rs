@@ -2,8 +2,9 @@
 //!
 //! The build environment has no registry access, so this workspace vendors
 //! the small slice of the proptest API its property tests use: strategies
-//! built from ranges, `Just`, tuples, `prop_map`, weighted `prop_oneof!`,
-//! `collection::vec`, `any::<T>()`, and the `proptest!` test macro with an
+//! built from ranges, `Just`, tuples, `prop_map`, `prop_flat_map`,
+//! `prop_filter`, weighted `prop_oneof!`, `collection::vec`,
+//! `sample::select`, `any::<T>()`, and the `proptest!` test macro with an
 //! optional `ProptestConfig`. Values are generated from a deterministic
 //! SplitMix64 stream seeded per test and case, so failures are
 //! reproducible. Unlike real proptest there is **no shrinking**: a failing
@@ -66,7 +67,42 @@ pub trait Strategy {
     {
         Map { inner: self, f }
     }
+
+    /// Dependent strategies: generate a value, build a second strategy
+    /// from it, and draw the final value from that. The backbone of
+    /// state-machine tests where the operation alphabet depends on an
+    /// earlier structural choice (e.g. pick a core count, then generate
+    /// operations addressed to those cores).
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Rejection sampling: re-draw until `f` accepts a value. `reason` is
+    /// reported if generation fails [`FILTER_RETRIES`] times in a row —
+    /// keep predicates loose, exactly as with real proptest.
+    fn prop_filter<R, F>(self, reason: R, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        R: Into<String>,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            reason: reason.into(),
+            f,
+        }
+    }
 }
+
+/// Give up on a [`Strategy::prop_filter`] predicate after this many
+/// consecutive rejections (real proptest's local-rejection cap is 64 per
+/// draw with global backtracking; without shrinking a flat cap suffices).
+pub const FILTER_RETRIES: usize = 1000;
 
 /// Object-safe strategy view, used by [`Union`] for `prop_oneof!`.
 #[doc(hidden)]
@@ -91,6 +127,44 @@ impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
     type Value = U;
     fn generate(&self, rng: &mut TestRng) -> U {
         (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// `prop_flat_map` adapter.
+#[derive(Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// `prop_filter` adapter.
+#[derive(Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    reason: String,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..FILTER_RETRIES {
+            let v = self.inner.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter({:?}): no accepted value in {FILTER_RETRIES} draws",
+            self.reason
+        );
     }
 }
 
@@ -245,6 +319,32 @@ pub mod collection {
             let span = (self.len.end - self.len.start) as u64;
             let n = self.len.start + rng.below(span) as usize;
             (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Strategies that sample from explicit value sets
+/// (`proptest::sample`).
+pub mod sample {
+    use super::{Strategy, TestRng};
+
+    /// Uniformly select one of the given values. Panics on an empty set,
+    /// matching real proptest.
+    pub fn select<T: Clone + std::fmt::Debug>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "sample::select of an empty set");
+        Select { options }
+    }
+
+    /// The strategy [`select`] returns.
+    #[derive(Clone, Debug)]
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone + std::fmt::Debug> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.options[rng.below(self.options.len() as u64) as usize].clone()
         }
     }
 }
@@ -420,6 +520,62 @@ mod tests {
         let a = strat.generate(&mut crate::test_rng("m", "t4", 7));
         let b = strat.generate(&mut crate::test_rng("m", "t4", 7));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn flat_map_builds_dependent_strategies() {
+        // Pick a length, then a vector of exactly that length — the
+        // classic dependency prop_map cannot express.
+        let strat = (1usize..8)
+            .prop_flat_map(|n| crate::collection::vec(0u8..10, n..n + 1).prop_map(move |v| (n, v)));
+        let mut rng = crate::test_rng("m", "t5", 0);
+        for _ in 0..300 {
+            let (n, v) = strat.generate(&mut rng);
+            assert_eq!(v.len(), n);
+        }
+    }
+
+    #[test]
+    fn filter_rejects_until_predicate_holds() {
+        let strat = (0u64..100).prop_filter("must be even", |v| v % 2 == 0);
+        let mut rng = crate::test_rng("m", "t6", 0);
+        for _ in 0..300 {
+            assert_eq!(strat.generate(&mut rng) % 2, 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no accepted value")]
+    fn impossible_filter_panics_with_reason() {
+        let strat = (0u64..10).prop_filter("impossible", |_| false);
+        let mut rng = crate::test_rng("m", "t7", 0);
+        let _ = strat.generate(&mut rng);
+    }
+
+    #[test]
+    fn select_draws_every_option() {
+        let strat = crate::sample::select(vec!['a', 'b', 'c']);
+        let mut rng = crate::test_rng("m", "t8", 0);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(strat.generate(&mut rng));
+        }
+        assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    fn combinators_compose() {
+        // select a base, flat_map into an offset range over it, filter to
+        // keep block-aligned results — the shape the coherence-oracle
+        // strategies use.
+        let strat = crate::sample::select(vec![0x1000u64, 0x2000])
+            .prop_flat_map(|base| (0u64..64).prop_map(move |i| base + i * 8))
+            .prop_filter("aligned", |a| a % 16 == 0);
+        let mut rng = crate::test_rng("m", "t9", 0);
+        for _ in 0..200 {
+            let a = strat.generate(&mut rng);
+            assert!(a % 16 == 0 && (0x1000..0x2200).contains(&a));
+        }
     }
 
     proptest! {
