@@ -77,7 +77,7 @@ impl DiffOutcome {
 }
 
 /// Compare two final memory images word by word over every allocation.
-fn first_mem_diff(a: &SimMemory, b: &SimMemory) -> Option<String> {
+pub(crate) fn first_mem_diff(a: &SimMemory, b: &SimMemory) -> Option<String> {
     assert_eq!(a.allocations().len(), b.allocations().len());
     for ((name, ra), (_, rb)) in a.allocations().iter().zip(b.allocations()) {
         assert_eq!(ra, rb, "allocation layout must match");

@@ -10,7 +10,9 @@
 
 use crate::trace::TraceOp;
 use raccd_mem::{BlockAddr, PageNum};
-use raccd_sim::{L1LookupResult, Machine, MachineConfig, ShadowChecker, Violation};
+use raccd_sim::{
+    FaultPlan, FaultPlane, L1LookupResult, Machine, MachineConfig, ShadowChecker, Violation,
+};
 
 /// A [`Machine`] plus collecting shadow checker plus recorded trace.
 pub struct CheckedMachine {
@@ -35,9 +37,27 @@ impl CheckedMachine {
         }
     }
 
+    /// [`CheckedMachine::new`] plus a seeded fault plane: every applied
+    /// operation is subject to the plan's injections while the collecting
+    /// checker watches the recovery paths. Same plan + same operation
+    /// sequence reproduce the same injections (and the same end state).
+    pub fn with_faults(cfg: MachineConfig, plan: FaultPlan) -> Self {
+        let mut cm = CheckedMachine::new(cfg);
+        cm.machine.attach_faults(FaultPlane::new(plan));
+        cm
+    }
+
     /// The configuration the machine was built with.
     pub fn cfg(&self) -> &MachineConfig {
         &self.cfg
+    }
+
+    /// Whether the fault plane latched its fatal flag: some message
+    /// exhausted its retry budget and had to be force-delivered — the
+    /// machine is protocol-consistent but the run counts as *stuck*, the
+    /// synchronous-NoC analogue of a message-loss deadlock.
+    pub fn stalled(&self) -> bool {
+        self.machine.fault_fatal()
     }
 
     /// The operations applied so far, in order.

@@ -20,15 +20,27 @@
 //!   end-to-end under RaCCD and under full MESI coherence; final memory
 //!   images must match bit for bit and every per-task read value must be
 //!   coherent.
+//! * [`campaign`] — seeded fault campaigns closing the loop with the
+//!   fault plane (`raccd-fault`): workload × fault-plan matrices where
+//!   every recovered run must be bit-identical to its fault-free twin and
+//!   every unrecoverable plan must be *detected*, never silently wrong.
 
+pub mod campaign;
 pub mod diff;
 pub mod explore;
 pub mod harness;
 pub mod taskgen;
 pub mod trace;
 
+pub use campaign::{
+    run_campaign, standard_plans, CampaignOutcome, CampaignPlan, CampaignReport, Expectation,
+    Verdict,
+};
 pub use diff::{run_differential, DiffOutcome};
 pub use explore::{explore, ExploreConfig, ExploreResult};
 pub use harness::CheckedMachine;
 pub use taskgen::{GraphParams, RandomGraph};
-pub use trace::{minimize, parse, replay, serialize, write_counterexample, TraceOp};
+pub use trace::{
+    minimize, parse, parse_faulty, replay, replay_faulty, serialize, serialize_faulty,
+    write_counterexample, write_counterexample_faulty, TraceOp,
+};

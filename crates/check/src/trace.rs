@@ -8,6 +8,7 @@
 //! # raccd-check trace v1
 //! cfg ncores=4 mesh_k=2 l1_bytes=512 l1_ways=2 llc=32 llc_ways=8 \
 //!     dir_ratio=32 dir_ways=1 wt=0 adr=0
+//! fault spec=seed=7;drop=1;retry_budget=2
 //! op access core=0 block=0x40 write=1 nc=0
 //! op flushnc core=1
 //! op flushpage core=0 page=0x1
@@ -15,11 +16,14 @@
 //!
 //! Only the knobs that distinguish the run from [`MachineConfig::scaled`]
 //! are recorded; everything else (latencies, runtime costs) is irrelevant
-//! to the protocol state space. [`minimize`] greedily drops operations
-//! while the violation persists, so dumps are usually near-minimal.
+//! to the protocol state space. The optional `fault` directive carries a
+//! [`FaultPlan`] spec (see [`FaultPlan::from_spec`]); replaying such a
+//! trace re-attaches the plane, so fault-induced stuck states reproduce
+//! bit-for-bit. [`minimize`] greedily drops operations while the
+//! violation persists, so dumps are usually near-minimal.
 
 use crate::harness::CheckedMachine;
-use raccd_sim::{MachineConfig, Violation};
+use raccd_sim::{FaultPlan, MachineConfig, Violation};
 use std::fmt;
 use std::path::PathBuf;
 
@@ -79,6 +83,12 @@ impl fmt::Display for TraceOp {
 
 /// Serialise a configuration + operation sequence into trace text.
 pub fn serialize(cfg: &MachineConfig, ops: &[TraceOp]) -> String {
+    serialize_faulty(cfg, None, ops)
+}
+
+/// [`serialize`] plus an optional `fault` directive carrying the plan the
+/// trace was produced under.
+pub fn serialize_faulty(cfg: &MachineConfig, plan: Option<&FaultPlan>, ops: &[TraceOp]) -> String {
     let mut s = String::from("# raccd-check trace v1\n");
     s.push_str(&format!(
         "cfg ncores={} mesh_k={} l1_bytes={} l1_ways={} llc={} llc_ways={} \
@@ -94,6 +104,9 @@ pub fn serialize(cfg: &MachineConfig, ops: &[TraceOp]) -> String {
         cfg.l1_write_through as u8,
         cfg.adr as u8,
     ));
+    if let Some(p) = plan {
+        s.push_str(&format!("fault spec={}\n", p.to_spec()));
+    }
     for op in ops {
         s.push_str(&format!("{op}\n"));
     }
@@ -116,10 +129,20 @@ fn num(tokens: &[&str], key: &str) -> Result<u64, String> {
     parsed.map_err(|e| format!("bad value for `{key}`: {e}"))
 }
 
-/// Parse trace text back into a configuration and operation sequence.
+/// Parse trace text back into a configuration and operation sequence,
+/// discarding any `fault` directive (see [`parse_faulty`]).
 pub fn parse(text: &str) -> Result<(MachineConfig, Vec<TraceOp>), String> {
+    parse_faulty(text).map(|(cfg, _, ops)| (cfg, ops))
+}
+
+/// Parse trace text back into a configuration, an optional fault plan and
+/// an operation sequence.
+pub fn parse_faulty(
+    text: &str,
+) -> Result<(MachineConfig, Option<FaultPlan>, Vec<TraceOp>), String> {
     let mut cfg = MachineConfig::scaled();
     let mut saw_cfg = false;
+    let mut plan = None;
     let mut ops = Vec::new();
     for line in text.lines() {
         let line = line.trim();
@@ -140,6 +163,9 @@ pub fn parse(text: &str) -> Result<(MachineConfig, Vec<TraceOp>), String> {
                 cfg.l1_write_through = num(&tokens, "wt")? != 0;
                 cfg.adr = num(&tokens, "adr")? != 0;
                 saw_cfg = true;
+            }
+            "fault" => {
+                plan = Some(FaultPlan::from_spec(field(&tokens, "spec")?)?);
             }
             "op" => {
                 let op = match tokens.get(1).copied() {
@@ -166,17 +192,31 @@ pub fn parse(text: &str) -> Result<(MachineConfig, Vec<TraceOp>), String> {
     if !saw_cfg {
         return Err("trace has no cfg line".into());
     }
-    Ok((cfg, ops))
+    Ok((cfg, plan, ops))
 }
 
 /// Replay a trace on a fresh machine with a collecting shadow checker,
 /// returning every invariant violation it produces (empty = clean).
 pub fn replay(cfg: MachineConfig, ops: &[TraceOp]) -> Vec<Violation> {
-    let mut m = CheckedMachine::new(cfg);
+    replay_faulty(cfg, None, ops).into_violations()
+}
+
+/// Replay a trace with an optional fault plane attached, returning the
+/// harness itself so callers can inspect the reached state (fingerprint,
+/// stall flag, violations). Same plan + same ops ⇒ same end state.
+pub fn replay_faulty(
+    cfg: MachineConfig,
+    plan: Option<FaultPlan>,
+    ops: &[TraceOp],
+) -> CheckedMachine {
+    let mut m = match plan {
+        Some(p) => CheckedMachine::with_faults(cfg, p),
+        None => CheckedMachine::new(cfg),
+    };
     for &op in ops {
         m.apply(op);
     }
-    m.into_violations()
+    m
 }
 
 /// Greedy one-operation-removal minimisation: repeatedly drop any single
@@ -207,7 +247,7 @@ pub fn minimize(cfg: MachineConfig, ops: &[TraceOp]) -> Vec<TraceOp> {
 
 /// Directory counterexample dumps go to: `$RACCD_CHECK_DUMP_DIR` when set,
 /// else `target/raccd-check-counterexamples/`.
-fn dump_dir() -> PathBuf {
+pub(crate) fn dump_dir() -> PathBuf {
     match std::env::var_os("RACCD_CHECK_DUMP_DIR") {
         Some(d) if !d.is_empty() => PathBuf::from(d),
         _ => PathBuf::from("target").join("raccd-check-counterexamples"),
@@ -223,9 +263,22 @@ pub fn write_counterexample(
     tag: &str,
     violations: &[Violation],
 ) -> std::io::Result<PathBuf> {
+    write_counterexample_faulty(cfg, None, ops, tag, violations)
+}
+
+/// [`write_counterexample`] for fault-plane runs: the dump carries the
+/// plan as a `fault` directive so [`parse_faulty`] + [`replay_faulty`]
+/// reproduce the stuck state exactly.
+pub fn write_counterexample_faulty(
+    cfg: &MachineConfig,
+    plan: Option<&FaultPlan>,
+    ops: &[TraceOp],
+    tag: &str,
+    violations: &[Violation],
+) -> std::io::Result<PathBuf> {
     let dir = dump_dir();
     std::fs::create_dir_all(&dir)?;
-    let mut text = serialize(cfg, ops);
+    let mut text = serialize_faulty(cfg, plan, ops);
     for v in violations {
         text.push_str(&format!("# violation: {v}\n"));
     }
@@ -274,5 +327,33 @@ mod tests {
         assert!(parse("nonsense line").is_err());
         assert!(parse("op access core=0").is_err());
         assert!(parse("").is_err(), "missing cfg line");
+        assert!(parse(
+            "cfg ncores=4 mesh_k=2 l1_bytes=512 l1_ways=2 llc=32 llc_ways=8 \
+                       dir_ratio=32 dir_ways=1 wt=0 adr=0\nfault spec=drop=2.0"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn fault_directive_round_trips() {
+        let mut cfg = MachineConfig::scaled();
+        cfg.ncores = 2;
+        cfg.mesh_k = 2;
+        let plan = FaultPlan::from_spec("seed=7;drop=1;retry_budget=2").unwrap();
+        let ops = vec![TraceOp::Access {
+            core: 0,
+            block: 0x40,
+            write: true,
+            nc: false,
+        }];
+        let text = serialize_faulty(&cfg, Some(&plan), &ops);
+        assert!(text.contains("fault spec=seed=7;drop=1;retry_budget=2"));
+        let (cfg2, plan2, ops2) = parse_faulty(&text).expect("parse");
+        assert_eq!(plan2, Some(plan));
+        assert_eq!(ops2, ops);
+        assert_eq!(cfg2.ncores, 2);
+        // The plain parser still accepts the same text, dropping the plan.
+        let (_, ops3) = parse(&text).expect("parse");
+        assert_eq!(ops3, ops);
     }
 }

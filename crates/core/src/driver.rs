@@ -20,12 +20,14 @@ use crate::census::Census;
 use crate::mode::CoherenceMode;
 use crate::ncrt::Ncrt;
 use crate::pt::{PageClassifier, PtDecision};
+use crate::resilience::{DegradeController, DetectReason, FaultReport};
 use crate::tlbclass::TlbClassifier;
 use raccd_mem::{SimMemory, VAddr};
 use raccd_obs::{Event, Gauges, Recorder};
-use raccd_runtime::{MemRef, Program, ReadyQueue, StealQueues, TaskCtx};
+use raccd_runtime::{MemRef, Program, ReadyQueue, RetryBook, RetryDecision, StealQueues, TaskCtx};
 use raccd_sim::{
-    CheckEvent, CheckReport, L1LookupResult, Machine, MachineConfig, SchedPolicy, Stats, TimedEvent,
+    CheckEvent, CheckReport, CoherenceEvent, FaultPlan, FaultPlane, L1LookupResult, Machine,
+    MachineConfig, SchedPolicy, Stats, TimedEvent, Watchdog,
 };
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -49,6 +51,8 @@ struct Running {
     tid: raccd_runtime::TaskId,
     trace: Vec<MemRef>,
     pos: usize,
+    /// Fault plane: the trace index at which this attempt aborts, if any.
+    fail_at: Option<usize>,
 }
 
 /// The runtime's ready-task store, per the configured scheduling policy.
@@ -101,6 +105,9 @@ pub struct DriverOutput {
     /// (`cfg.shadow_check`, `RACCD_SHADOW_CHECK=1`, or a harness-installed
     /// sink). `None` when no checker ran.
     pub check: Option<CheckReport>,
+    /// Fault-plane outcome, when a plane was attached
+    /// ([`run_program_faulty`] or `RACCD_FAULT_SPEC`). `None` otherwise.
+    pub fault: Option<FaultReport>,
 }
 
 /// Run a program to completion on a machine configured per `cfg` under the
@@ -119,7 +126,33 @@ pub fn run_program_with(
     cfg: MachineConfig,
     mode: CoherenceMode,
     program: Program,
+    rec: Option<&mut Recorder>,
+) -> DriverOutput {
+    run_program_inner(cfg, mode, program, rec, None)
+}
+
+/// [`run_program_with`] plus a fault plane built from `plan`. The run
+/// either completes with every injected fault recovered
+/// (`fault.detected == None`) or is aborted as *detected* — by the
+/// progress watchdog, a message retry budget, or a task retry budget —
+/// never silently wrong. Sustained NCRT/retry pressure may downgrade
+/// RaCCD to full coherence mid-run (`fault.degraded`).
+pub fn run_program_faulty(
+    cfg: MachineConfig,
+    mode: CoherenceMode,
+    program: Program,
+    plan: FaultPlan,
+    rec: Option<&mut Recorder>,
+) -> DriverOutput {
+    run_program_inner(cfg, mode, program, rec, Some(plan))
+}
+
+fn run_program_inner(
+    cfg: MachineConfig,
+    mode: CoherenceMode,
+    program: Program,
     mut rec: Option<&mut Recorder>,
+    plan: Option<FaultPlan>,
 ) -> DriverOutput {
     let Program { mut mem, mut graph } = program;
     let edges = graph.edges();
@@ -135,6 +168,18 @@ pub fn run_program_with(
     if machine.has_checker() && mode == CoherenceMode::Raccd && cfg.smt_ways == 1 {
         machine.check_note(CheckEvent::DisciplineOn);
     }
+    if let Some(p) = plan {
+        machine.attach_faults(FaultPlane::new(p));
+    }
+    // The effective plan also covers `RACCD_FAULT_SPEC` auto-attachment.
+    // Watchdog, retry book and degrade controller are armed only with a
+    // plane attached, so fault-free runs are bit-identical to the seed.
+    let fplan = machine.fault_plan();
+    let mut watchdog: Option<Watchdog> = fplan.map(|p| Watchdog::new(p.watchdog_cycles));
+    let mut retry_book: Option<RetryBook> =
+        fplan.map(|p| RetryBook::new(graph.len(), p.task_retry_budget));
+    let mut degrade: Option<DegradeController> = fplan.map(|p| DegradeController::new(&p));
+    let mut detection: Option<DetectReason> = None;
     let mut ncrts: Vec<Ncrt> = (0..nctx).map(|_| Ncrt::new(cfg.ncrt_entries)).collect();
     let mut pt = PageClassifier::new();
     let mut tlbc = TlbClassifier::new();
@@ -184,6 +229,53 @@ pub fn run_program_with(
     let mut end_time = 0u64;
 
     while let Some(Reverse((t, ctx))) = heap.pop() {
+        // Resilience checks ride the heap clock (only armed with a fault
+        // plane attached). A detection aborts the run *visibly*: the
+        // caller sees `fault.detected`, never silently wrong output.
+        if let Some(w) = watchdog.as_ref() {
+            if w.expired(t) {
+                machine.stats.watchdog_fires += 1;
+                detection = Some(DetectReason::Watchdog {
+                    last_progress: w.last_progress,
+                    threshold: w.threshold,
+                });
+                if let Some(r) = rec.as_deref_mut() {
+                    r.record(Event::WatchdogFired {
+                        cycle: t,
+                        last_progress: w.last_progress,
+                        threshold: w.threshold,
+                    });
+                }
+                break;
+            }
+        }
+        if machine.fault_fatal() {
+            detection = Some(DetectReason::MsgRetryBudget);
+            break;
+        }
+        if let Some(d) = degrade.as_mut() {
+            if mode == CoherenceMode::Raccd
+                && d.observe(t, machine.stats.ncrt_overflows, machine.stats.msg_retries)
+            {
+                machine.stats.mode_downgrades += 1;
+                let (ov, rt) =
+                    d.last_deltas(machine.stats.ncrt_overflows, machine.stats.msg_retries);
+                if let Some(r) = rec.as_deref_mut() {
+                    r.record(Event::ModeDowngrade {
+                        cycle: t,
+                        overflows: ov,
+                        retries: rt,
+                    });
+                }
+            }
+        }
+        // Under sustained pressure RaCCD falls back to full coherence for
+        // everything *new*; tasks already running keep their NC lines
+        // until their normal end-of-task flush.
+        let eff_mode = match degrade.as_ref() {
+            Some(d) if d.degraded() && mode == CoherenceMode::Raccd => CoherenceMode::FullCoh,
+            _ => mode,
+        };
         // Telemetry: the heap time is globally non-decreasing, so it is
         // the sampling clock; machine protocol events are drained here so
         // the unified stream stays roughly time-ordered.
@@ -198,6 +290,9 @@ pub fn run_program_with(
                 r.maybe_sample(t, &machine.stats, gauges);
             }
             for te in machine.take_events() {
+                if let CoherenceEvent::RetryRecovered { delay, .. } = te.ev {
+                    r.hist_retry_latency.record(delay);
+                }
                 r.record(Event::Coherence {
                     cycle: te.cycle,
                     ev: te.ev,
@@ -230,11 +325,23 @@ pub fn run_program_with(
                             wait_cycles: wait,
                         });
                     }
-                    if mode == CoherenceMode::Raccd {
+                    if eff_mode == CoherenceMode::Raccd {
                         // Deactivate coherence: one raccd_register per
                         // dependence (§III-B).
                         for i in 0..graph.deps(task).len() {
                             let range = graph.deps(task)[i].range;
+                            // Injected NCRT-pressure storm: the register
+                            // is rejected; the region simply stays
+                            // coherent (graceful degradation, counted as
+                            // an overflow for the degrade controller).
+                            let stormed = machine
+                                .faults_mut()
+                                .map(|f| f.ncrt_storm(now))
+                                .unwrap_or(false);
+                            if stormed {
+                                machine.stats.ncrt_overflows += 1;
+                                continue;
+                            }
                             let reg_start = now;
                             let out =
                                 ncrts[ctx].register_region(&mut machine, core, range, &cfg.runtime);
@@ -273,10 +380,22 @@ pub fn run_program_with(
                         tcx.stack_traffic(cfg.runtime.stack_words_per_task);
                     }
                     machine.stats.tasks_executed += 1;
+                    // Fault plane: roll this dispatch for a straggler
+                    // delay and/or a mid-replay failure point.
+                    let mut fail_at = None;
+                    let trace_len = trace.len();
+                    if let Some(inj) = machine.faults_mut().map(|f| f.roll_task(now, trace_len)) {
+                        fail_at = inj.fail_at;
+                        if inj.straggle > 0 {
+                            machine.stats.task_straggles += 1;
+                            now += inj.straggle;
+                        }
+                    }
                     running[ctx] = Some(Running {
                         tid: task,
                         trace,
                         pos: 0,
+                        fail_at,
                     });
                     heap.push(Reverse((now, ctx)));
                 } else {
@@ -289,13 +408,18 @@ pub fn run_program_with(
             Some(mut run) => {
                 // Task execution phase: replay a batch of references.
                 let end = (run.pos + BATCH).min(run.trace.len());
+                let mut failed = false;
                 while run.pos < end {
+                    if run.fail_at == Some(run.pos) {
+                        failed = true;
+                        break;
+                    }
                     let r = run.trace[run.pos];
                     run.pos += 1;
                     let bank_wait_before = machine.stats.bank_wait_cycles;
                     let cycles = process_ref(
                         &mut machine,
-                        mode,
+                        eff_mode,
                         ctx,
                         core,
                         tid,
@@ -315,7 +439,59 @@ pub fn run_program_with(
                             .record(machine.stats.bank_wait_cycles - bank_wait_before);
                     }
                 }
-                if run.pos < run.trace.len() {
+                if failed {
+                    // Injected task failure: abort this attempt. RaCCD's
+                    // raccd_invalidate discards the attempt's NC residue,
+                    // which is exactly what makes re-execution idempotent
+                    // (the oracle asserts this in the fault campaign).
+                    machine.stats.task_retries += 1;
+                    let decision = retry_book
+                        .as_mut()
+                        .map(|b| b.note_failure(run.tid))
+                        .unwrap_or(RetryDecision::Exhausted);
+                    match decision {
+                        RetryDecision::Exhausted => {
+                            detection = Some(DetectReason::TaskRetryBudget { task: run.tid });
+                        }
+                        RetryDecision::Retry(attempt) => {
+                            if mode == CoherenceMode::Raccd {
+                                let flt = if cfg.smt_ways > 1 && cfg.smt_selective_flush {
+                                    Some(tid)
+                                } else {
+                                    None
+                                };
+                                let cycles = machine.flush_nc_filtered(core, flt, now);
+                                machine.stats.invalidate_cycles += cycles;
+                                now += cycles;
+                                if machine.has_checker() && cfg.smt_ways == 1 {
+                                    machine.check_note(CheckEvent::NcInvalidate { core });
+                                    // The NCRT itself survives the abort:
+                                    // re-arm the discipline mirror.
+                                    machine.check_note(CheckEvent::NcrtLoaded {
+                                        core,
+                                        ranges: ncrts[ctx].entries().to_vec(),
+                                    });
+                                }
+                            }
+                            if let Some(r) = rec.as_deref_mut() {
+                                r.record(Event::TaskRetry {
+                                    cycle: now,
+                                    task: run.tid as u32,
+                                    ctx: ctx as u32,
+                                    attempt,
+                                });
+                            }
+                            // Fresh roll: the retry may fail elsewhere.
+                            let trace_len = run.trace.len();
+                            run.fail_at = machine
+                                .faults_mut()
+                                .and_then(|f| f.roll_task(now, trace_len).fail_at);
+                            run.pos = 0;
+                            running[ctx] = Some(run);
+                            heap.push(Reverse((now, ctx)));
+                        }
+                    }
+                } else if run.pos < run.trace.len() {
                     running[ctx] = Some(run);
                     heap.push(Reverse((now, ctx)));
                 } else {
@@ -370,6 +546,9 @@ pub fn run_program_with(
                         ready.push(ctx, woken);
                     }
                     completed += 1;
+                    if let Some(w) = watchdog.as_mut() {
+                        w.note_progress(now);
+                    }
                     trace_pool[ctx] = run.trace;
                     // Unpark idle cores while work is available.
                     let mut avail = ready.len();
@@ -392,13 +571,20 @@ pub fn run_program_with(
         machine.stats.busy_cycles += now - t;
         core_time[ctx] = now;
         end_time = end_time.max(now);
+        if detection.is_some() {
+            break;
+        }
     }
 
-    assert_eq!(
-        completed,
-        graph.len(),
-        "simulation ended with unexecuted tasks (TDG cycle?)"
-    );
+    // A detection ends the run early by design; only a clean run promises
+    // every task retired.
+    if detection.is_none() {
+        assert_eq!(
+            completed,
+            graph.len(),
+            "simulation ended with unexecuted tasks (TDG cycle?)"
+        );
+    }
     drop(graph);
 
     machine.stats.contexts = nctx as u64;
@@ -406,6 +592,9 @@ pub fn run_program_with(
     if let Some(r) = rec.as_deref_mut() {
         // Tail of the protocol stream goes to the recorder, like the rest.
         for te in events.drain(..) {
+            if let CoherenceEvent::RetryRecovered { delay, .. } = te.ev {
+                r.hist_retry_latency.record(delay);
+            }
             r.record(Event::Coherence {
                 cycle: te.cycle,
                 ev: te.ev,
@@ -426,6 +615,13 @@ pub fn run_program_with(
         );
     }
     let check = machine.detach_checker();
+    let fault = machine.fault_stats().map(|fs| FaultReport {
+        stats: fs,
+        detected: detection,
+        degraded: degrade.as_ref().is_some_and(|d| d.degraded()),
+        tasks_completed: completed,
+        task_retries: stats.task_retries,
+    });
     DriverOutput {
         stats,
         events,
@@ -434,6 +630,7 @@ pub fn run_program_with(
         tasks: completed,
         edges,
         check,
+        fault,
     }
 }
 
@@ -644,6 +841,176 @@ mod tests {
         assert_eq!(a.stats.dir_accesses, b.stats.dir_accesses);
         assert_eq!(a.stats.noc_traffic, b.stats.noc_traffic);
         assert_eq!(a.stats.refs_processed, b.stats.refs_processed);
+    }
+
+    fn mem_words(out: &DriverOutput) -> Vec<u64> {
+        out.mem
+            .allocations()
+            .iter()
+            .flat_map(|(_, r)| (0..r.len / 8).map(|w| out.mem.read_u64(r.start.offset(w * 8))))
+            .collect()
+    }
+
+    #[test]
+    fn faulty_run_recovers_bit_identical_to_fault_free_twin() {
+        let clean = run(CoherenceMode::Raccd);
+        let plan = FaultPlan {
+            seed: 42,
+            drop: 0.02,
+            corrupt: 0.01,
+            delay: 0.02,
+            ..FaultPlan::default()
+        };
+        let faulty = run_program_faulty(
+            MachineConfig::scaled(),
+            CoherenceMode::Raccd,
+            two_phase_program(),
+            plan,
+            None,
+        );
+        let report = faulty.fault.expect("plane attached");
+        assert!(report.recovered(), "modest rates recover: {report:?}");
+        assert!(report.stats.injected > 0, "faults were actually injected");
+        assert_eq!(faulty.tasks, clean.tasks);
+        assert_eq!(mem_words(&faulty), mem_words(&clean), "bit-identical");
+        // Fault handling cost cycles but never correctness.
+        assert!(faulty.stats.cycles >= clean.stats.cycles);
+    }
+
+    #[test]
+    fn task_failures_reexecute_idempotently() {
+        let clean = run(CoherenceMode::Raccd);
+        let plan = FaultPlan {
+            seed: 9,
+            task_fail: 0.3,
+            ..FaultPlan::default()
+        };
+        let faulty = run_program_faulty(
+            MachineConfig::scaled(),
+            CoherenceMode::Raccd,
+            two_phase_program(),
+            plan,
+            None,
+        );
+        let report = faulty.fault.expect("plane attached");
+        assert!(report.recovered(), "{report:?}");
+        assert!(
+            report.task_retries > 0,
+            "30% task-fail must trigger retries"
+        );
+        // The RaCCD idempotence argument: re-executed tasks leave memory
+        // exactly as a fault-free run would.
+        assert_eq!(mem_words(&faulty), mem_words(&clean));
+        assert_eq!(faulty.tasks, clean.tasks);
+    }
+
+    #[test]
+    fn exhausted_task_budget_is_detected() {
+        let plan = FaultPlan {
+            seed: 1,
+            task_fail: 1.0,
+            task_retry_budget: 2,
+            ..FaultPlan::default()
+        };
+        let out = run_program_faulty(
+            MachineConfig::scaled(),
+            CoherenceMode::Raccd,
+            two_phase_program(),
+            plan,
+            None,
+        );
+        let report = out.fault.expect("plane attached");
+        assert!(
+            matches!(report.detected, Some(DetectReason::TaskRetryBudget { .. })),
+            "certain task failure must exhaust the budget: {report:?}"
+        );
+        assert!(out.tasks < 32, "the run aborted early");
+    }
+
+    #[test]
+    fn exhausted_message_budget_is_detected() {
+        let plan = FaultPlan {
+            seed: 2,
+            drop: 1.0,
+            retry_budget: 2,
+            ..FaultPlan::default()
+        };
+        let out = run_program_faulty(
+            MachineConfig::scaled(),
+            CoherenceMode::Raccd,
+            two_phase_program(),
+            plan,
+            None,
+        );
+        let report = out.fault.expect("plane attached");
+        assert_eq!(report.detected, Some(DetectReason::MsgRetryBudget));
+        assert!(report.stats.budget_exhausted > 0);
+    }
+
+    #[test]
+    fn straggler_beyond_watchdog_is_detected() {
+        let plan = FaultPlan {
+            seed: 5,
+            straggle: 1.0,
+            straggle_cycles: 500_000,
+            watchdog_cycles: 100_000,
+            ..FaultPlan::default()
+        };
+        let out = run_program_faulty(
+            MachineConfig::scaled(),
+            CoherenceMode::Raccd,
+            two_phase_program(),
+            plan,
+            None,
+        );
+        let report = out.fault.expect("plane attached");
+        assert!(
+            matches!(report.detected, Some(DetectReason::Watchdog { .. })),
+            "hung simulation must trip the watchdog: {report:?}"
+        );
+        assert!(out.stats.watchdog_fires > 0);
+    }
+
+    #[test]
+    fn sustained_storm_degrades_to_full_coherence() {
+        let clean = run(CoherenceMode::Raccd);
+        let plan = FaultPlan {
+            seed: 8,
+            storm: 0.9,
+            storm_len: 100_000,
+            degrade_window: 1_000_000,
+            degrade_overflows: 4,
+            ..FaultPlan::default()
+        };
+        let out = run_program_faulty(
+            MachineConfig::scaled(),
+            CoherenceMode::Raccd,
+            two_phase_program(),
+            plan,
+            None,
+        );
+        let report = out.fault.expect("plane attached");
+        assert!(report.degraded, "sustained NCRT pressure must downgrade");
+        assert!(report.recovered(), "degradation is graceful: {report:?}");
+        assert_eq!(out.stats.mode_downgrades, 1, "downgrade latches once");
+        assert_eq!(out.tasks, 32, "the run still completes");
+        assert_eq!(mem_words(&out), mem_words(&clean), "results unchanged");
+    }
+
+    #[test]
+    fn zero_rate_plan_matches_plain_run_exactly() {
+        let clean = run(CoherenceMode::Raccd);
+        let idle = run_program_faulty(
+            MachineConfig::scaled(),
+            CoherenceMode::Raccd,
+            two_phase_program(),
+            FaultPlan::default(),
+            None,
+        );
+        assert_eq!(idle.stats, clean.stats, "zero-fault config is neutral");
+        assert_eq!(mem_words(&idle), mem_words(&clean));
+        let report = idle.fault.expect("plane attached");
+        assert_eq!(report.stats.injected, 0);
     }
 
     #[test]

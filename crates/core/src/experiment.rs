@@ -85,6 +85,7 @@ impl Experiment {
             edges,
             events: _,
             check: _,
+            fault: _,
         } = run_program_with(self.config, self.mode, program, rec);
         let verify = workload.verify(&mem);
         RunResult {

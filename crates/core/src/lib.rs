@@ -24,6 +24,7 @@ pub mod experiment;
 pub mod mode;
 pub mod ncrt;
 pub mod pt;
+pub mod resilience;
 pub mod tlbclass;
 
 pub use census::{Census, CensusSummary};
@@ -31,4 +32,5 @@ pub use experiment::{Experiment, RunResult};
 pub use mode::CoherenceMode;
 pub use ncrt::Ncrt;
 pub use pt::{PageClassifier, PtDecision};
+pub use resilience::{DegradeController, DetectReason, FaultReport};
 pub use tlbclass::TlbClassifier;

@@ -1,0 +1,100 @@
+//! Property tests for the recovery machinery: the exponential backoff is
+//! bounded and monotone, retry budgets are never exceeded, and injection
+//! rolls are reproducible.
+
+use proptest::prelude::*;
+use raccd_fault::{Backoff, FaultPlan, FaultPlane, MsgOutcome};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every backoff delay is bounded by the cap, regardless of attempt.
+    #[test]
+    fn backoff_bounded(base in 1u64..1_000_000, cap_mul in 1u64..1024, attempt in 0u32..10_000) {
+        let cap = base.saturating_mul(cap_mul);
+        let b = Backoff { base, cap };
+        prop_assert!(b.delay(attempt) <= cap);
+    }
+
+    /// Backoff is monotone non-decreasing per attempt.
+    #[test]
+    fn backoff_monotone(base in 1u64..1_000_000, cap_mul in 1u64..1024, attempt in 0u32..200) {
+        let cap = base.saturating_mul(cap_mul);
+        let b = Backoff { base, cap };
+        prop_assert!(b.delay(attempt) <= b.delay(attempt + 1));
+    }
+
+    /// Exact exponential shape below the cap: delay(n) = base * 2^(n-1).
+    #[test]
+    fn backoff_exponential_below_cap(base in 1u64..1024, attempt in 1u32..20) {
+        let b = Backoff { base, cap: u64::MAX };
+        prop_assert_eq!(b.delay(attempt), base << (attempt - 1));
+    }
+
+    /// A bounded-retry loop modelled on the machine's xmit path: the
+    /// number of retries never exceeds the budget, and total charged
+    /// backoff never exceeds budget * cap.
+    #[test]
+    fn retry_budget_never_exceeded(
+        seed in 0u64..10_000,
+        budget in 0u32..16,
+        drop_pm in 0u32..1001,
+    ) {
+        let drop = drop_pm as f64 / 1000.0;
+        let plan = FaultPlan { seed, drop, retry_budget: budget, ..FaultPlan::default() };
+        let mut plane = FaultPlane::new(plan);
+        let backoff = plane.backoff();
+        for msg in 0..50u64 {
+            let mut attempt: u32 = 0;
+            let mut charged = 0u64;
+            while let MsgOutcome::Drop = plane.roll_msg(msg * 100) {
+                attempt += 1;
+                if attempt > plan.retry_budget {
+                    plane.mark_fatal();
+                    break; // force-deliver: no more retries
+                }
+                charged += backoff.delay(attempt);
+            }
+            prop_assert!(attempt <= plan.retry_budget + 1);
+            prop_assert!(charged <= plan.retry_budget as u64 * plan.backoff_cap);
+        }
+        if drop >= 1.0 && budget < 16 {
+            prop_assert!(plane.fatal(), "certain drop must exhaust the budget");
+        }
+    }
+
+    /// Same plan + same roll sequence = same outcomes (replayability).
+    #[test]
+    fn rolls_reproducible(seed in 0u64..100_000, n in 1usize..500) {
+        let plan = FaultPlan {
+            seed, drop: 0.2, dup: 0.1, corrupt: 0.1, delay: 0.2,
+            ..FaultPlan::default()
+        };
+        let run = || {
+            let mut pl = FaultPlane::new(plan);
+            (0..n).map(|i| pl.roll_msg(i as u64)).collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Spec round-trips for arbitrary rate combinations that fit in the
+    /// partition (sum of message rates <= 1).
+    #[test]
+    fn spec_round_trip(
+        seed in 0u64..u64::MAX,
+        a in 0u32..250, b in 0u32..250, c in 0u32..250, d in 0u32..250,
+        budget in 0u32..64,
+    ) {
+        let plan = FaultPlan {
+            seed,
+            drop: a as f64 / 1000.0,
+            dup: b as f64 / 1000.0,
+            corrupt: c as f64 / 1000.0,
+            delay: d as f64 / 1000.0,
+            retry_budget: budget,
+            ..FaultPlan::default()
+        };
+        let parsed = FaultPlan::from_spec(&plan.to_spec()).unwrap();
+        prop_assert_eq!(plan, parsed);
+    }
+}

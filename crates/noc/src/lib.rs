@@ -27,6 +27,26 @@ pub enum MsgClass {
     WriteBack,
 }
 
+/// Traffic attributable to injected faults and their recovery: dropped,
+/// corrupted and duplicated deliveries plus the NACKs and retries the
+/// recovery machinery generated. Kept separate from the nominal class
+/// counters so fault campaigns can report the overhead they caused.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultTraffic {
+    /// Messages lost in flight (their flits still traversed links).
+    pub dropped: u64,
+    /// Messages delivered with a corrupted payload.
+    pub corrupted: u64,
+    /// Messages delivered twice.
+    pub duplicated: u64,
+    /// NACK control messages returned by receivers.
+    pub nacks: u64,
+    /// Retransmissions performed by senders.
+    pub retries: u64,
+    /// Messages held back by injected delays.
+    pub delayed: u64,
+}
+
 /// Flit and latency accounting for a k×k mesh NoC.
 ///
 /// ```
@@ -49,6 +69,8 @@ pub struct Mesh {
     flits_by_class: [u64; 4],
     /// Messages injected, by class.
     msgs_by_class: [u64; 4],
+    /// Fault-attributable traffic (all zero without a fault plane).
+    fault: FaultTraffic,
 }
 
 impl Mesh {
@@ -64,6 +86,7 @@ impl Mesh {
             flit_hops: 0,
             flits_by_class: [0; 4],
             msgs_by_class: [0; 4],
+            fault: FaultTraffic::default(),
         }
     }
 
@@ -144,6 +167,55 @@ impl Mesh {
     pub fn total_flits(&self) -> u64 {
         self.flits_by_class.iter().sum()
     }
+
+    /// Send a message that is lost in flight: its flits still traverse
+    /// links (and are charged to traffic) but nothing is delivered. The
+    /// returned latency is the wire time the sender's timeout must cover.
+    pub fn send_dropped(&mut self, from: usize, to: usize, class: MsgClass) -> u64 {
+        let lat = self.send(from, to, class);
+        self.fault.dropped += 1;
+        lat
+    }
+
+    /// Send a message whose payload arrives corrupted: full traversal and
+    /// delivery, but the receiver's checksum will reject it.
+    pub fn send_corrupted(&mut self, from: usize, to: usize, class: MsgClass) -> u64 {
+        let lat = self.send(from, to, class);
+        self.fault.corrupted += 1;
+        lat
+    }
+
+    /// Send a message delivered twice: double the flits on the wire, one
+    /// latency (the copies pipeline back to back).
+    pub fn send_duplicate(&mut self, from: usize, to: usize, class: MsgClass) -> u64 {
+        let lat = self.send(from, to, class);
+        self.send(from, to, class);
+        self.fault.duplicated += 1;
+        lat
+    }
+
+    /// Account one NACK control message from `from` back to `to` and
+    /// return its latency.
+    pub fn send_nack(&mut self, from: usize, to: usize) -> u64 {
+        let lat = self.send(from, to, MsgClass::Control);
+        self.fault.nacks += 1;
+        lat
+    }
+
+    /// Note one retransmission (the retry itself is a normal `send`).
+    pub fn note_retry(&mut self) {
+        self.fault.retries += 1;
+    }
+
+    /// Note one injected-delay delivery.
+    pub fn note_delayed(&mut self) {
+        self.fault.delayed += 1;
+    }
+
+    /// Fault-attributable traffic counters.
+    pub fn fault_traffic(&self) -> FaultTraffic {
+        self.fault
+    }
 }
 
 #[cfg(test)]
@@ -216,6 +288,38 @@ mod tests {
         assert_eq!(m.mem_controller_for(5), 0); // (1,1): corner 0 at 2 hops
         assert_eq!(m.mem_controller_for(7), 3); // (3,1): corner 3 at 1 hop
         assert_eq!(m.mem_controller_for(14), 15); // (2,3): corner 15 at 1 hop
+    }
+
+    #[test]
+    fn fault_sends_account_traffic_and_counters() {
+        let mut m = mesh();
+        assert_eq!(m.fault_traffic(), FaultTraffic::default());
+
+        // Dropped message: flits on the wire, counted as dropped.
+        let lat = m.send_dropped(0, 1, MsgClass::Request);
+        assert_eq!(lat, m.latency(0, 1));
+        assert_eq!(m.traffic(), 1);
+
+        // Duplicate data message: double flits, single latency.
+        m.send_duplicate(0, 15, MsgClass::DataResponse);
+        assert_eq!(m.traffic(), 1 + 2 * 30);
+        assert_eq!(m.total_flits(), 1 + 10);
+
+        // Corrupt + NACK + retry accounting.
+        m.send_corrupted(0, 1, MsgClass::DataResponse);
+        m.send_nack(1, 0);
+        m.note_retry();
+        m.note_delayed();
+
+        let f = m.fault_traffic();
+        assert_eq!(f.dropped, 1);
+        assert_eq!(f.duplicated, 1);
+        assert_eq!(f.corrupted, 1);
+        assert_eq!(f.nacks, 1);
+        assert_eq!(f.retries, 1);
+        assert_eq!(f.delayed, 1);
+        // NACK is a control message in the nominal class counters too.
+        assert_eq!(m.messages(MsgClass::Control), 1);
     }
 
     #[test]

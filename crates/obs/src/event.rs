@@ -118,6 +118,38 @@ pub enum Event {
         /// The protocol event.
         ev: CoherenceEvent,
     },
+    /// The driver re-executed a task after an injected failure (safe under
+    /// RaCCD because `raccd_invalidate` discards its NC residue).
+    TaskRetry {
+        /// Simulated cycle of the abort.
+        cycle: u64,
+        /// Task id.
+        task: u32,
+        /// Hardware context it was running on.
+        ctx: u32,
+        /// Re-execution attempt number (1 = first retry).
+        attempt: u32,
+    },
+    /// The progress watchdog saw no task retire within its threshold and
+    /// aborted the run as *detected* (never silently wrong).
+    WatchdogFired {
+        /// Simulated cycle the expiry was noticed.
+        cycle: u64,
+        /// Cycle of the last retired task.
+        last_progress: u64,
+        /// The no-progress threshold that was exceeded.
+        threshold: u64,
+    },
+    /// Sustained fault pressure made the driver fall back from RaCCD to
+    /// full coherence for the rest of the run.
+    ModeDowngrade {
+        /// Simulated cycle of the downgrade.
+        cycle: u64,
+        /// NCRT overflows observed in the triggering window.
+        overflows: u64,
+        /// Message retries observed in the triggering window.
+        retries: u64,
+    },
 }
 
 impl Event {
@@ -131,7 +163,10 @@ impl Event {
             | Event::NcrtRegister { cycle, .. }
             | Event::NcrtInvalidate { cycle, .. }
             | Event::PtTransition { cycle, .. }
-            | Event::Coherence { cycle, .. } => cycle,
+            | Event::Coherence { cycle, .. }
+            | Event::TaskRetry { cycle, .. }
+            | Event::WatchdogFired { cycle, .. }
+            | Event::ModeDowngrade { cycle, .. } => cycle,
         }
     }
 
@@ -145,6 +180,9 @@ impl Event {
             Event::NcrtRegister { .. } => "ncrt_register",
             Event::NcrtInvalidate { .. } => "ncrt_invalidate",
             Event::PtTransition { .. } => "pt_transition",
+            Event::TaskRetry { .. } => "task_retry",
+            Event::WatchdogFired { .. } => "watchdog_fired",
+            Event::ModeDowngrade { .. } => "mode_downgrade",
             Event::Coherence { ev, .. } => match ev {
                 CoherenceEvent::CoherentFill { .. } => "coherent_fill",
                 CoherenceEvent::NcFill { .. } => "nc_fill",
@@ -154,6 +192,11 @@ impl Event {
                 CoherenceEvent::CoherentToNc { .. } => "coherent_to_nc",
                 CoherenceEvent::FlushNc { .. } => "flush_nc",
                 CoherenceEvent::AdrResize { .. } => "adr_resize",
+                CoherenceEvent::FaultInjected { .. } => "fault_injected",
+                CoherenceEvent::Nack { .. } => "nack",
+                CoherenceEvent::RetryRecovered { .. } => "retry_recovered",
+                CoherenceEvent::RetryExhausted { .. } => "retry_exhausted",
+                CoherenceEvent::DirEntryLost { .. } => "dir_entry_lost",
             },
         }
     }

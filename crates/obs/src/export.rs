@@ -95,6 +95,22 @@ pub fn event_json(names: &[String], ev: &Event) -> String {
             .u64("prev_owner", prev_owner as u64)
             .u64("page", page)
             .u64("flushed_lines", flushed_lines),
+        Event::TaskRetry {
+            task, ctx, attempt, ..
+        } => o
+            .u64("task", task as u64)
+            .u64("ctx", ctx as u64)
+            .u64("attempt", attempt as u64),
+        Event::WatchdogFired {
+            last_progress,
+            threshold,
+            ..
+        } => o
+            .u64("last_progress", last_progress)
+            .u64("threshold", threshold),
+        Event::ModeDowngrade {
+            overflows, retries, ..
+        } => o.u64("overflows", overflows).u64("retries", retries),
         Event::Coherence { ref ev, .. } => match *ev {
             CoherenceEvent::CoherentFill {
                 core,
@@ -129,6 +145,19 @@ pub fn event_json(names: &[String], ev: &Event) -> String {
                 .bool("grow", grow)
                 .u64("new_entries", new_entries as u64)
                 .u64("blocked_cycles", blocked_cycles),
+            CoherenceEvent::FaultInjected { site, from, to } => o
+                .str("site", site.label())
+                .u64("from", from as u64)
+                .u64("to", to as u64),
+            CoherenceEvent::Nack { from, to } => o.u64("from", from as u64).u64("to", to as u64),
+            CoherenceEvent::RetryRecovered { attempts, delay } => {
+                o.u64("attempts", attempts as u64).u64("delay", delay)
+            }
+            CoherenceEvent::RetryExhausted { from, to, attempts } => o
+                .u64("from", from as u64)
+                .u64("to", to as u64)
+                .u64("attempts", attempts as u64),
+            CoherenceEvent::DirEntryLost { block } => o.u64("block", block.0),
         },
     };
     o.render()
@@ -249,7 +278,12 @@ pub fn write_histograms(rec: &Recorder, w: &mut dyn Write) -> io::Result<()> {
             .render("wake_to_dispatch_cycles")
             .as_bytes(),
     )?;
-    w.write_all(rec.hist_bank_wait.render("bank_wait_cycles").as_bytes())
+    w.write_all(rec.hist_bank_wait.render("bank_wait_cycles").as_bytes())?;
+    w.write_all(
+        rec.hist_retry_latency
+            .render("retry_latency_cycles")
+            .as_bytes(),
+    )
 }
 
 /// Process id used for per-context task tracks in the Chrome trace.
@@ -425,12 +459,77 @@ pub fn chrome_trace_json(rec: &Recorder) -> String {
                         );
                         push(&mut entries, ts, o);
                     }
-                    // Per-reference fills/upgrades would dwarf the trace;
-                    // they live in the JSONL dump and the counters below.
+                    CoherenceEvent::RetryExhausted { from, to, attempts } => {
+                        let o = inst(
+                            "retry_exhausted",
+                            Obj::new()
+                                .u64("from", from as u64)
+                                .u64("to", to as u64)
+                                .u64("attempts", attempts as u64),
+                        );
+                        push(&mut entries, ts, o);
+                    }
+                    CoherenceEvent::DirEntryLost { block } => {
+                        let o = inst("dir_entry_lost", Obj::new().u64("block", block.0));
+                        push(&mut entries, ts, o);
+                    }
+                    // Per-reference fills/upgrades (and per-message fault
+                    // outcomes) would dwarf the trace; they live in the
+                    // JSONL dump and the counters below.
                     CoherenceEvent::CoherentFill { .. }
                     | CoherenceEvent::NcFill { .. }
-                    | CoherenceEvent::Upgrade { .. } => {}
+                    | CoherenceEvent::Upgrade { .. }
+                    | CoherenceEvent::FaultInjected { .. }
+                    | CoherenceEvent::Nack { .. }
+                    | CoherenceEvent::RetryRecovered { .. } => {}
                 }
+            }
+            Event::WatchdogFired {
+                last_progress,
+                threshold,
+                ..
+            } => {
+                let o = trace_base("i", "watchdog_fired", ts, PID_MACHINE, 0)
+                    .str("cat", "machine")
+                    .str("s", "g")
+                    .raw(
+                        "args",
+                        Obj::new()
+                            .u64("last_progress", last_progress)
+                            .u64("threshold", threshold)
+                            .render(),
+                    );
+                push(&mut entries, ts, o);
+            }
+            Event::ModeDowngrade {
+                overflows, retries, ..
+            } => {
+                let o = trace_base("i", "mode_downgrade", ts, PID_MACHINE, 0)
+                    .str("cat", "machine")
+                    .str("s", "g")
+                    .raw(
+                        "args",
+                        Obj::new()
+                            .u64("overflows", overflows)
+                            .u64("retries", retries)
+                            .render(),
+                    );
+                push(&mut entries, ts, o);
+            }
+            Event::TaskRetry {
+                task, ctx, attempt, ..
+            } => {
+                let o = trace_base("i", "task_retry", ts, PID_TASKS, ctx as u64)
+                    .str("cat", "task")
+                    .str("s", "t")
+                    .raw(
+                        "args",
+                        Obj::new()
+                            .u64("task", task as u64)
+                            .u64("attempt", attempt as u64)
+                            .render(),
+                    );
+                push(&mut entries, ts, o);
             }
             Event::TaskCreated { .. } | Event::TaskWoken { .. } => {}
         }
@@ -671,11 +770,93 @@ mod tests {
         let mut r = Recorder::new(RecorderConfig::default());
         r.hist_mem_latency.record(4);
         r.hist_bank_wait.record(0);
+        r.hist_retry_latency.record(96);
         let mut buf = Vec::new();
         write_histograms(&r, &mut buf).unwrap();
         let text = String::from_utf8(buf).unwrap();
         assert!(text.contains("mem_latency_cycles"));
         assert!(text.contains("wake_to_dispatch_cycles"));
         assert!(text.contains("bank_wait_cycles"));
+        assert!(text.contains("retry_latency_cycles"));
+    }
+
+    #[test]
+    fn fault_events_export_to_jsonl_and_trace() {
+        use raccd_sim::FaultSite;
+        let mut r = Recorder::new(RecorderConfig {
+            sample_interval: 10,
+            buffer_events: true,
+        });
+        r.record(Event::Coherence {
+            cycle: 5,
+            ev: CoherenceEvent::FaultInjected {
+                site: FaultSite::NocDrop,
+                from: 0,
+                to: 3,
+            },
+        });
+        r.record(Event::Coherence {
+            cycle: 6,
+            ev: CoherenceEvent::Nack { from: 3, to: 0 },
+        });
+        r.record(Event::Coherence {
+            cycle: 7,
+            ev: CoherenceEvent::RetryRecovered {
+                attempts: 2,
+                delay: 96,
+            },
+        });
+        r.record(Event::Coherence {
+            cycle: 8,
+            ev: CoherenceEvent::RetryExhausted {
+                from: 0,
+                to: 3,
+                attempts: 9,
+            },
+        });
+        r.record(Event::TaskRetry {
+            cycle: 9,
+            task: 4,
+            ctx: 1,
+            attempt: 1,
+        });
+        r.record(Event::WatchdogFired {
+            cycle: 10,
+            last_progress: 2,
+            threshold: 5,
+        });
+        r.record(Event::ModeDowngrade {
+            cycle: 11,
+            overflows: 12,
+            retries: 30,
+        });
+        let mut buf = Vec::new();
+        write_events_jsonl(r.names(), r.events(), &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let mut kinds = Vec::new();
+        for line in text.lines() {
+            let v = json::parse(line).expect("fault JSONL lines are valid");
+            kinds.push(v.get("kind").unwrap().as_str().unwrap().to_string());
+        }
+        assert_eq!(
+            kinds,
+            vec![
+                "fault_injected",
+                "nack",
+                "retry_recovered",
+                "retry_exhausted",
+                "task_retry",
+                "watchdog_fired",
+                "mode_downgrade"
+            ]
+        );
+        assert!(text.contains("\"site\":\"noc_drop\""));
+        r.finish(20, &Stats::default(), Gauges::default());
+        let trace = chrome_trace_json(&r);
+        json::parse(&trace).expect("trace with fault events is valid JSON");
+        assert!(trace.contains("retry_exhausted"));
+        assert!(trace.contains("watchdog_fired"));
+        assert!(trace.contains("mode_downgrade"));
+        assert!(trace.contains("task_retry"));
     }
 }

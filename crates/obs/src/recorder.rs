@@ -44,6 +44,9 @@ pub struct Recorder {
     pub hist_wake_to_dispatch: Log2Hist,
     /// Queueing delay per reference at busy LLC/directory banks.
     pub hist_bank_wait: Log2Hist,
+    /// Extra cycles each fault-recovered message spent in timeouts,
+    /// NACK round-trips and backoff before delivery.
+    pub hist_retry_latency: Log2Hist,
 }
 
 impl Default for Recorder {
@@ -64,6 +67,7 @@ impl Recorder {
             hist_mem_latency: Log2Hist::new(),
             hist_wake_to_dispatch: Log2Hist::new(),
             hist_bank_wait: Log2Hist::new(),
+            hist_retry_latency: Log2Hist::new(),
         }
     }
 

@@ -13,6 +13,7 @@
 //!   7d/10 via `raccd-energy` (dynamic energy depends on the *current*
 //!   directory size under ADR).
 
+use crate::error::ProtocolError;
 use crate::mesi::EntryState;
 use raccd_cache::SetAssoc;
 use raccd_mem::BlockAddr;
@@ -52,9 +53,20 @@ pub struct DirectoryBank {
 impl DirectoryBank {
     /// Create a bank with `entries` capacity, `ways` associativity and
     /// `bank_bits` low block bits skipped for set indexing.
+    ///
+    /// Panics on an impossible geometry; [`DirectoryBank::try_new`] is
+    /// the fallible variant.
     pub fn new(entries: usize, ways: usize, bank_bits: u32) -> Self {
-        assert!(entries >= ways && entries.is_multiple_of(ways));
-        DirectoryBank {
+        Self::try_new(entries, ways, bank_bits).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`DirectoryBank::new`]: rejects a geometry whose entry
+    /// count is not a positive multiple of the associativity.
+    pub fn try_new(entries: usize, ways: usize, bank_bits: u32) -> Result<Self, ProtocolError> {
+        if ways == 0 || entries < ways || !entries.is_multiple_of(ways) {
+            return Err(ProtocolError::BadGeometry { entries, ways });
+        }
+        Ok(DirectoryBank {
             arr: SetAssoc::new(entries / ways, ways, bank_bits),
             ways,
             bank_bits,
@@ -65,7 +77,7 @@ impl DirectoryBank {
             occ_integral: 0,
             cap_integral: 0,
             last_event: 0,
-        }
+        })
     }
 
     /// Current entry capacity (changes under ADR).
@@ -135,18 +147,37 @@ impl DirectoryBank {
 
     /// Resize to `new_entries` (ADR). Entries that no longer fit are
     /// returned; the caller must treat them as inclusion victims.
+    ///
+    /// Panics on an impossible geometry; [`DirectoryBank::try_resize`] is
+    /// the fallible variant.
     pub fn resize(&mut self, new_entries: usize, now: u64) -> Vec<DirEviction> {
-        assert!(new_entries >= self.ways && new_entries.is_multiple_of(self.ways));
+        self.try_resize(new_entries, now)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`DirectoryBank::resize`]: rejects a geometry whose entry
+    /// count is not a positive multiple of the associativity.
+    pub fn try_resize(
+        &mut self,
+        new_entries: usize,
+        now: u64,
+    ) -> Result<Vec<DirEviction>, ProtocolError> {
+        if new_entries < self.ways || !new_entries.is_multiple_of(self.ways) {
+            return Err(ProtocolError::BadGeometry {
+                entries: new_entries,
+                ways: self.ways,
+            });
+        }
         self.tick(now);
         let evicted = self.arr.resize_sets(new_entries / self.ways);
         self.evictions += evicted.len() as u64;
-        evicted
+        Ok(evicted
             .into_iter()
             .map(|(k, e)| DirEviction {
                 block: BlockAddr(k),
                 entry: e,
             })
-            .collect()
+            .collect())
     }
 
     /// Total accesses recorded (Figure 7a).
@@ -267,6 +298,30 @@ mod tests {
         assert!(d.deallocate(BlockAddr(3), 5).is_some());
         assert!(d.probe(BlockAddr(3)).is_none());
         assert_eq!(d.occupancy(), 0);
+    }
+
+    #[test]
+    fn bad_geometry_is_a_typed_error_not_a_panic() {
+        use crate::error::ProtocolError;
+        assert_eq!(
+            DirectoryBank::try_new(10, 8, 0).unwrap_err(),
+            ProtocolError::BadGeometry {
+                entries: 10,
+                ways: 8
+            }
+        );
+        assert!(DirectoryBank::try_new(0, 0, 0).is_err());
+        let mut d = bank();
+        assert_eq!(
+            d.try_resize(12, 0).unwrap_err(),
+            ProtocolError::BadGeometry {
+                entries: 12,
+                ways: 8
+            }
+        );
+        // The bank is untouched after a rejected resize.
+        assert_eq!(d.capacity(), 16);
+        assert!(d.try_resize(8, 0).is_ok());
     }
 
     #[test]

@@ -21,8 +21,10 @@
 
 pub mod adr;
 pub mod directory;
+pub mod error;
 pub mod mesi;
 
 pub use adr::{Adr, AdrConfig, ResizeDirection};
 pub use directory::{DirEntry, DirEviction, DirectoryBank};
-pub use mesi::DirState;
+pub use error::ProtocolError;
+pub use mesi::{ApplyEffect, DirMsg, DirState};

@@ -5,6 +5,16 @@
 //! listed as sharer may have silently dropped the line; a later invalidation
 //! to it is then spurious but harmless. The owner pointer (a core in E or M)
 //! is always precise because E/M replacements write back / notify.
+//!
+//! Besides the infallible `record_*` helpers the simulator uses on its
+//! hot path, this module exposes a fallible, message-oriented surface
+//! ([`DirMsg`] / [`EntryState::apply`]) returning [`ProtocolError`] on
+//! malformed transitions. The fault plane relies on it: a duplicated NoC
+//! message re-delivers the same [`DirMsg`], and every transition is
+//! idempotent under re-delivery (property-tested in
+//! `tests/mesi_idempotence.rs`).
+
+use crate::error::ProtocolError;
 
 /// Directory-visible state of a tracked block.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -20,7 +30,7 @@ pub enum DirState {
 /// One directory entry: state + sharer bit-vector + owner pointer, matching
 /// the paper's "3 bytes to store the state of the cache block and the
 /// bit-vector of sharer cores" (§V-A5, 16 cores).
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct EntryState {
     /// Bit `i` set ⇒ core `i` may hold the block (possibly stale under
     /// silent evictions).
@@ -87,6 +97,101 @@ impl EntryState {
     pub fn all_holders(&self) -> u64 {
         self.sharers | self.owner.map_or(0, |o| 1 << o)
     }
+
+    /// Fallible [`EntryState::record_gets`]: rejects an un-downgraded
+    /// owner or an out-of-range core instead of asserting.
+    pub fn try_record_gets(&mut self, core: usize) -> Result<bool, ProtocolError> {
+        if core >= 64 {
+            return Err(ProtocolError::CoreOutOfRange { core });
+        }
+        if let Some(owner) = self.owner {
+            if owner as usize != core {
+                return Err(ProtocolError::OwnerNotDowngraded {
+                    owner,
+                    requester: core,
+                });
+            }
+            // The owner re-reading its own block (a duplicated GetS): it
+            // already holds E/M, nothing to change.
+            return Ok(false);
+        }
+        Ok(self.record_gets(core))
+    }
+
+    /// Fallible [`EntryState::record_getx`].
+    pub fn try_record_getx(&mut self, core: usize) -> Result<u64, ProtocolError> {
+        if core >= 64 {
+            return Err(ProtocolError::CoreOutOfRange { core });
+        }
+        Ok(self.record_getx(core))
+    }
+
+    /// Apply one directory-bound message, returning its side effects or a
+    /// typed error for malformed transitions. Duplicate delivery of any
+    /// message leaves the entry in the same state (idempotence — the
+    /// receiver-side property the fault plane's duplication site relies
+    /// on).
+    pub fn apply(&mut self, msg: DirMsg) -> Result<ApplyEffect, ProtocolError> {
+        match msg {
+            DirMsg::GetS { core } => {
+                let exclusive = self.try_record_gets(core)?;
+                Ok(ApplyEffect {
+                    exclusive,
+                    invalidate: 0,
+                })
+            }
+            DirMsg::GetX { core } => {
+                let invalidate = self.try_record_getx(core)?;
+                Ok(ApplyEffect {
+                    exclusive: true,
+                    invalidate,
+                })
+            }
+            DirMsg::PutM { core } => {
+                if core >= 64 {
+                    return Err(ProtocolError::CoreOutOfRange { core });
+                }
+                self.owner_writeback(core);
+                Ok(ApplyEffect::default())
+            }
+            DirMsg::Downgrade => {
+                self.downgrade_owner();
+                Ok(ApplyEffect::default())
+            }
+        }
+    }
+}
+
+/// A directory-bound coherence message, as re-deliverable by the fault
+/// plane's duplication site.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DirMsg {
+    /// Read request from `core`.
+    GetS {
+        /// Requesting core.
+        core: usize,
+    },
+    /// Write / upgrade request from `core`.
+    GetX {
+        /// Requesting core.
+        core: usize,
+    },
+    /// Owner write-back (PutM / PutE) from `core`.
+    PutM {
+        /// The (former) owner.
+        core: usize,
+    },
+    /// Downgrade the current owner to a sharer (forwarded-GetS ack).
+    Downgrade,
+}
+
+/// Side effects of applying one [`DirMsg`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ApplyEffect {
+    /// The requester may install the line Exclusive.
+    pub exclusive: bool,
+    /// Bitmask of cores that must receive invalidations.
+    pub invalidate: u64,
 }
 
 #[cfg(test)]

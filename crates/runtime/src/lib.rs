@@ -23,6 +23,7 @@
 pub mod builder;
 pub mod graph;
 pub mod region;
+pub mod retry;
 pub mod scheduler;
 pub mod task;
 pub mod trace;
@@ -31,6 +32,7 @@ pub mod workload;
 pub use builder::{Program, ProgramBuilder};
 pub use graph::{TaskGraph, TaskId};
 pub use region::{Dep, DepDir};
+pub use retry::{RetryBook, RetryDecision};
 pub use scheduler::{ReadyQueue, StealQueues};
 pub use task::TaskCtx;
 pub use trace::MemRef;

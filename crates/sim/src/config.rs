@@ -163,6 +163,12 @@ pub struct MachineConfig {
     /// every machine built with this configuration. Also force-enabled
     /// process-wide by the `RACCD_SHADOW_CHECK` environment variable.
     pub shadow_check: bool,
+    /// Attach a *collecting* shadow checker instead of the fail-fast one:
+    /// violations accumulate into the final [`crate::CheckReport`] rather
+    /// than panicking. Fault campaigns use this — an injected-but-detected
+    /// corruption must be reported, not abort the harness. Takes
+    /// precedence over `shadow_check` when both are set.
+    pub shadow_collect: bool,
     /// Latencies.
     pub lat: Latencies,
     /// Runtime phase costs.
@@ -195,6 +201,7 @@ impl MachineConfig {
             permuted_pages: false,
             bank_contention: false,
             shadow_check: false,
+            shadow_collect: false,
             lat: Latencies::default(),
             runtime: RuntimeCosts::default(),
         }
@@ -272,6 +279,12 @@ impl MachineConfig {
     /// this configuration.
     pub fn with_shadow_check(mut self, on: bool) -> Self {
         self.shadow_check = on;
+        self
+    }
+
+    /// Enable/disable the collecting shadow checker (fault campaigns).
+    pub fn with_shadow_collect(mut self, on: bool) -> Self {
+        self.shadow_collect = on;
         self
     }
 

@@ -31,4 +31,5 @@ pub mod stats;
 pub use check::{CheckEvent, CheckReport, CheckSink, CheckStats, ShadowChecker, Violation};
 pub use config::{Latencies, MachineConfig, RuntimeCosts, SchedPolicy, DIR_RATIOS};
 pub use machine::{CoherenceEvent, L1LookupResult, Machine, TimedEvent};
+pub use raccd_fault::{Backoff, FaultPlan, FaultPlane, FaultSite, FaultStats, Watchdog};
 pub use stats::Stats;

@@ -30,6 +30,7 @@ use crate::check::{shadow_check_forced, CheckEvent, CheckReport, CheckSink, Shad
 use crate::config::MachineConfig;
 use crate::stats::Stats;
 use raccd_cache::{L1Cache, L1Line, L1State, LlcBank, LlcLine};
+use raccd_fault::{FaultPlan, FaultPlane, FaultSite, FaultStats, MsgOutcome};
 use raccd_mem::{BlockAddr, PAddr, PageNum, PageTable, Tlb, VAddr};
 use raccd_noc::{Mesh, MsgClass};
 use raccd_protocol::{Adr, AdrConfig, DirEntry, DirEviction, DirectoryBank, ResizeDirection};
@@ -98,6 +99,45 @@ pub enum CoherenceEvent {
         /// Cycles the bank port was blocked for the rebuild.
         blocked_cycles: u64,
     },
+    /// The fault plane injected a fault into a NoC transfer.
+    FaultInjected {
+        /// The injection site.
+        site: FaultSite,
+        /// Sending tile.
+        from: usize,
+        /// Receiving tile.
+        to: usize,
+    },
+    /// The receiver's checksum rejected a corrupted payload and NACKed.
+    Nack {
+        /// The NACKing tile (original receiver).
+        from: usize,
+        /// The original sender, which will retry.
+        to: usize,
+    },
+    /// A faulted message was eventually delivered after retries.
+    RetryRecovered {
+        /// Retries it took.
+        attempts: u32,
+        /// Total extra latency paid (timeouts + backoff + retransmits).
+        delay: u64,
+    },
+    /// The bounded retry budget ran out; the message was force-delivered
+    /// and the run flagged fatal (detection, not silent corruption).
+    RetryExhausted {
+        /// Sending tile.
+        from: usize,
+        /// Receiving tile.
+        to: usize,
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
+    /// The fault plane dropped a resident directory entry (SRAM upset);
+    /// recovery runs the inclusion-eviction path.
+    DirEntryLost {
+        /// The block whose entry was lost.
+        block: BlockAddr,
+    },
 }
 
 /// A [`CoherenceEvent`] stamped with the cycle it occurred at (the
@@ -156,6 +196,10 @@ pub struct Machine {
     /// Optional shadow coherence checker (see [`crate::check`]); receives a
     /// [`CheckEvent`] from every state-mutating path.
     checker: Option<Box<dyn CheckSink>>,
+    /// Optional fault plane. `None` (the default) keeps every protocol
+    /// path on a single never-taken branch — the zero-fault configuration
+    /// is perf-neutral, same as the `checker` and recorder patterns.
+    faults: Option<Box<FaultPlane>>,
 }
 
 impl Machine {
@@ -214,9 +258,15 @@ impl Machine {
             last_fill_shared: false,
             last_fill_from_owner: false,
             checker: None,
+            faults: None,
         };
-        if m.cfg.shadow_check || shadow_check_forced() {
+        if m.cfg.shadow_collect {
+            m.checker = Some(Box::new(ShadowChecker::collecting(&m.cfg)));
+        } else if m.cfg.shadow_check || shadow_check_forced() {
             m.checker = Some(Box::new(ShadowChecker::new(&m.cfg)));
+        }
+        if let Some(plan) = FaultPlan::forced_from_env() {
+            m.faults = Some(Box::new(FaultPlane::new(plan)));
         }
         m
     }
@@ -280,6 +330,236 @@ impl Machine {
         if let Some(c) = self.checker.as_mut() {
             c.on_event(&ev);
         }
+    }
+
+    /// Attach a fault plane (replacing any existing one). Campaign
+    /// harnesses use this; `RACCD_FAULT_SPEC` attaches one at build time.
+    pub fn attach_faults(&mut self, plane: FaultPlane) {
+        self.faults = Some(Box::new(plane));
+    }
+
+    /// Whether a fault plane is attached.
+    pub fn has_faults(&self) -> bool {
+        self.faults.is_some()
+    }
+
+    /// The attached plane's plan, if any.
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        self.faults.as_ref().map(|f| f.plan)
+    }
+
+    /// The attached plane's injection/recovery counters, if any.
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.faults.as_ref().map(|f| f.stats)
+    }
+
+    /// True when a recovery budget has been exhausted: the run was kept
+    /// live by force-delivery but must be reported as *detected*, never
+    /// as a clean recovery.
+    pub fn fault_fatal(&self) -> bool {
+        self.faults.as_ref().is_some_and(|f| f.fatal())
+    }
+
+    /// Mutable access to the attached plane (driver-level injections:
+    /// NCRT storms, task failures/stragglers).
+    pub fn faults_mut(&mut self) -> Option<&mut FaultPlane> {
+        self.faults.as_deref_mut()
+    }
+
+    /// Send one protocol message, routing through the fault plane when
+    /// one is attached. Without a plane this is exactly `noc.send` plus
+    /// one untaken branch.
+    #[inline]
+    fn xmit(&mut self, from: usize, to: usize, class: MsgClass, now: u64) -> u64 {
+        if self.faults.is_none() {
+            return self.noc.send(from, to, class);
+        }
+        self.xmit_faulty(from, to, class, now)
+    }
+
+    /// The faulty transmit path: one seeded draw decides the message's
+    /// fate; drops and corruptions loop through the bounded-backoff retry
+    /// machinery until delivery or budget exhaustion (then the message is
+    /// force-delivered and the plane latched fatal, so the protocol state
+    /// stays consistent while the run is flagged as detected).
+    #[cold]
+    fn xmit_faulty(&mut self, from: usize, to: usize, class: MsgClass, now: u64) -> u64 {
+        let plan = self.faults.as_ref().expect("fault path").plan;
+        let backoff = self.faults.as_ref().expect("fault path").backoff();
+        let base = self.noc.latency(from, to);
+        let mut total = 0u64;
+        let mut attempt: u32 = 0;
+        loop {
+            let outcome = self
+                .faults
+                .as_mut()
+                .expect("fault path")
+                .roll_msg(now + total);
+            // Injection bookkeeping shared by all faulty outcomes.
+            if outcome != MsgOutcome::Deliver {
+                self.stats.faults_injected += 1;
+            }
+            match outcome {
+                MsgOutcome::Deliver => {
+                    total += self.noc.send(from, to, class);
+                    break;
+                }
+                MsgOutcome::Delay(d) => {
+                    self.noc.note_delayed();
+                    self.stats.fault_delay_cycles += d;
+                    self.event(
+                        now,
+                        CoherenceEvent::FaultInjected {
+                            site: FaultSite::NocDelay,
+                            from,
+                            to,
+                        },
+                    );
+                    total += d + self.noc.send(from, to, class);
+                    break;
+                }
+                MsgOutcome::Duplicate => {
+                    self.event(
+                        now,
+                        CoherenceEvent::FaultInjected {
+                            site: FaultSite::NocDup,
+                            from,
+                            to,
+                        },
+                    );
+                    // Both copies traverse; receivers are idempotent (the
+                    // `mesi_idempotence` property), so state is applied once.
+                    total += self.noc.send_duplicate(from, to, class);
+                    break;
+                }
+                MsgOutcome::Drop => {
+                    self.event(
+                        now,
+                        CoherenceEvent::FaultInjected {
+                            site: FaultSite::NocDrop,
+                            from,
+                            to,
+                        },
+                    );
+                    // The flits die on the wire; the sender discovers the
+                    // loss by timeout.
+                    total += self.noc.send_dropped(from, to, class) + plan.drop_timeout;
+                    self.stats.fault_delay_cycles += plan.drop_timeout;
+                    attempt += 1;
+                    if !self.charge_retry(from, to, attempt, &mut total, backoff, now) {
+                        total += self.noc.send(from, to, class);
+                        break;
+                    }
+                }
+                MsgOutcome::Corrupt => {
+                    self.event(
+                        now,
+                        CoherenceEvent::FaultInjected {
+                            site: FaultSite::NocCorrupt,
+                            from,
+                            to,
+                        },
+                    );
+                    // The corrupted payload arrives; the checksum model
+                    // rejects it at the receiver, which NACKs the sender.
+                    total += self.noc.send_corrupted(from, to, class);
+                    total += self.noc.send_nack(to, from);
+                    self.stats.msg_nacks += 1;
+                    self.event(now, CoherenceEvent::Nack { from: to, to: from });
+                    attempt += 1;
+                    if !self.charge_retry(from, to, attempt, &mut total, backoff, now) {
+                        total += self.noc.send(from, to, class);
+                        break;
+                    }
+                }
+            }
+        }
+        if attempt > 0 && total > base {
+            let f = self.faults.as_mut().expect("fault path");
+            if !f.fatal() {
+                f.stats.recovered += 1;
+            }
+            let delay = total - base;
+            self.event(
+                now,
+                CoherenceEvent::RetryRecovered {
+                    attempts: attempt,
+                    delay,
+                },
+            );
+        }
+        total
+    }
+
+    /// Charge one retry: backoff wait + counters. Returns false when the
+    /// budget is exhausted — the caller force-delivers and the run is
+    /// latched fatal (detected).
+    fn charge_retry(
+        &mut self,
+        from: usize,
+        to: usize,
+        attempt: u32,
+        total: &mut u64,
+        backoff: raccd_fault::Backoff,
+        now: u64,
+    ) -> bool {
+        let budget = self.faults.as_ref().expect("fault path").plan.retry_budget;
+        if attempt > budget {
+            self.faults.as_mut().expect("fault path").mark_fatal();
+            self.stats.retry_budget_exhausted += 1;
+            self.event(
+                now,
+                CoherenceEvent::RetryExhausted {
+                    from,
+                    to,
+                    attempts: attempt,
+                },
+            );
+            return false;
+        }
+        let wait = backoff.delay(attempt);
+        *total += wait;
+        self.stats.fault_delay_cycles += wait;
+        self.stats.msg_retries += 1;
+        self.faults.as_mut().expect("fault path").stats.retries += 1;
+        self.noc.note_retry();
+        true
+    }
+
+    /// Roll directory-entry loss on a directory access: a random resident
+    /// entry of `home`'s bank is dropped (SRAM upset model) and recovered
+    /// through the ordinary inclusion-eviction path, which invalidates the
+    /// LLC line and every private copy and writes dirty data back — the
+    /// same machinery a capacity eviction uses, so the shadow checker
+    /// observes a legal (if spurious) eviction.
+    fn maybe_dir_loss(&mut self, home: usize, now: u64) {
+        let Some(f) = self.faults.as_mut() else {
+            return;
+        };
+        if !f.roll_dir_loss(now) {
+            return;
+        }
+        let occ = self.dir[home].occupancy();
+        if occ == 0 {
+            return;
+        }
+        let victim_idx = self.faults.as_mut().expect("fault path").pick(occ as u64) as usize;
+        let Some((block, entry)) = self.dir[home].iter().nth(victim_idx).map(|(b, e)| (b, *e))
+        else {
+            return;
+        };
+        self.dir[home].deallocate(block, now);
+        self.stats.dir_entries_lost += 1;
+        self.event(
+            now,
+            CoherenceEvent::FaultInjected {
+                site: FaultSite::DirLoss,
+                from: home,
+                to: home,
+            },
+        );
+        self.event(now, CoherenceEvent::DirEntryLost { block });
+        self.handle_dir_eviction(DirEviction { block, entry }, now);
     }
 
     /// Home tile (LLC + directory bank) of a block: low block bits.
@@ -490,7 +770,7 @@ impl Machine {
             nc,
         });
         if wt {
-            self.write_through_update(core, block);
+            self.write_through_update(core, block, now);
         }
         self.check_ev(CheckEvent::OpEnd);
         result
@@ -500,9 +780,9 @@ impl Machine {
     /// LLC bank (no directory involvement for NC blocks — the message
     /// carries the NC attribute, §III-C3). Off the critical path (store
     /// buffer), so no cycles are returned.
-    fn write_through_update(&mut self, core: usize, block: BlockAddr) {
+    fn write_through_update(&mut self, core: usize, block: BlockAddr, now: u64) {
         let home = self.home_of(block);
-        self.noc.send(core, home, MsgClass::WriteBack);
+        self.xmit(core, home, MsgClass::WriteBack, now);
         self.stats.write_throughs += 1;
         self.check_ev(CheckEvent::WriteThrough { core, block });
         if let Some(l) = self.llc[home].probe_mut(block) {
@@ -510,7 +790,7 @@ impl Machine {
         } else {
             // LLC replaced the line meanwhile: forward to memory.
             let mc = self.noc.mem_controller_for(home);
-            self.noc.send(home, mc, MsgClass::WriteBack);
+            self.xmit(home, mc, MsgClass::WriteBack, now);
             self.stats.mem_writes += 1;
         }
     }
@@ -518,17 +798,25 @@ impl Machine {
     /// Upgrade (GetX on an S line): directory access + invalidations.
     fn upgrade(&mut self, core: usize, block: BlockAddr, now: u64) -> u64 {
         let home = self.home_of(block);
-        let mut cycles = self.noc.send(core, home, MsgClass::Request);
+        self.maybe_dir_loss(home, now);
+        let mut cycles = self.xmit(core, home, MsgClass::Request, now);
         cycles += self.bank_service(home, now + cycles, self.cfg.lat.dir);
         self.dir[home].record_access(now);
         self.stats.dir_accesses += 1;
 
-        let inv_mask = match self.dir[home].lookup(block) {
-            Some(entry) => entry.record_getx(core),
-            None => {
-                // Inclusivity guarantees an entry exists for any coherent S
-                // line; reaching here indicates an invariant violation.
-                debug_assert!(false, "upgrade without directory entry for {block:?}");
+        let inv_mask = match Self::try_getx(&mut self.dir[home], block, core) {
+            Ok(mask) => mask,
+            Err(raccd_protocol::ProtocolError::MissingEntry) => {
+                // Inclusivity normally guarantees an entry for any coherent
+                // S line; a missing one means the entry was lost (injected
+                // upset or a raced eviction). Recover by re-allocating —
+                // exactly what a real directory does on a mapped-but-absent
+                // request — and count the recovery.
+                debug_assert!(
+                    self.faults.is_some(),
+                    "upgrade without directory entry for {block:?} and no fault plane"
+                );
+                self.stats.protocol_recoveries += 1;
                 let mut e = DirEntry::uncached();
                 e.record_getx(core);
                 let ev = self.dir[home].allocate(block, now, e);
@@ -539,32 +827,46 @@ impl Machine {
                 }
                 0
             }
+            Err(e) => unreachable!("upgrade transition rejected: {e}"),
         };
         cycles += self.invalidate_holders(home, block, inv_mask, now);
         // Ack back to the writer.
-        cycles += self.noc.send(home, core, MsgClass::Control);
+        cycles += self.xmit(home, core, MsgClass::Control, now);
         self.event(now, CoherenceEvent::Upgrade { core, block });
         cycles
+    }
+
+    /// Record a GetX against `home`'s bank for `block`, surfacing a
+    /// missing entry as a typed [`raccd_protocol::ProtocolError`] instead
+    /// of asserting.
+    fn try_getx(
+        dir: &mut DirectoryBank,
+        block: BlockAddr,
+        core: usize,
+    ) -> Result<u64, raccd_protocol::ProtocolError> {
+        match dir.lookup(block) {
+            Some(entry) => entry.try_record_getx(core),
+            None => Err(raccd_protocol::ProtocolError::MissingEntry),
+        }
     }
 
     /// Send invalidations to every core in `mask`, removing their L1 lines.
     /// Dirty data found (the previous owner) is written back to the LLC.
     /// Returns the added latency (the slowest invalidation round-trip).
     fn invalidate_holders(&mut self, home: usize, block: BlockAddr, mask: u64, now: u64) -> u64 {
-        let _ = now;
         let mut worst = 0u64;
         let mut m = mask;
         while m != 0 {
             let holder = m.trailing_zeros() as usize;
             m &= m - 1;
-            let lat = self.noc.send(home, holder, MsgClass::Control);
+            let lat = self.xmit(home, holder, MsgClass::Control, now);
             self.stats.invalidations_sent += 1;
             let invalidated = self.cores[holder].l1.invalidate(block);
             let present = invalidated.is_some();
             let dirty = invalidated.is_some_and(|line| line.dirty());
             if dirty {
                 // Dirty data travels back to the home LLC bank.
-                self.noc.send(holder, home, MsgClass::WriteBack);
+                self.xmit(holder, home, MsgClass::WriteBack, now);
                 self.stats.l1_writebacks += 1;
                 if let Some(llc_line) = self.llc[home].probe_mut(block) {
                     llc_line.dirty = true;
@@ -577,7 +879,7 @@ impl Machine {
                 dirty,
             });
             // Ack control message.
-            let ack = self.noc.send(holder, home, MsgClass::Control);
+            let ack = self.xmit(holder, home, MsgClass::Control, now);
             worst = worst.max(lat + ack);
         }
         worst
@@ -651,7 +953,7 @@ impl Machine {
         // the response arrives; the victim write-back is off the critical
         // path behind it.
         if write && self.cfg.l1_write_through {
-            self.write_through_update(core, block);
+            self.write_through_update(core, block, now);
         }
         let victim = self.cores[core].l1.fill(block, L1Line { state, nc, tid });
         if let Some((vblock, vline)) = victim {
@@ -664,7 +966,7 @@ impl Machine {
     /// Non-coherent request path: LLC only, no directory (§III-C3).
     fn nc_fill_path(&mut self, core: usize, block: BlockAddr, now: u64) -> u64 {
         let home = self.home_of(block);
-        let mut cycles = self.noc.send(core, home, MsgClass::Request);
+        let mut cycles = self.xmit(core, home, MsgClass::Request, now);
         cycles += self.bank_service(home, now + cycles, self.cfg.lat.llc);
         if let Some(line) = self.llc[home].access(block) {
             if !line.nc {
@@ -688,14 +990,15 @@ impl Machine {
             // LLC miss: fetch from memory non-coherently.
             cycles += self.fetch_from_memory(home, block, true, now);
         }
-        cycles += self.noc.send(home, core, MsgClass::DataResponse);
+        cycles += self.xmit(home, core, MsgClass::DataResponse, now);
         cycles
     }
 
     /// Coherent request path: directory + LLC in parallel.
     fn coherent_fill_path(&mut self, core: usize, block: BlockAddr, write: bool, now: u64) -> u64 {
         let home = self.home_of(block);
-        let mut cycles = self.noc.send(core, home, MsgClass::Request);
+        self.maybe_dir_loss(home, now);
+        let mut cycles = self.xmit(core, home, MsgClass::Request, now);
         cycles += self.bank_service(home, now + cycles, self.cfg.lat.dir.max(self.cfg.lat.llc));
         self.dir[home].record_access(now);
         self.stats.dir_accesses += 1;
@@ -721,25 +1024,25 @@ impl Machine {
                 if let Some(o) = owner.filter(|&o| o as usize != core) {
                     self.stats.owner_forwards += 1;
                     self.last_fill_from_owner = true;
-                    cycles += self.noc.send(o as usize, core, MsgClass::DataResponse);
+                    cycles += self.xmit(o as usize, core, MsgClass::DataResponse, now);
                 } else {
-                    cycles += self.noc.send(home, core, MsgClass::DataResponse);
+                    cycles += self.xmit(home, core, MsgClass::DataResponse, now);
                 }
             } else if owner == Some(core as u8) {
                 // Stale self-ownership: the requester's copy was dropped
                 // without a directory update (e.g. an OS-triggered page
                 // flush). Re-grant Exclusive from the LLC.
                 self.last_fill_shared = false;
-                cycles += self.noc.send(home, core, MsgClass::DataResponse);
+                cycles += self.xmit(home, core, MsgClass::DataResponse, now);
             } else {
                 if let Some(o) = owner.filter(|&o| o as usize != core) {
                     // Forward GetS to the owner; it downgrades and supplies
                     // data; dirty data is also written back to the LLC.
                     self.stats.owner_forwards += 1;
-                    cycles += self.noc.send(home, o as usize, MsgClass::Control);
+                    cycles += self.xmit(home, o as usize, MsgClass::Control, now);
                     if let Some(was_dirty) = self.cores[o as usize].l1.downgrade_to_shared(block) {
                         if was_dirty {
-                            self.noc.send(o as usize, home, MsgClass::WriteBack);
+                            self.xmit(o as usize, home, MsgClass::WriteBack, now);
                             self.stats.l1_writebacks += 1;
                             if let Some(l) = self.llc[home].probe_mut(block) {
                                 l.dirty = true;
@@ -756,7 +1059,7 @@ impl Machine {
                     e.record_gets(core);
                     self.last_fill_shared = true;
                     self.last_fill_from_owner = true;
-                    cycles += self.noc.send(o as usize, core, MsgClass::DataResponse);
+                    cycles += self.xmit(o as usize, core, MsgClass::DataResponse, now);
                 } else {
                     let e = self.dir[home].lookup(block).expect("entry");
                     if e.state() == raccd_protocol::DirState::Uncached {
@@ -768,7 +1071,7 @@ impl Machine {
                         e.record_gets(core);
                         self.last_fill_shared = true;
                     }
-                    cycles += self.noc.send(home, core, MsgClass::DataResponse);
+                    cycles += self.xmit(home, core, MsgClass::DataResponse, now);
                 }
             }
         } else {
@@ -797,7 +1100,7 @@ impl Machine {
             }
             self.maybe_adr(home, now);
             self.last_fill_shared = false;
-            cycles += self.noc.send(home, core, MsgClass::DataResponse);
+            cycles += self.xmit(home, core, MsgClass::DataResponse, now);
         }
         cycles
     }
@@ -806,10 +1109,10 @@ impl Machine {
     /// LLC victim. Returns added cycles.
     fn fetch_from_memory(&mut self, home: usize, block: BlockAddr, nc: bool, now: u64) -> u64 {
         let mc = self.noc.mem_controller_for(home);
-        let mut cycles = self.noc.send(home, mc, MsgClass::Request);
+        let mut cycles = self.xmit(home, mc, MsgClass::Request, now);
         cycles += self.cfg.lat.mem;
         self.stats.mem_reads += 1;
-        cycles += self.noc.send(mc, home, MsgClass::DataResponse);
+        cycles += self.xmit(mc, home, MsgClass::DataResponse, now);
         let victim = self.llc[home].fill(block, LlcLine { dirty: false, nc });
         self.check_ev(CheckEvent::LlcFill { block, nc });
         if let Some((vblock, vline)) = victim {
@@ -832,13 +1135,13 @@ impl Machine {
             self.stats.dir_accesses += 1;
             if let Some(entry) = self.dir[home].deallocate(block, now) {
                 self.check_ev(CheckEvent::DirDeallocate { block });
-                dirty |= self.invalidate_and_collect_dirty(home, block, entry.all_holders());
+                dirty |= self.invalidate_and_collect_dirty(home, block, entry.all_holders(), now);
             }
             self.maybe_adr(home, now);
         }
         if dirty {
             let mc = self.noc.mem_controller_for(home);
-            self.noc.send(home, mc, MsgClass::WriteBack);
+            self.xmit(home, mc, MsgClass::WriteBack, now);
             self.stats.mem_writes += 1;
         }
     }
@@ -853,7 +1156,8 @@ impl Machine {
             block: ev.block,
             holders: ev.entry.all_holders(),
         });
-        let mut dirty = self.invalidate_and_collect_dirty(home, ev.block, ev.entry.all_holders());
+        let mut dirty =
+            self.invalidate_and_collect_dirty(home, ev.block, ev.entry.all_holders(), now);
         if let Some(line) = self.llc[home].invalidate(ev.block) {
             self.stats.llc_inclusion_invalidations += 1;
             dirty |= line.dirty;
@@ -867,26 +1171,32 @@ impl Machine {
         }
         if dirty {
             let mc = self.noc.mem_controller_for(home);
-            self.noc.send(home, mc, MsgClass::WriteBack);
+            self.xmit(home, mc, MsgClass::WriteBack, now);
             self.stats.mem_writes += 1;
         }
     }
 
     /// Invalidate private copies in `mask`; returns whether dirty data was
     /// recovered (M copy in some L1).
-    fn invalidate_and_collect_dirty(&mut self, home: usize, block: BlockAddr, mask: u64) -> bool {
+    fn invalidate_and_collect_dirty(
+        &mut self,
+        home: usize,
+        block: BlockAddr,
+        mask: u64,
+        now: u64,
+    ) -> bool {
         let mut dirty = false;
         let mut m = mask;
         while m != 0 {
             let holder = m.trailing_zeros() as usize;
             m &= m - 1;
-            self.noc.send(home, holder, MsgClass::Control);
+            self.xmit(home, holder, MsgClass::Control, now);
             self.stats.invalidations_sent += 1;
             let invalidated = self.cores[holder].l1.invalidate(block);
             let present = invalidated.is_some();
             let line_dirty = invalidated.is_some_and(|line| line.dirty());
             if line_dirty {
-                self.noc.send(holder, home, MsgClass::WriteBack);
+                self.xmit(holder, home, MsgClass::WriteBack, now);
                 self.stats.l1_writebacks += 1;
                 dirty = true;
             }
@@ -913,14 +1223,14 @@ impl Machine {
         if line.nc {
             if line.dirty() {
                 // NC write-back: LLC-only, no directory (§III-C3).
-                self.noc.send(core, home, MsgClass::WriteBack);
+                self.xmit(core, home, MsgClass::WriteBack, now);
                 self.stats.l1_writebacks += 1;
                 if let Some(l) = self.llc[home].probe_mut(block) {
                     l.dirty = true;
                 } else {
                     // The LLC replaced it meanwhile: forward to memory.
                     let mc = self.noc.mem_controller_for(home);
-                    self.noc.send(home, mc, MsgClass::WriteBack);
+                    self.xmit(home, mc, MsgClass::WriteBack, now);
                     self.stats.mem_writes += 1;
                 }
             }
@@ -929,7 +1239,7 @@ impl Machine {
         match line.state {
             L1State::Modified => {
                 // PutM: update directory, write data into the LLC.
-                self.noc.send(core, home, MsgClass::WriteBack);
+                self.xmit(core, home, MsgClass::WriteBack, now);
                 self.stats.l1_writebacks += 1;
                 self.dir[home].record_access(now);
                 self.stats.dir_accesses += 1;
@@ -942,7 +1252,7 @@ impl Machine {
             }
             L1State::Exclusive => {
                 // PutE: clean notification so the owner pointer stays exact.
-                self.noc.send(core, home, MsgClass::Control);
+                self.xmit(core, home, MsgClass::Control, now);
                 self.dir[home].record_access(now);
                 self.stats.dir_accesses += 1;
                 if let Some(e) = self.dir[home].lookup(block) {
@@ -988,13 +1298,13 @@ impl Machine {
             if line.dirty() {
                 cycles += 4; // pipelined NC write-back issue
                 let home = self.home_of(block);
-                self.noc.send(core, home, MsgClass::WriteBack);
+                self.xmit(core, home, MsgClass::WriteBack, now);
                 self.stats.l1_writebacks += 1;
                 if let Some(l) = self.llc[home].probe_mut(block) {
                     l.dirty = true;
                 } else {
                     let mc = self.noc.mem_controller_for(home);
-                    self.noc.send(home, mc, MsgClass::WriteBack);
+                    self.xmit(home, mc, MsgClass::WriteBack, now);
                     self.stats.mem_writes += 1;
                 }
             }
@@ -1022,13 +1332,13 @@ impl Machine {
                 nc: line.nc,
             });
             if line.dirty() {
-                self.noc.send(core, home, MsgClass::WriteBack);
+                self.xmit(core, home, MsgClass::WriteBack, now);
                 self.stats.l1_writebacks += 1;
                 if let Some(l) = self.llc[home].probe_mut(block) {
                     l.dirty = true;
                 } else {
                     let mc = self.noc.mem_controller_for(home);
-                    self.noc.send(home, mc, MsgClass::WriteBack);
+                    self.xmit(home, mc, MsgClass::WriteBack, now);
                     self.stats.mem_writes += 1;
                 }
             }
@@ -1507,5 +1817,122 @@ mod tests {
         access(&mut m, 0, 0x10_0000 + 256, true, false, 2); // evicts a dirty line
         assert_eq!(m.stats.l1_writebacks, wb_before + 1);
         m.check_invariants();
+    }
+
+    /// Drive a fixed little workload; returns the machine for inspection.
+    fn fault_workload(plan: Option<FaultPlan>) -> Machine {
+        let mut m = machine();
+        if let Some(p) = plan {
+            m.attach_faults(FaultPlane::new(p));
+        }
+        let mut now = 0;
+        for i in 0..64u64 {
+            let core = (i % 4) as usize;
+            let addr = 0x10_0000 + (i % 8) * 64;
+            now += access(&mut m, core, addr, i % 3 == 0, false, now);
+        }
+        m
+    }
+
+    #[test]
+    fn zero_rate_plan_is_behavior_neutral() {
+        let clean = fault_workload(None);
+        let idle = fault_workload(Some(FaultPlan::default()));
+        // A plan with all rates zero must not perturb timing or traffic.
+        assert_eq!(clean.stats, idle.stats);
+        assert_eq!(idle.fault_stats().unwrap().injected, 0);
+        assert!(!idle.fault_fatal());
+    }
+
+    #[test]
+    fn drop_plan_recovers_within_budget() {
+        let plan = FaultPlan {
+            seed: 7,
+            drop: 0.2,
+            ..FaultPlan::default()
+        };
+        let m = fault_workload(Some(plan));
+        let fs = m.fault_stats().unwrap();
+        assert!(fs.drops > 0, "20% drop over 64 refs must inject");
+        assert_eq!(fs.budget_exhausted, 0, "budget 8 survives 20% drop");
+        assert!(!m.fault_fatal());
+        assert!(m.stats.msg_retries > 0);
+        assert!(m.stats.fault_delay_cycles > 0, "timeouts + backoff charged");
+        assert!(m.noc().fault_traffic().dropped > 0);
+        m.check_invariants();
+    }
+
+    #[test]
+    fn corrupt_plan_nacks_and_recovers() {
+        let plan = FaultPlan {
+            seed: 11,
+            corrupt: 0.15,
+            ..FaultPlan::default()
+        };
+        let m = fault_workload(Some(plan));
+        let fs = m.fault_stats().unwrap();
+        assert!(fs.corrupts > 0);
+        assert!(m.stats.msg_nacks > 0, "checksum rejection NACKs the sender");
+        assert_eq!(m.stats.msg_nacks, m.noc().fault_traffic().nacks);
+        assert!(!m.fault_fatal());
+        m.check_invariants();
+    }
+
+    #[test]
+    fn certain_drop_with_tiny_budget_is_detected_not_silent() {
+        let plan = FaultPlan {
+            seed: 3,
+            drop: 1.0,
+            retry_budget: 2,
+            ..FaultPlan::default()
+        };
+        let m = fault_workload(Some(plan));
+        assert!(
+            m.fault_fatal(),
+            "exhausted budget must latch the fatal flag"
+        );
+        assert!(m.stats.retry_budget_exhausted > 0);
+        // Force-delivery keeps protocol state consistent even when flagged.
+        m.check_invariants();
+    }
+
+    #[test]
+    fn dir_loss_recovers_with_clean_invariants() {
+        let plan = FaultPlan {
+            seed: 13,
+            dir_loss: 0.5,
+            ..FaultPlan::default()
+        };
+        let mut m = machine();
+        m.attach_faults(FaultPlane::new(plan));
+        let mut now = 0;
+        // Plenty of misses over distinct blocks so banks stay populated.
+        for round in 0..4u64 {
+            for i in 0..32u64 {
+                let core = (i % 4) as usize;
+                let addr = 0x10_0000 + i * 64;
+                now += access(&mut m, core, addr, round % 2 == 0, false, now);
+            }
+        }
+        assert!(m.stats.dir_entries_lost > 0, "50% over many fills must hit");
+        // Lost entries are re-fetched on demand; inclusion must still hold.
+        m.check_invariants();
+    }
+
+    #[test]
+    fn faulty_runs_are_reproducible() {
+        let plan = FaultPlan {
+            seed: 21,
+            drop: 0.1,
+            dup: 0.1,
+            corrupt: 0.05,
+            delay: 0.1,
+            dir_loss: 0.05,
+            ..FaultPlan::default()
+        };
+        let a = fault_workload(Some(plan));
+        let b = fault_workload(Some(plan));
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.fault_stats(), b.fault_stats());
     }
 }

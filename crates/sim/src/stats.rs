@@ -1,7 +1,7 @@
 //! Statistics for every metric the paper's evaluation reports.
 
 /// Counters accumulated over one simulation run.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct Stats {
     /// Execution cycles (Figure 6: "normalised cycles").
     pub cycles: u64,
@@ -109,6 +109,33 @@ pub struct Stats {
     /// them (dynamic-scheduler migration — what makes data *temporarily
     /// private*, §II-B).
     pub task_migrations: u64,
+
+    // --- Fault plane / resilience (all zero without an attached plane) ---
+    /// Faults injected across every site.
+    pub faults_injected: u64,
+    /// Message retransmissions (drop timeouts + corrupt NACK retries).
+    pub msg_retries: u64,
+    /// NACKs returned by the checksum model for corrupted payloads.
+    pub msg_nacks: u64,
+    /// Times the message retry budget ran out (run flagged fatal).
+    pub retry_budget_exhausted: u64,
+    /// Directory entries lost to injected upsets (recovered via the
+    /// inclusion-eviction path).
+    pub dir_entries_lost: u64,
+    /// Extra latency cycles charged by injected delays, timeouts and
+    /// backoff waits.
+    pub fault_delay_cycles: u64,
+    /// Malformed protocol transitions recovered via `ProtocolError`
+    /// handling instead of aborting.
+    pub protocol_recoveries: u64,
+    /// Task re-executions after injected mid-task failures.
+    pub task_retries: u64,
+    /// Tasks delayed by injected straggle at dispatch.
+    pub task_straggles: u64,
+    /// Progress-watchdog firings (hung-run detections).
+    pub watchdog_fires: u64,
+    /// RaCCD → full-coherence degradations under sustained fault pressure.
+    pub mode_downgrades: u64,
 }
 
 impl Stats {
@@ -204,6 +231,17 @@ impl Stats {
             busy_cycles,
             contexts,
             task_migrations,
+            faults_injected,
+            msg_retries,
+            msg_nacks,
+            retry_budget_exhausted,
+            dir_entries_lost,
+            fault_delay_cycles,
+            protocol_recoveries,
+            task_retries,
+            task_straggles,
+            watchdog_fires,
+            mode_downgrades,
         } = *other;
 
         let (wa, wb) = (self.dir_capacity_integral, dir_capacity_integral);
@@ -259,6 +297,17 @@ impl Stats {
         self.busy_cycles += busy_cycles;
         self.contexts = self.contexts.max(contexts);
         self.task_migrations += task_migrations;
+        self.faults_injected += faults_injected;
+        self.msg_retries += msg_retries;
+        self.msg_nacks += msg_nacks;
+        self.retry_budget_exhausted += retry_budget_exhausted;
+        self.dir_entries_lost += dir_entries_lost;
+        self.fault_delay_cycles += fault_delay_cycles;
+        self.protocol_recoveries += protocol_recoveries;
+        self.task_retries += task_retries;
+        self.task_straggles += task_straggles;
+        self.watchdog_fires += watchdog_fires;
+        self.mode_downgrades += mode_downgrades;
     }
 }
 
