@@ -9,7 +9,7 @@
 //! §II-B hardware costs RaCCD avoids.
 
 use raccd_bench::chart::{chart_requested, grouped_bar_chart};
-use raccd_bench::{bench_names, config_for_scale, mean, run_jobs, scale_from_args, Job};
+use raccd_bench::{bench_names, config_for_scale, mean, run_matrix, scale_from_args};
 use raccd_core::CoherenceMode;
 
 fn main() {
@@ -18,26 +18,18 @@ fn main() {
     let names = bench_names(scale);
 
     let modes = [
-        CoherenceMode::PageTable,
-        CoherenceMode::TlbClass,
-        CoherenceMode::Raccd,
+        (CoherenceMode::PageTable, false),
+        (CoherenceMode::TlbClass, false),
+        (CoherenceMode::Raccd, false),
     ];
-    let mut jobs = Vec::new();
-    for b in 0..names.len() {
-        for mode in modes {
-            jobs.push(Job {
-                bench_idx: b,
-                mode,
-                ratio: 1,
-                adr: false,
-            });
-        }
-    }
-    eprintln!(
-        "fig2: running {} simulations at scale {scale}...",
-        jobs.len()
+    let results = run_matrix(
+        "fig2",
+        scale,
+        config_for_scale(scale),
+        names.len(),
+        &modes,
+        &[1],
     );
-    let results = run_jobs(scale, config_for_scale(scale), &jobs);
 
     println!("# Figure 2: percentage of non-coherent cache blocks (1:1 directory)");
     println!("benchmark\tPT\tTLB\tRaCCD");

@@ -6,7 +6,7 @@
 //! 22 % on average and 71 % at 1:256; PT loses 15 % at 1:8; RaCCD loses
 //! only 0.9 % at 1:8 and ~10 % at 1:256.
 
-use raccd_bench::{bench_names, config_for_scale, mean, run_jobs, scale_from_args, Job};
+use raccd_bench::{bench_names, config_for_scale, mean, run_matrix, scale_from_args};
 use raccd_core::CoherenceMode;
 use raccd_sim::DIR_RATIOS;
 use std::collections::HashMap;
@@ -16,26 +16,16 @@ fn main() {
     let scale = scale_from_args(&args);
     let names = bench_names(scale);
 
-    let mut jobs = Vec::new();
-    for b in 0..names.len() {
-        for mode in CoherenceMode::ALL {
-            for &ratio in &DIR_RATIOS {
-                jobs.push(Job {
-                    bench_idx: b,
-                    mode,
-                    ratio,
-                    adr: false,
-                });
-            }
-        }
-    }
-    eprintln!(
-        "fig6: running {} simulations at scale {scale}...",
-        jobs.len()
+    let modes: Vec<(CoherenceMode, bool)> =
+        CoherenceMode::ALL.iter().map(|&m| (m, false)).collect();
+    let results = run_matrix(
+        "fig6",
+        scale,
+        config_for_scale(scale),
+        names.len(),
+        &modes,
+        &DIR_RATIOS,
     );
-    let t0 = std::time::Instant::now();
-    let results = run_jobs(scale, config_for_scale(scale), &jobs);
-    eprintln!("fig6: done in {:.1}s", t0.elapsed().as_secs_f64());
 
     // cycles[(bench, mode, ratio)]
     let mut cycles: HashMap<(usize, CoherenceMode, usize), u64> = HashMap::new();

@@ -9,7 +9,7 @@
 //! RaCCD holds 51 %; NoC traffic grows 91 % for FullCoh at 1:256 vs 15 %
 //! for RaCCD; RaCCD's directory dynamic energy is 71–80 % below FullCoh.
 
-use raccd_bench::{bench_names, config_for_scale, mean, run_jobs, scale_from_args, Job};
+use raccd_bench::{bench_names, config_for_scale, mean, run_matrix, scale_from_args};
 use raccd_core::CoherenceMode;
 use raccd_energy::EnergyModel;
 use raccd_sim::{Stats, DIR_RATIOS};
@@ -43,24 +43,9 @@ fn main() {
         }
     };
 
-    let mut jobs = Vec::new();
-    for b in 0..names.len() {
-        for mode in CoherenceMode::ALL {
-            for &ratio in &DIR_RATIOS {
-                jobs.push(Job {
-                    bench_idx: b,
-                    mode,
-                    ratio,
-                    adr: false,
-                });
-            }
-        }
-    }
-    eprintln!(
-        "fig7: running {} simulations at scale {scale}...",
-        jobs.len()
-    );
-    let results = run_jobs(scale, cfg, &jobs);
+    let modes: Vec<(CoherenceMode, bool)> =
+        CoherenceMode::ALL.iter().map(|&m| (m, false)).collect();
+    let results = run_matrix("fig7", scale, cfg, names.len(), &modes, &DIR_RATIOS);
 
     let mut by_key: HashMap<(usize, CoherenceMode, usize), &Stats> = HashMap::new();
     for r in &results {

@@ -5,7 +5,7 @@
 //! average.
 
 use raccd_bench::chart::{chart_requested, grouped_bar_chart};
-use raccd_bench::{bench_names, config_for_scale, mean, run_jobs, scale_from_args, Job};
+use raccd_bench::{bench_names, config_for_scale, mean, run_matrix, scale_from_args};
 use raccd_core::CoherenceMode;
 
 fn main() {
@@ -13,22 +13,16 @@ fn main() {
     let scale = scale_from_args(&args);
     let names = bench_names(scale);
 
-    let mut jobs = Vec::new();
-    for b in 0..names.len() {
-        for mode in CoherenceMode::ALL {
-            jobs.push(Job {
-                bench_idx: b,
-                mode,
-                ratio: 1,
-                adr: false,
-            });
-        }
-    }
-    eprintln!(
-        "fig8: running {} simulations at scale {scale}...",
-        jobs.len()
+    let modes: Vec<(CoherenceMode, bool)> =
+        CoherenceMode::ALL.iter().map(|&m| (m, false)).collect();
+    let results = run_matrix(
+        "fig8",
+        scale,
+        config_for_scale(scale),
+        names.len(),
+        &modes,
+        &[1],
     );
-    let results = run_jobs(scale, config_for_scale(scale), &jobs);
 
     println!("# Figure 8: average directory occupancy (%), 1:1 directory");
     println!("benchmark\tFullCoh\tPT\tRaCCD");

@@ -7,7 +7,7 @@
 //! energy 13–78 % (avg 50 %) vs RaCCD 1:1 and 72 % vs PT 1:1; overall 86 %
 //! saving vs FullCoh 1:1.
 
-use raccd_bench::{bench_names, config_for_scale, mean, run_jobs, scale_from_args, Job};
+use raccd_bench::{bench_names, config_for_scale, mean, run_matrix, scale_from_args};
 use raccd_core::CoherenceMode;
 use raccd_energy::EnergyModel;
 use raccd_sim::Stats;
@@ -27,27 +27,13 @@ fn main() {
     let names = bench_names(scale);
     let cfg = config_for_scale(scale);
 
-    let mut jobs = Vec::new();
-    for b in 0..names.len() {
-        for (mode, adr) in [
-            (CoherenceMode::FullCoh, false),
-            (CoherenceMode::PageTable, false),
-            (CoherenceMode::Raccd, false),
-            (CoherenceMode::Raccd, true),
-        ] {
-            jobs.push(Job {
-                bench_idx: b,
-                mode,
-                ratio: 1,
-                adr,
-            });
-        }
-    }
-    eprintln!(
-        "fig9/10: running {} simulations at scale {scale}...",
-        jobs.len()
-    );
-    let results = run_jobs(scale, cfg, &jobs);
+    let modes = [
+        (CoherenceMode::FullCoh, false),
+        (CoherenceMode::PageTable, false),
+        (CoherenceMode::Raccd, false),
+        (CoherenceMode::Raccd, true),
+    ];
+    let results = run_matrix("fig9/10", scale, cfg, names.len(), &modes, &[1]);
 
     println!("# Figure 9: normalised performance with adaptive directory reduction");
     println!("benchmark\tFullCoh\tPT\tRaCCD\tRaCCD+ADR\treconfigs");

@@ -4,20 +4,28 @@
 //! ```text
 //! cargo run --release -p raccd-bench --bin trace -- \
 //!     [--scale test|bench] [--bench Jacobi] [--mode RaCCD] [--head 20] \
-//!     [--interval 4096] [--telemetry out/]
+//!     [--interval 4096] [--telemetry out/] \
+//!     [--snapshot file.rsnp [--snapshot-at CYCLE]] [--restore file.rsnp]
 //! ```
 //!
 //! With `--telemetry <dir>` the run writes `trace.json` (Chrome Trace
 //! Format — load it at <https://ui.perfetto.dev>), `events.jsonl`,
 //! `series.csv` and `histograms.txt` into the directory, then re-parses
 //! the JSON artifacts to prove they are well-formed.
+//!
+//! With `--snapshot <file>` the run pauses at `--snapshot-at` cycles
+//! (default 10000) and writes a whole-machine checkpoint before finishing
+//! normally. With `--restore <file>` the run revives that checkpoint —
+//! same benchmark, scale and mode required — and finishes from there;
+//! final stats and the shadow state key are identical to the uninterrupted
+//! run (telemetry covers only the resumed half).
 
 use raccd_bench::{
     bench_names, config_for_scale, scale_from_args, telemetry_dir_from_args, write_telemetry,
 };
-use raccd_core::driver::run_program_with;
-use raccd_core::CoherenceMode;
+use raccd_core::{CoherenceMode, Driver};
 use raccd_obs::{event_json, json, Recorder, RecorderConfig};
+use raccd_snap::Snapshot;
 use std::collections::BTreeMap;
 
 fn main() {
@@ -52,6 +60,12 @@ fn main() {
     let mut cfg = config_for_scale(scale);
     cfg.record_events = true;
 
+    let snapshot_path = pick("--snapshot");
+    let snapshot_at: u64 = pick("--snapshot-at")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10_000);
+    let restore_path = pick("--restore");
+
     let workloads = raccd_workloads::all_benchmarks(scale);
     let program = workloads[bench_idx].build();
     eprintln!(
@@ -62,7 +76,33 @@ fn main() {
         sample_interval: interval,
         buffer_events: true,
     });
-    let out = run_program_with(cfg, mode, program, Some(&mut rec));
+    let out = if let Some(path) = &restore_path {
+        let bytes = std::fs::read(path).unwrap_or_else(|e| panic!("reading {path}: {e}"));
+        let snap = Snapshot::from_bytes(&bytes)
+            .unwrap_or_else(|e| panic!("decoding snapshot {path}: {e:?}"));
+        let driver = Driver::restore(cfg, mode, program, &snap)
+            .unwrap_or_else(|e| panic!("restoring {path}: {e:?}"));
+        eprintln!(
+            "restored {path}: {} tasks done, resuming at cycle {}",
+            driver.completed_tasks(),
+            driver.next_time().unwrap_or(0)
+        );
+        driver.finish(Some(&mut rec))
+    } else {
+        let mut driver = Driver::new(cfg, mode, program, None, Some(&mut rec));
+        if let Some(path) = &snapshot_path {
+            driver.run_until(snapshot_at, Some(&mut rec));
+            let snap = driver.snapshot();
+            std::fs::write(path, snap.to_bytes()).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+            eprintln!(
+                "wrote snapshot {path} at cycle {} ({} tasks done, hash {:016x})",
+                driver.next_time().unwrap_or(snapshot_at),
+                driver.completed_tasks(),
+                snap.content_hash()
+            );
+        }
+        driver.finish(Some(&mut rec))
+    };
 
     // Summary by event kind (tags from `Event::kind`).
     let mut counts: BTreeMap<&str, u64> = BTreeMap::new();

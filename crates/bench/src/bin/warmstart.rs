@@ -1,0 +1,188 @@
+//! Warm-start fault-seed sweep: pay each benchmark's warm-up phase once,
+//! checkpoint, then fan the seed sweep out over host threads — every seed
+//! forks from the shared post-warmup snapshot instead of re-simulating the
+//! warm-up.
+//!
+//! ```text
+//! cargo run --release -p raccd-bench --bin warmstart -- \
+//!     [--scale test|bench] [--bench Jacobi,...] [--mode RaCCD] \
+//!     [--warmup 20000] [--seeds 8] [--spec "drop=2e-4,..."] [--cold]
+//! ```
+//!
+//! Each seed's run is *identical* to a cold run that simulates the warm-up
+//! phase itself and reseeds the fault plane at the same cycle boundary —
+//! `--cold` runs that serial baseline too, asserts every per-seed result
+//! matches exactly (cycles, fault counters, detection), and reports the
+//! wall-clock for both paths.
+
+use raccd_bench::{bench_names, config_for_scale, scale_from_args, tsv_row};
+use raccd_core::{CoherenceMode, Driver, DriverOutput};
+use raccd_fault::FaultPlan;
+use raccd_runtime::Program;
+use raccd_workloads::all_benchmarks;
+
+/// Sweep outcome for one (benchmark, seed) cell.
+struct Cell {
+    cycles: u64,
+    tasks: usize,
+    injected: u64,
+    retries: u64,
+    detected: String,
+}
+
+fn cell(out: &DriverOutput) -> Cell {
+    let fault = out.fault.as_ref().expect("fault plane was attached");
+    Cell {
+        cycles: out.stats.cycles,
+        tasks: out.tasks,
+        injected: fault.stats.injected,
+        retries: out.stats.msg_retries,
+        detected: fault
+            .detected
+            .map(|d| format!("{d:?}"))
+            .unwrap_or_else(|| "-".to_string()),
+    }
+}
+
+/// Finish a warmed driver under `seed`: reseed the fault plane at the
+/// warm-up boundary, then run to the end. Both the warm path (restored
+/// driver) and the cold path (freshly simulated warm-up) go through this,
+/// which is what makes them comparable run-for-run.
+fn finish_seeded(mut driver: Driver, seed: u64) -> DriverOutput {
+    driver.reseed_faults(seed);
+    driver.finish(None)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = scale_from_args(&args);
+    let names = bench_names(scale);
+    let pick = |flag: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+
+    let bench_sel: Vec<usize> = pick("--bench")
+        .map(|sel| {
+            sel.split(',')
+                .map(|n| {
+                    names
+                        .iter()
+                        .position(|b| b.eq_ignore_ascii_case(n))
+                        .unwrap_or_else(|| panic!("unknown benchmark {n}; have {names:?}"))
+                })
+                .collect()
+        })
+        .unwrap_or_else(|| (0..names.len()).collect());
+    let mode = match pick("--mode").as_deref().map(str::to_ascii_lowercase) {
+        Some(ref m) if m == "fullcoh" => CoherenceMode::FullCoh,
+        Some(ref m) if m == "pt" => CoherenceMode::PageTable,
+        _ => CoherenceMode::Raccd,
+    };
+    let warmup: u64 = pick("--warmup")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20_000);
+    let nseeds: u64 = pick("--seeds").and_then(|v| v.parse().ok()).unwrap_or(8);
+    let cold = args.iter().any(|a| a == "--cold");
+    let plan = match pick("--spec") {
+        Some(spec) => FaultPlan::from_spec(&spec).unwrap_or_else(|e| panic!("--spec: {e}")),
+        None => FaultPlan {
+            drop: 2e-4,
+            dup: 1e-4,
+            delay: 5e-4,
+            task_fail: 2e-4,
+            ..FaultPlan::default()
+        },
+    };
+    let cfg = config_for_scale(scale);
+
+    println!("benchmark\tseed\tcycles\ttasks\tinjected\tmsg_retries\tdetected");
+    let mut warm_secs = 0.0f64;
+    let mut cold_secs = 0.0f64;
+    for &b in &bench_sel {
+        let make_program = || -> Program { all_benchmarks(scale)[b].build() };
+
+        // Warm path: one warm-up simulation, one shared checkpoint, then a
+        // thread-scope fan-out where every seed restores from it.
+        let t0 = std::time::Instant::now();
+        let mut warm = Driver::new(cfg, mode, make_program(), Some(plan), None);
+        warm.run_until(warmup, None);
+        let snap = warm.snapshot();
+        let mut results: Vec<Option<Cell>> = (0..nseeds).map(|_| None).collect();
+        // Bound in-flight threads to the host: each seed owns a full
+        // Machine, and oversubscribing interleaves their working sets
+        // through one cache hierarchy — slower than running fewer at once.
+        let width = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let mut slot = 0usize;
+        for chunk in results.chunks_mut(width) {
+            std::thread::scope(|s| {
+                for out in chunk.iter_mut() {
+                    let seed = slot as u64 + 1;
+                    slot += 1;
+                    let snap = &snap;
+                    let make_program = &make_program;
+                    s.spawn(move || {
+                        let driver = Driver::restore(cfg, mode, make_program(), snap)
+                            .expect("restoring shared warm-up checkpoint");
+                        *out = Some(cell(&finish_seeded(driver, seed)));
+                    });
+                }
+            });
+        }
+        let results: Vec<Cell> = results.into_iter().map(|r| r.unwrap()).collect();
+        warm_secs += t0.elapsed().as_secs_f64();
+
+        for (i, c) in results.iter().enumerate() {
+            println!(
+                "{}",
+                tsv_row(&[
+                    names[b].clone(),
+                    format!("{}", i + 1),
+                    format!("{}", c.cycles),
+                    format!("{}", c.tasks),
+                    format!("{}", c.injected),
+                    format!("{}", c.retries),
+                    c.detected.clone(),
+                ])
+            );
+        }
+
+        if cold {
+            // Cold baseline: every seed re-simulates the warm-up itself.
+            let t0 = std::time::Instant::now();
+            for (i, warm_cell) in results.iter().enumerate() {
+                let mut driver = Driver::new(cfg, mode, make_program(), Some(plan), None);
+                driver.run_until(warmup, None);
+                let c = cell(&finish_seeded(driver, i as u64 + 1));
+                assert_eq!(c.cycles, warm_cell.cycles, "{} seed {}", names[b], i + 1);
+                assert_eq!(
+                    c.injected,
+                    warm_cell.injected,
+                    "{} seed {}",
+                    names[b],
+                    i + 1
+                );
+                assert_eq!(c.retries, warm_cell.retries, "{} seed {}", names[b], i + 1);
+                assert_eq!(
+                    c.detected,
+                    warm_cell.detected,
+                    "{} seed {}",
+                    names[b],
+                    i + 1
+                );
+            }
+            cold_secs += t0.elapsed().as_secs_f64();
+        }
+    }
+    eprintln!("warm-start sweep: {warm_secs:.2}s");
+    if cold {
+        eprintln!(
+            "cold baseline:    {cold_secs:.2}s (warm start {:.1}x faster, results identical)",
+            cold_secs / warm_secs.max(1e-9)
+        );
+    }
+}

@@ -123,6 +123,43 @@ pub fn run_jobs_with_telemetry(
         .collect()
 }
 
+/// The shared preamble of every figure binary: build the benchmark ×
+/// (mode, adr) × ratio job matrix in paper order, announce it on stderr as
+/// `tag: running N simulations...`, fan out over host threads and report
+/// the wall-clock. Results come back in job order (ratio fastest-varying,
+/// benchmark slowest), so `results.chunks(modes.len() * ratios.len())`
+/// groups per benchmark.
+pub fn run_matrix(
+    tag: &str,
+    scale: Scale,
+    base_cfg: MachineConfig,
+    nbench: usize,
+    modes: &[(CoherenceMode, bool)],
+    ratios: &[usize],
+) -> Vec<JobResult> {
+    let mut jobs = Vec::with_capacity(nbench * modes.len() * ratios.len());
+    for b in 0..nbench {
+        for &(mode, adr) in modes {
+            for &ratio in ratios {
+                jobs.push(Job {
+                    bench_idx: b,
+                    mode,
+                    ratio,
+                    adr,
+                });
+            }
+        }
+    }
+    eprintln!(
+        "{tag}: running {} simulations at scale {scale}...",
+        jobs.len()
+    );
+    let t0 = std::time::Instant::now();
+    let results = run_jobs(scale, base_cfg, &jobs);
+    eprintln!("{tag}: done in {:.1}s", t0.elapsed().as_secs_f64());
+    results
+}
+
 /// Artifact subdirectory name for one job's telemetry.
 pub fn telemetry_run_name(bench: &str, job: Job) -> String {
     format!(

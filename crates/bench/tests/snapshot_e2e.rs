@@ -1,0 +1,171 @@
+//! End-to-end snapshot fidelity: a run that checkpoints at cycle `k`,
+//! serialises the checkpoint to bytes, decodes it back, restores and
+//! finishes must be indistinguishable from the uninterrupted run — same
+//! shadow state key, same `Stats`, same task count, same telemetry event
+//! counts — across every workload and every evaluated system.
+
+use raccd_core::{CoherenceMode, Driver};
+use raccd_fault::FaultPlan;
+use raccd_obs::{Recorder, RecorderConfig};
+use raccd_sim::MachineConfig;
+use raccd_snap::Snapshot;
+use raccd_workloads::{all_benchmarks, Scale};
+
+fn cfg() -> MachineConfig {
+    MachineConfig::scaled().with_shadow_check(true)
+}
+
+/// Run to completion, returning (state key, output) — the key must be read
+/// before `finish` tears the machine down.
+fn run_to_end(mut driver: Driver) -> (String, raccd_core::DriverOutput) {
+    while driver.step(None) {}
+    let key = driver.shadow_state_key().expect("shadow checker attached");
+    (key, driver.finish(None))
+}
+
+/// Snapshot at `k`, round-trip the snapshot through bytes, restore into a
+/// freshly built program, finish.
+fn run_split(
+    mode: CoherenceMode,
+    make: &dyn Fn() -> raccd_runtime::Program,
+    plan: Option<FaultPlan>,
+    k: u64,
+) -> (String, raccd_core::DriverOutput) {
+    let mut part1 = Driver::new(cfg(), mode, make(), plan, None);
+    part1.run_until(k, None);
+    let snap = part1.snapshot();
+    let bytes = snap.to_bytes();
+    let snap = Snapshot::from_bytes(&bytes).expect("snapshot decodes from its own bytes");
+    let part2 = Driver::restore(cfg(), mode, make(), &snap).expect("snapshot restores");
+    run_to_end(part2)
+}
+
+#[test]
+fn restore_and_finish_matches_uninterrupted_everywhere() {
+    let benches = all_benchmarks(Scale::Test);
+    for w in &benches {
+        for mode in [
+            CoherenceMode::Raccd,
+            CoherenceMode::PageTable,
+            CoherenceMode::FullCoh,
+        ] {
+            let (ref_key, ref_out) = run_to_end(Driver::new(cfg(), mode, w.build(), None, None));
+            let k = ref_out.stats.cycles / 2;
+            let (split_key, split_out) = run_split(mode, &|| w.build(), None, k);
+            let tag = format!("{} under {mode:?} split at {k}", w.name());
+            assert_eq!(split_key, ref_key, "{tag}: shadow state key");
+            assert_eq!(split_out.stats, ref_out.stats, "{tag}: stats");
+            assert_eq!(split_out.tasks, ref_out.tasks, "{tag}: tasks");
+            assert_eq!(split_out.edges, ref_out.edges, "{tag}: edges");
+        }
+    }
+}
+
+#[test]
+fn restore_preserves_fault_machinery_mid_campaign() {
+    let benches = all_benchmarks(Scale::Test);
+    let w = &benches[0];
+    let plan = FaultPlan {
+        drop: 3e-4,
+        dup: 1e-4,
+        delay: 5e-4,
+        dir_loss: 1e-4,
+        task_fail: 3e-4,
+        straggle: 1e-3,
+        ..FaultPlan::default()
+    };
+    let (ref_key, ref_out) = run_to_end(Driver::new(
+        cfg(),
+        CoherenceMode::Raccd,
+        w.build(),
+        Some(plan),
+        None,
+    ));
+    let k = ref_out.stats.cycles / 2;
+    let (split_key, split_out) = run_split(CoherenceMode::Raccd, &|| w.build(), Some(plan), k);
+    assert_eq!(split_key, ref_key, "faulty split: shadow state key");
+    assert_eq!(split_out.stats, ref_out.stats, "faulty split: stats");
+    let rf = ref_out.fault.expect("fault report");
+    let sf = split_out.fault.expect("fault report");
+    assert_eq!(sf.stats, rf.stats, "faulty split: fault counters");
+    assert_eq!(sf.detected, rf.detected, "faulty split: detection");
+    assert_eq!(sf.degraded, rf.degraded, "faulty split: degrade latch");
+}
+
+#[test]
+fn restore_preserves_telemetry_event_stream_counts() {
+    let benches = all_benchmarks(Scale::Test);
+    let w = &benches[3]; // Jacobi: exercises wakeup chains and NC fills
+    let mut cfg = cfg();
+    cfg.record_events = true;
+    let rc = || {
+        Recorder::new(RecorderConfig {
+            sample_interval: 2048,
+            buffer_events: true,
+        })
+    };
+
+    let mut ref_rec = rc();
+    let driver = Driver::new(
+        cfg,
+        CoherenceMode::Raccd,
+        w.build(),
+        None,
+        Some(&mut ref_rec),
+    );
+    let ref_out = driver.finish(Some(&mut ref_rec));
+
+    // The split run shares ONE recorder across both halves, so the merged
+    // stream must count exactly like the uninterrupted one.
+    let k = ref_out.stats.cycles / 2;
+    let mut split_rec = rc();
+    let mut part1 = Driver::new(
+        cfg,
+        CoherenceMode::Raccd,
+        w.build(),
+        None,
+        Some(&mut split_rec),
+    );
+    part1.run_until(k, Some(&mut split_rec));
+    let snap = part1.snapshot();
+    let part2 = Driver::restore(cfg, CoherenceMode::Raccd, w.build(), &snap).expect("restore");
+    let split_out = part2.finish(Some(&mut split_rec));
+
+    assert_eq!(split_out.stats, ref_out.stats, "stats across split");
+    assert_eq!(
+        split_rec.events().len(),
+        ref_rec.events().len(),
+        "total telemetry events"
+    );
+    let count_by_kind = |rec: &Recorder| {
+        let mut m = std::collections::BTreeMap::new();
+        for ev in rec.events() {
+            *m.entry(ev.kind()).or_insert(0u64) += 1;
+        }
+        m
+    };
+    assert_eq!(
+        count_by_kind(&split_rec),
+        count_by_kind(&ref_rec),
+        "per-kind telemetry event counts"
+    );
+}
+
+#[test]
+fn restore_rejects_mismatched_shape() {
+    let benches = all_benchmarks(Scale::Test);
+    let w = &benches[0];
+    let mut d = Driver::new(cfg(), CoherenceMode::Raccd, w.build(), None, None);
+    d.run_until(1_000, None);
+    let snap = d.snapshot();
+    // Wrong mode.
+    assert!(Driver::restore(cfg(), CoherenceMode::FullCoh, w.build(), &snap).is_err());
+    // Wrong machine configuration.
+    let other = cfg().with_dir_ratio(8);
+    assert!(Driver::restore(other, CoherenceMode::Raccd, w.build(), &snap).is_err());
+    // Corrupted bytes fail the section CRC.
+    let mut bytes = snap.to_bytes();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xff;
+    assert!(Snapshot::from_bytes(&bytes).is_err());
+}

@@ -61,6 +61,15 @@ impl TreePlru {
     }
 }
 
+impl raccd_snap::Snap for TreePlru {
+    fn save(&self, w: &mut raccd_snap::SnapWriter) {
+        w.u64(self.bits);
+    }
+    fn load(r: &mut raccd_snap::SnapReader) -> Result<Self, raccd_snap::SnapError> {
+        Ok(TreePlru { bits: r.u64()? })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -216,6 +216,55 @@ impl<T> SetAssoc<T> {
     }
 }
 
+impl<T: raccd_snap::Snap> raccd_snap::Snap for Line<T> {
+    fn save(&self, w: &mut raccd_snap::SnapWriter) {
+        w.u64(self.key);
+        self.data.save(w);
+    }
+    fn load(r: &mut raccd_snap::SnapReader) -> Result<Self, raccd_snap::SnapError> {
+        Ok(Line {
+            key: r.u64()?,
+            data: T::load(r)?,
+        })
+    }
+}
+
+impl<T: raccd_snap::Snap> raccd_snap::Snap for SetAssoc<T> {
+    fn save(&self, w: &mut raccd_snap::SnapWriter) {
+        self.sets.save(w);
+        self.ways.save(w);
+        w.u32(self.index_shift);
+        self.lines.save(w);
+        self.plru.save(w);
+        self.occupied.save(w);
+    }
+    fn load(r: &mut raccd_snap::SnapReader) -> Result<Self, raccd_snap::SnapError> {
+        use raccd_snap::Snap;
+        let sets: usize = Snap::load(r)?;
+        let ways: usize = Snap::load(r)?;
+        let index_shift = r.u32()?;
+        let lines: Vec<Option<Line<T>>> = Snap::load(r)?;
+        let plru: Vec<TreePlru> = Snap::load(r)?;
+        let occupied: usize = Snap::load(r)?;
+        if sets == 0
+            || !ways.is_power_of_two()
+            || lines.len() != sets * ways
+            || plru.len() != sets
+            || occupied != lines.iter().filter(|l| l.is_some()).count()
+        {
+            return Err(raccd_snap::SnapError::Invalid("set-assoc geometry"));
+        }
+        Ok(SetAssoc {
+            sets,
+            ways,
+            index_shift,
+            lines,
+            plru,
+            occupied,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -20,11 +20,17 @@
 //!   end-to-end under RaCCD and under full MESI coherence; final memory
 //!   images must match bit for bit and every per-task read value must be
 //!   coherent.
+//! * [`bisect`] — divergence bisection: two runs expected to evolve
+//!   identically are probed by shadow state key; on disagreement the
+//!   bisector restores the last agreeing whole-machine checkpoint
+//!   (`raccd-snap`) and refines, pinpointing the first divergent cycle
+//!   without ever re-simulating a prefix.
 //! * [`campaign`] — seeded fault campaigns closing the loop with the
 //!   fault plane (`raccd-fault`): workload × fault-plan matrices where
 //!   every recovered run must be bit-identical to its fault-free twin and
 //!   every unrecoverable plan must be *detected*, never silently wrong.
 
+pub mod bisect;
 pub mod campaign;
 pub mod diff;
 pub mod explore;
@@ -32,6 +38,7 @@ pub mod harness;
 pub mod taskgen;
 pub mod trace;
 
+pub use bisect::{bisect_divergence, BisectSide, Divergence};
 pub use campaign::{
     run_campaign, standard_plans, CampaignOutcome, CampaignPlan, CampaignReport, Expectation,
     Verdict,

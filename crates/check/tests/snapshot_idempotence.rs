@@ -1,0 +1,51 @@
+//! Property: snapshot → restore → snapshot is byte-identical.
+//!
+//! Every section of the archive is produced by some component's
+//! `Snap::save`; re-snapshotting a restored driver re-runs every
+//! component's `save` on the state its `load` produced. Byte equality of
+//! the two archives therefore proves `save ∘ load = id` for *every*
+//! component simultaneously, over states actually reachable by real runs
+//! — a `Snap` impl that drops, reorders or renormalises a field fails
+//! here for whatever (seed, pause cycle) reaches it first.
+
+use proptest::prelude::*;
+use raccd_check::{GraphParams, RandomGraph};
+use raccd_core::{CoherenceMode, Driver};
+use raccd_sim::{FaultPlan, MachineConfig};
+
+fn roundtrip(seed: u64, k: u64, plan: Option<FaultPlan>) -> (Vec<u8>, Vec<u8>) {
+    let make = || RandomGraph::new(GraphParams::small(seed)).build();
+    let cfg = MachineConfig::scaled().with_shadow_check(true);
+    let mut d = Driver::new(cfg, CoherenceMode::Raccd, make(), plan, None);
+    d.run_until(k, None);
+    let s1 = d.snapshot();
+    let d2 = Driver::restore(cfg, CoherenceMode::Raccd, make(), &s1).expect("restore");
+    let s2 = d2.snapshot();
+    (s1.to_bytes(), s2.to_bytes())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn snapshot_restore_snapshot_is_byte_identical(seed in 1u64..64, k in 1u64..40_000) {
+        let (a, b) = roundtrip(seed, k, None);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn snapshot_idempotence_holds_under_fault_injection(seed in 1u64..32, k in 1u64..40_000) {
+        let plan = FaultPlan {
+            seed,
+            drop: 1e-3,
+            delay: 1e-3,
+            dir_loss: 1e-3,
+            task_fail: 1e-3,
+            straggle: 1e-2,
+            straggle_cycles: 500,
+            ..FaultPlan::default()
+        };
+        let (a, b) = roundtrip(seed, k, Some(plan));
+        prop_assert_eq!(a, b);
+    }
+}

@@ -24,11 +24,14 @@ use crate::resilience::{DegradeController, DetectReason, FaultReport};
 use crate::tlbclass::TlbClassifier;
 use raccd_mem::{SimMemory, VAddr};
 use raccd_obs::{Event, Gauges, Recorder};
-use raccd_runtime::{MemRef, Program, ReadyQueue, RetryBook, RetryDecision, StealQueues, TaskCtx};
+use raccd_runtime::{
+    MemRef, Program, ReadyQueue, RetryBook, RetryDecision, StealQueues, TaskCtx, TaskGraph,
+};
 use raccd_sim::{
     CheckEvent, CheckReport, CoherenceEvent, FaultPlan, FaultPlane, L1LookupResult, Machine,
     MachineConfig, SchedPolicy, Stats, TimedEvent, Watchdog,
 };
+use raccd_snap::{SnapError, Snapshot};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -126,9 +129,9 @@ pub fn run_program_with(
     cfg: MachineConfig,
     mode: CoherenceMode,
     program: Program,
-    rec: Option<&mut Recorder>,
+    mut rec: Option<&mut Recorder>,
 ) -> DriverOutput {
-    run_program_inner(cfg, mode, program, rec, None)
+    Driver::new(cfg, mode, program, None, rec.as_deref_mut()).finish(rec)
 }
 
 /// [`run_program_with`] plus a fault plane built from `plan`. The run
@@ -142,100 +145,351 @@ pub fn run_program_faulty(
     mode: CoherenceMode,
     program: Program,
     plan: FaultPlan,
-    rec: Option<&mut Recorder>,
+    mut rec: Option<&mut Recorder>,
 ) -> DriverOutput {
-    run_program_inner(cfg, mode, program, rec, Some(plan))
+    Driver::new(cfg, mode, program, Some(plan), rec.as_deref_mut()).finish(rec)
 }
 
-fn run_program_inner(
+/// Rollback-recovery knobs for [`run_program_resilient`].
+#[derive(Clone, Copy, Debug)]
+pub struct RollbackPolicy {
+    /// Cycles between automatic checkpoints.
+    pub checkpoint_interval: u64,
+    /// Detections absorbed by rolling back to the last good checkpoint
+    /// before the run gives up and surfaces the detection.
+    pub max_rollbacks: u32,
+}
+
+impl Default for RollbackPolicy {
+    fn default() -> Self {
+        RollbackPolicy {
+            checkpoint_interval: 100_000,
+            max_rollbacks: 3,
+        }
+    }
+}
+
+/// [`run_program_faulty`] with checkpoint-rollback recovery: the driver
+/// auto-checkpoints every `policy.checkpoint_interval` cycles and, when a
+/// fault is *detected* (watchdog, message or task retry budget), restores
+/// the last good checkpoint and resumes instead of aborting — up to
+/// `policy.max_rollbacks` times. Each rollback reseeds the fault plane
+/// (salted by the rollback count) so the replayed interval does not roll
+/// the identical faults and livelock. `make_program` rebuilds the program
+/// for each restore; it must be deterministic (every workload builder is).
+pub fn run_program_resilient(
     cfg: MachineConfig,
     mode: CoherenceMode,
-    program: Program,
+    make_program: &dyn Fn() -> Program,
+    plan: FaultPlan,
+    policy: RollbackPolicy,
     mut rec: Option<&mut Recorder>,
-    plan: Option<FaultPlan>,
 ) -> DriverOutput {
-    let Program { mut mem, mut graph } = program;
-    let edges = graph.edges();
-    // Scheduling happens over hardware contexts: cores × SMT ways (§III-E).
-    // Context `x` is hardware thread `x % smt_ways` of core `x / smt_ways`.
-    let nctx = cfg.ncontexts();
-
-    let mut machine = Machine::new(cfg);
-    // Under RaCCD without SMT, a core's NC fills must fall inside the
-    // ranges its NCRT currently holds — arm the shadow checker's
-    // registration-discipline invariant. (With SMT, sibling contexts share
-    // a core-level view the per-core mirror cannot track.)
-    if machine.has_checker() && mode == CoherenceMode::Raccd && cfg.smt_ways == 1 {
-        machine.check_note(CheckEvent::DisciplineOn);
+    let mut driver = Driver::new(cfg, mode, make_program(), Some(plan), rec.as_deref_mut());
+    driver.set_checkpoint_interval(policy.checkpoint_interval);
+    let mut last_good: Option<Snapshot> = None;
+    let mut rollbacks = 0u32;
+    loop {
+        while driver.step(rec.as_deref_mut()) {}
+        if let Some(ck) = driver.take_last_checkpoint() {
+            last_good = Some(ck);
+        }
+        if driver.detection().is_none() || rollbacks >= policy.max_rollbacks {
+            break;
+        }
+        let Some(snap) = last_good.as_ref() else {
+            break;
+        };
+        let Ok(mut restored) = Driver::restore(cfg, mode, make_program(), snap) else {
+            break;
+        };
+        rollbacks += 1;
+        restored.set_checkpoint_interval(policy.checkpoint_interval);
+        restored.reseed_faults(rollbacks as u64);
+        restored.rollbacks = rollbacks;
+        driver = restored;
     }
-    if let Some(p) = plan {
-        machine.attach_faults(FaultPlane::new(p));
-    }
-    // The effective plan also covers `RACCD_FAULT_SPEC` auto-attachment.
-    // Watchdog, retry book and degrade controller are armed only with a
-    // plane attached, so fault-free runs are bit-identical to the seed.
-    let fplan = machine.fault_plan();
-    let mut watchdog: Option<Watchdog> = fplan.map(|p| Watchdog::new(p.watchdog_cycles));
-    let mut retry_book: Option<RetryBook> =
-        fplan.map(|p| RetryBook::new(graph.len(), p.task_retry_budget));
-    let mut degrade: Option<DegradeController> = fplan.map(|p| DegradeController::new(&p));
-    let mut detection: Option<DetectReason> = None;
-    let mut ncrts: Vec<Ncrt> = (0..nctx).map(|_| Ncrt::new(cfg.ncrt_entries)).collect();
-    let mut pt = PageClassifier::new();
-    let mut tlbc = TlbClassifier::new();
-    let mut census = Census::new();
+    driver.into_output(rec)
+}
 
-    let mut ready = match cfg.sched {
-        SchedPolicy::CentralFifo => Sched::Central(ReadyQueue::new()),
-        SchedPolicy::WorkStealing => Sched::Steal(StealQueues::new(nctx)),
-    };
-    // Telemetry: announce the TDG and the initial ready set at cycle 0.
-    if let Some(r) = rec.as_deref_mut() {
-        for t in 0..graph.len() {
-            let name = r.intern(graph.name(t));
-            r.record(Event::TaskCreated {
-                cycle: 0,
-                task: t as u32,
-                name,
-                deps: graph.deps(t).len() as u32,
-            });
+impl raccd_snap::Snap for Running {
+    fn save(&self, w: &mut raccd_snap::SnapWriter) {
+        self.tid.save(w);
+        self.trace.save(w);
+        self.pos.save(w);
+        self.fail_at.save(w);
+    }
+    fn load(r: &mut raccd_snap::SnapReader) -> Result<Self, raccd_snap::SnapError> {
+        use raccd_snap::Snap;
+        let run = Running {
+            tid: Snap::load(r)?,
+            trace: Snap::load(r)?,
+            pos: Snap::load(r)?,
+            fail_at: Snap::load(r)?,
+        };
+        if run.pos > run.trace.len() {
+            return Err(raccd_snap::SnapError::Invalid("trace position"));
+        }
+        Ok(run)
+    }
+}
+
+impl raccd_snap::Snap for Sched {
+    fn save(&self, w: &mut raccd_snap::SnapWriter) {
+        match self {
+            Sched::Central(q) => {
+                w.u8(0);
+                q.save(w);
+            }
+            Sched::Steal(q) => {
+                w.u8(1);
+                q.save(w);
+            }
         }
     }
-    // Initial ready set: central queue in creation order; work stealing
-    // distributes round-robin so every context starts with local work.
-    for (i, t) in graph.initially_ready().into_iter().enumerate() {
+    fn load(r: &mut raccd_snap::SnapReader) -> Result<Self, raccd_snap::SnapError> {
+        use raccd_snap::Snap;
+        Ok(match r.u8()? {
+            0 => Sched::Central(Snap::load(r)?),
+            1 => Sched::Steal(Snap::load(r)?),
+            _ => return Err(raccd_snap::SnapError::Invalid("sched tag")),
+        })
+    }
+}
+
+/// The main simulation loop reified as a resumable struct.
+///
+/// `Driver::new` + repeated [`Driver::step`] + [`Driver::finish`] is
+/// exactly one [`run_program`] call; [`Driver::run_until`] stops at a
+/// cycle boundary, and [`Driver::snapshot`] / [`Driver::restore`] capture
+/// and revive the *entire* run — machine (caches, directory, NCRT/ADR
+/// state, page table, TLBs, memory, fault plane, shadow checker) plus the
+/// runtime (TDG progress, ready queues, in-flight task traces, per-context
+/// clocks, the event heap) — so a restored run finishes bit-identical to
+/// an uninterrupted one. The task graph itself is never serialized:
+/// restore rebuilds the program (deterministic builders) and replays the
+/// recorded completion order through the wake-up edges, consuming the
+/// bodies of already-dispatched tasks whose functional effect is already
+/// in the restored memory image.
+pub struct Driver {
+    cfg: MachineConfig,
+    mode: CoherenceMode,
+    machine: Machine,
+    mem: SimMemory,
+    graph: TaskGraph,
+    edges: usize,
+    watchdog: Option<Watchdog>,
+    retry_book: Option<RetryBook>,
+    degrade: Option<DegradeController>,
+    detection: Option<DetectReason>,
+    ncrts: Vec<Ncrt>,
+    pt: PageClassifier,
+    tlbc: TlbClassifier,
+    census: Census,
+    ready: Sched,
+    running: Vec<Option<Running>>,
+    waker_core: Vec<Option<u32>>,
+    wake_time: Vec<u64>,
+    trace_pool: Vec<Vec<MemRef>>,
+    core_time: Vec<u64>,
+    idle: Vec<usize>,
+    heap: BinaryHeap<Reverse<(u64, usize)>>,
+    /// Tasks in the order they completed (the graph replay script).
+    completion_order: Vec<raccd_runtime::TaskId>,
+    end_time: u64,
+    ckpt_interval: Option<u64>,
+    next_ckpt: u64,
+    last_ckpt: Option<Snapshot>,
+    rollbacks: u32,
+}
+
+impl Driver {
+    /// Set up a run: build the machine, arm resilience (with a plan),
+    /// announce the TDG to the recorder and seed the ready set.
+    pub fn new(
+        cfg: MachineConfig,
+        mode: CoherenceMode,
+        program: Program,
+        plan: Option<FaultPlan>,
+        mut rec: Option<&mut Recorder>,
+    ) -> Driver {
+        let Program { mem, graph } = program;
+        let edges = graph.edges();
+        // Scheduling happens over hardware contexts: cores × SMT ways
+        // (§III-E). Context `x` is hardware thread `x % smt_ways` of core
+        // `x / smt_ways`.
+        let nctx = cfg.ncontexts();
+
+        let mut machine = Machine::new(cfg);
+        // Under RaCCD without SMT, a core's NC fills must fall inside the
+        // ranges its NCRT currently holds — arm the shadow checker's
+        // registration-discipline invariant. (With SMT, sibling contexts
+        // share a core-level view the per-core mirror cannot track.)
+        if machine.has_checker() && mode == CoherenceMode::Raccd && cfg.smt_ways == 1 {
+            machine.check_note(CheckEvent::DisciplineOn);
+        }
+        if let Some(p) = plan {
+            machine.attach_faults(FaultPlane::new(p));
+        }
+        // The effective plan also covers `RACCD_FAULT_SPEC`
+        // auto-attachment. Watchdog, retry book and degrade controller are
+        // armed only with a plane attached, so fault-free runs are
+        // bit-identical to the seed.
+        let fplan = machine.fault_plan();
+        let watchdog = fplan.map(|p| Watchdog::new(p.watchdog_cycles));
+        let retry_book = fplan.map(|p| RetryBook::new(graph.len(), p.task_retry_budget));
+        let degrade = fplan.map(|p| DegradeController::new(&p));
+        let ncrts = (0..nctx).map(|_| Ncrt::new(cfg.ncrt_entries)).collect();
+
+        let mut ready = match cfg.sched {
+            SchedPolicy::CentralFifo => Sched::Central(ReadyQueue::new()),
+            SchedPolicy::WorkStealing => Sched::Steal(StealQueues::new(nctx)),
+        };
+        // Telemetry: announce the TDG and the initial ready set at cycle 0.
         if let Some(r) = rec.as_deref_mut() {
-            r.record(Event::TaskWoken {
-                cycle: 0,
-                task: t as u32,
-                waker_core: None,
-            });
+            for t in 0..graph.len() {
+                let name = r.intern(graph.name(t));
+                r.record(Event::TaskCreated {
+                    cycle: 0,
+                    task: t as u32,
+                    name,
+                    deps: graph.deps(t).len() as u32,
+                });
+            }
         }
-        ready.push(i % nctx, t);
+        // Initial ready set: central queue in creation order; work stealing
+        // distributes round-robin so every context starts with local work.
+        for (i, t) in graph.initially_ready().into_iter().enumerate() {
+            if let Some(r) = rec.as_deref_mut() {
+                r.record(Event::TaskWoken {
+                    cycle: 0,
+                    task: t as u32,
+                    waker_core: None,
+                });
+            }
+            ready.push(i % nctx, t);
+        }
+
+        let waker_core = vec![None; graph.len()];
+        let wake_time = vec![0u64; graph.len()];
+        Driver {
+            cfg,
+            mode,
+            machine,
+            mem,
+            graph,
+            edges,
+            watchdog,
+            retry_book,
+            degrade,
+            detection: None,
+            ncrts,
+            pt: PageClassifier::new(),
+            tlbc: TlbClassifier::new(),
+            census: Census::new(),
+            ready,
+            running: (0..nctx).map(|_| None).collect(),
+            waker_core,
+            wake_time,
+            trace_pool: (0..nctx).map(|_| Vec::new()).collect(),
+            core_time: vec![0u64; nctx],
+            idle: Vec::new(),
+            heap: (0..nctx).map(|c| Reverse((0u64, c))).collect(),
+            completion_order: Vec::new(),
+            end_time: 0,
+            ckpt_interval: None,
+            next_ckpt: 0,
+            last_ckpt: None,
+            rollbacks: 0,
+        }
     }
 
-    let mut running: Vec<Option<Running>> = (0..nctx).map(|_| None).collect();
-    // Core that woke each task (migration accounting, §II-B).
-    let mut waker_core: Vec<Option<u32>> = vec![None; graph.len()];
-    // Cycle each task became ready (wake-to-dispatch histogram).
-    let mut wake_time: Vec<u64> = vec![0; graph.len()];
-    let mut trace_pool: Vec<Vec<MemRef>> = (0..nctx).map(|_| Vec::new()).collect();
-    let mut core_time = vec![0u64; nctx];
-    let mut idle: Vec<usize> = Vec::new();
-    let mut heap: BinaryHeap<Reverse<(u64, usize)>> =
-        (0..nctx).map(|c| Reverse((0u64, c))).collect();
+    /// Auto-checkpoint every `cycles` heap cycles; the latest snapshot is
+    /// retrievable via [`Driver::take_last_checkpoint`].
+    pub fn set_checkpoint_interval(&mut self, cycles: u64) {
+        let cycles = cycles.max(1);
+        self.ckpt_interval = Some(cycles);
+        let now = self.heap.peek().map(|&Reverse((t, _))| t).unwrap_or(0);
+        self.next_ckpt = now + cycles;
+    }
 
-    let mut completed = 0usize;
-    let mut end_time = 0u64;
+    /// Take the most recent auto-checkpoint, if one was captured.
+    pub fn take_last_checkpoint(&mut self) -> Option<Snapshot> {
+        self.last_ckpt.take()
+    }
 
-    while let Some(Reverse((t, ctx))) = heap.pop() {
+    /// Why the run was aborted as detected, if it was.
+    pub fn detection(&self) -> Option<DetectReason> {
+        self.detection
+    }
+
+    /// Tasks retired so far.
+    pub fn completed_tasks(&self) -> usize {
+        self.completion_order.len()
+    }
+
+    /// The next heap cycle to be processed (None when the run is over).
+    pub fn next_time(&self) -> Option<u64> {
+        self.heap.peek().map(|&Reverse((t, _))| t)
+    }
+
+    /// Canonical shadow coherence fingerprint (None without a checker).
+    pub fn shadow_state_key(&self) -> Option<String> {
+        self.machine.shadow_state_key()
+    }
+
+    /// Reseed the attached fault plane's RNG (no-op without one). Rollback
+    /// recovery calls this so the replayed interval does not re-roll the
+    /// identical faults.
+    pub fn reseed_faults(&mut self, salt: u64) {
+        if let Some(f) = self.machine.faults_mut() {
+            f.reseed(salt);
+        }
+    }
+
+    /// Process heap entries until the next entry lies beyond `cycle`.
+    /// Returns `true` while the run is still live (more work pending).
+    pub fn run_until(&mut self, cycle: u64, mut rec: Option<&mut Recorder>) -> bool {
+        while let Some(&Reverse((t, _))) = self.heap.peek() {
+            if t > cycle {
+                return true;
+            }
+            if !self.step(rec.as_deref_mut()) {
+                return false;
+            }
+        }
+        false
+    }
+
+    /// Run to the end and produce the output.
+    pub fn finish(mut self, mut rec: Option<&mut Recorder>) -> DriverOutput {
+        while self.step(rec.as_deref_mut()) {}
+        self.into_output(rec)
+    }
+
+    /// Process one heap entry (one core turn). Returns `false` when the
+    /// run is over: the heap drained or a detection aborted it.
+    pub fn step(&mut self, mut rec: Option<&mut Recorder>) -> bool {
+        // Auto-checkpoint on iteration boundaries (state is consistent
+        // only between core turns).
+        if let Some(interval) = self.ckpt_interval {
+            if let Some(&Reverse((t, _))) = self.heap.peek() {
+                if t >= self.next_ckpt {
+                    self.last_ckpt = Some(self.snapshot());
+                    self.next_ckpt = t + interval;
+                }
+            }
+        }
+        let Some(Reverse((t, ctx))) = self.heap.pop() else {
+            return false;
+        };
         // Resilience checks ride the heap clock (only armed with a fault
         // plane attached). A detection aborts the run *visibly*: the
         // caller sees `fault.detected`, never silently wrong output.
-        if let Some(w) = watchdog.as_ref() {
+        if let Some(w) = self.watchdog.as_ref() {
             if w.expired(t) {
-                machine.stats.watchdog_fires += 1;
-                detection = Some(DetectReason::Watchdog {
+                self.machine.stats.watchdog_fires += 1;
+                self.detection = Some(DetectReason::Watchdog {
                     last_progress: w.last_progress,
                     threshold: w.threshold,
                 });
@@ -246,20 +500,26 @@ fn run_program_inner(
                         threshold: w.threshold,
                     });
                 }
-                break;
+                return false;
             }
         }
-        if machine.fault_fatal() {
-            detection = Some(DetectReason::MsgRetryBudget);
-            break;
+        if self.machine.fault_fatal() {
+            self.detection = Some(DetectReason::MsgRetryBudget);
+            return false;
         }
-        if let Some(d) = degrade.as_mut() {
-            if mode == CoherenceMode::Raccd
-                && d.observe(t, machine.stats.ncrt_overflows, machine.stats.msg_retries)
+        if let Some(d) = self.degrade.as_mut() {
+            if self.mode == CoherenceMode::Raccd
+                && d.observe(
+                    t,
+                    self.machine.stats.ncrt_overflows,
+                    self.machine.stats.msg_retries,
+                )
             {
-                machine.stats.mode_downgrades += 1;
-                let (ov, rt) =
-                    d.last_deltas(machine.stats.ncrt_overflows, machine.stats.msg_retries);
+                self.machine.stats.mode_downgrades += 1;
+                let (ov, rt) = d.last_deltas(
+                    self.machine.stats.ncrt_overflows,
+                    self.machine.stats.msg_retries,
+                );
                 if let Some(r) = rec.as_deref_mut() {
                     r.record(Event::ModeDowngrade {
                         cycle: t,
@@ -272,9 +532,9 @@ fn run_program_inner(
         // Under sustained pressure RaCCD falls back to full coherence for
         // everything *new*; tasks already running keep their NC lines
         // until their normal end-of-task flush.
-        let eff_mode = match degrade.as_ref() {
-            Some(d) if d.degraded() && mode == CoherenceMode::Raccd => CoherenceMode::FullCoh,
-            _ => mode,
+        let eff_mode = match self.degrade.as_ref() {
+            Some(d) if d.degraded() && self.mode == CoherenceMode::Raccd => CoherenceMode::FullCoh,
+            _ => self.mode,
         };
         // Telemetry: the heap time is globally non-decreasing, so it is
         // the sampling clock; machine protocol events are drained here so
@@ -282,14 +542,14 @@ fn run_program_inner(
         if let Some(r) = rec.as_deref_mut() {
             if r.sample_due(t) {
                 let gauges = Gauges {
-                    dir_occupied: machine.dir_occupied_total(),
-                    dir_capacity: machine.dir_capacity_total(),
-                    ready_tasks: ready.len() as u64,
-                    busy_contexts: running.iter().filter(|x| x.is_some()).count() as u32,
+                    dir_occupied: self.machine.dir_occupied_total(),
+                    dir_capacity: self.machine.dir_capacity_total(),
+                    ready_tasks: self.ready.len() as u64,
+                    busy_contexts: self.running.iter().filter(|x| x.is_some()).count() as u32,
                 };
-                r.maybe_sample(t, &machine.stats, gauges);
+                r.maybe_sample(t, &self.machine.stats, gauges);
             }
-            for te in machine.take_events() {
+            for te in self.machine.take_events() {
                 if let CoherenceEvent::RetryRecovered { delay, .. } = te.ev {
                     r.hist_retry_latency.record(delay);
                 }
@@ -300,22 +560,22 @@ fn run_program_inner(
             }
         }
         let mut now = t;
-        let core = ctx / cfg.smt_ways;
-        let tid = (ctx % cfg.smt_ways) as u8;
-        match running[ctx].take() {
+        let core = ctx / self.cfg.smt_ways;
+        let tid = (ctx % self.cfg.smt_ways) as u8;
+        match self.running[ctx].take() {
             None => {
                 // Scheduling phase.
-                if let Some(task) = ready.pop(ctx) {
-                    now += cfg.runtime.schedule + sched_jitter(ctx, task as u64);
-                    if let Some(w) = waker_core[task] {
+                if let Some(task) = self.ready.pop(ctx) {
+                    now += self.cfg.runtime.schedule + sched_jitter(ctx, task as u64);
+                    if let Some(w) = self.waker_core[task] {
                         if w as usize != core {
-                            machine.stats.task_migrations += 1;
+                            self.machine.stats.task_migrations += 1;
                         }
                     }
                     if let Some(r) = rec.as_deref_mut() {
-                        let wait = now.saturating_sub(wake_time[task]);
+                        let wait = now.saturating_sub(self.wake_time[task]);
                         r.hist_wake_to_dispatch.record(wait);
-                        let name = r.intern(graph.name(task));
+                        let name = r.intern(self.graph.name(task));
                         r.record(Event::TaskScheduled {
                             cycle: now,
                             task: task as u32,
@@ -328,27 +588,32 @@ fn run_program_inner(
                     if eff_mode == CoherenceMode::Raccd {
                         // Deactivate coherence: one raccd_register per
                         // dependence (§III-B).
-                        for i in 0..graph.deps(task).len() {
-                            let range = graph.deps(task)[i].range;
+                        for i in 0..self.graph.deps(task).len() {
+                            let range = self.graph.deps(task)[i].range;
                             // Injected NCRT-pressure storm: the register
                             // is rejected; the region simply stays
                             // coherent (graceful degradation, counted as
                             // an overflow for the degrade controller).
-                            let stormed = machine
+                            let stormed = self
+                                .machine
                                 .faults_mut()
                                 .map(|f| f.ncrt_storm(now))
                                 .unwrap_or(false);
                             if stormed {
-                                machine.stats.ncrt_overflows += 1;
+                                self.machine.stats.ncrt_overflows += 1;
                                 continue;
                             }
                             let reg_start = now;
-                            let out =
-                                ncrts[ctx].register_region(&mut machine, core, range, &cfg.runtime);
+                            let out = self.ncrts[ctx].register_region(
+                                &mut self.machine,
+                                core,
+                                range,
+                                &self.cfg.runtime,
+                            );
                             now += out.cycles;
-                            machine.stats.register_cycles += out.cycles;
+                            self.machine.stats.register_cycles += out.cycles;
                             if out.overflowed {
-                                machine.stats.ncrt_overflows += 1;
+                                self.machine.stats.ncrt_overflows += 1;
                             }
                             if let Some(r) = rec.as_deref_mut() {
                                 r.record(Event::NcrtRegister {
@@ -363,46 +628,50 @@ fn run_program_inner(
                                 });
                             }
                         }
-                        if machine.has_checker() && cfg.smt_ways == 1 {
-                            machine.check_note(CheckEvent::NcrtLoaded {
+                        if self.machine.has_checker() && self.cfg.smt_ways == 1 {
+                            self.machine.check_note(CheckEvent::NcrtLoaded {
                                 core,
-                                ranges: ncrts[ctx].entries().to_vec(),
+                                ranges: self.ncrts[ctx].entries().to_vec(),
                             });
                         }
                     }
                     // Run the body functionally, recording the trace.
-                    let body = graph.take_body(task);
-                    let mut trace = std::mem::take(&mut trace_pool[ctx]);
+                    let body = self.graph.take_body(task);
+                    let mut trace = std::mem::take(&mut self.trace_pool[ctx]);
                     trace.clear();
                     {
-                        let mut tcx = TaskCtx::new(&mut mem, &mut trace);
+                        let mut tcx = TaskCtx::new(&mut self.mem, &mut trace);
                         body(&mut tcx);
-                        tcx.stack_traffic(cfg.runtime.stack_words_per_task);
+                        tcx.stack_traffic(self.cfg.runtime.stack_words_per_task);
                     }
-                    machine.stats.tasks_executed += 1;
+                    self.machine.stats.tasks_executed += 1;
                     // Fault plane: roll this dispatch for a straggler
                     // delay and/or a mid-replay failure point.
                     let mut fail_at = None;
                     let trace_len = trace.len();
-                    if let Some(inj) = machine.faults_mut().map(|f| f.roll_task(now, trace_len)) {
+                    if let Some(inj) = self
+                        .machine
+                        .faults_mut()
+                        .map(|f| f.roll_task(now, trace_len))
+                    {
                         fail_at = inj.fail_at;
                         if inj.straggle > 0 {
-                            machine.stats.task_straggles += 1;
+                            self.machine.stats.task_straggles += 1;
                             now += inj.straggle;
                         }
                     }
-                    running[ctx] = Some(Running {
+                    self.running[ctx] = Some(Running {
                         tid: task,
                         trace,
                         pos: 0,
                         fail_at,
                     });
-                    heap.push(Reverse((now, ctx)));
+                    self.heap.push(Reverse((now, ctx)));
                 } else {
                     // Nothing ready: park until a wake-up re-arms us.
-                    core_time[ctx] = now;
-                    end_time = end_time.max(now);
-                    idle.push(ctx);
+                    self.core_time[ctx] = now;
+                    self.end_time = self.end_time.max(now);
+                    self.idle.push(ctx);
                 }
             }
             Some(mut run) => {
@@ -416,27 +685,27 @@ fn run_program_inner(
                     }
                     let r = run.trace[run.pos];
                     run.pos += 1;
-                    let bank_wait_before = machine.stats.bank_wait_cycles;
+                    let bank_wait_before = self.machine.stats.bank_wait_cycles;
                     let cycles = process_ref(
-                        &mut machine,
+                        &mut self.machine,
                         eff_mode,
                         ctx,
                         core,
                         tid,
                         r,
                         now,
-                        &mut ncrts[ctx],
-                        &mut pt,
-                        &mut tlbc,
-                        &mut census,
-                        &cfg,
+                        &mut self.ncrts[ctx],
+                        &mut self.pt,
+                        &mut self.tlbc,
+                        &mut self.census,
+                        &self.cfg,
                         rec.as_deref_mut(),
                     );
                     now += cycles;
                     if let Some(rr) = rec.as_deref_mut() {
                         rr.hist_mem_latency.record(cycles);
                         rr.hist_bank_wait
-                            .record(machine.stats.bank_wait_cycles - bank_wait_before);
+                            .record(self.machine.stats.bank_wait_cycles - bank_wait_before);
                     }
                 }
                 if failed {
@@ -444,32 +713,33 @@ fn run_program_inner(
                     // raccd_invalidate discards the attempt's NC residue,
                     // which is exactly what makes re-execution idempotent
                     // (the oracle asserts this in the fault campaign).
-                    machine.stats.task_retries += 1;
-                    let decision = retry_book
+                    self.machine.stats.task_retries += 1;
+                    let decision = self
+                        .retry_book
                         .as_mut()
                         .map(|b| b.note_failure(run.tid))
                         .unwrap_or(RetryDecision::Exhausted);
                     match decision {
                         RetryDecision::Exhausted => {
-                            detection = Some(DetectReason::TaskRetryBudget { task: run.tid });
+                            self.detection = Some(DetectReason::TaskRetryBudget { task: run.tid });
                         }
                         RetryDecision::Retry(attempt) => {
-                            if mode == CoherenceMode::Raccd {
-                                let flt = if cfg.smt_ways > 1 && cfg.smt_selective_flush {
+                            if self.mode == CoherenceMode::Raccd {
+                                let flt = if self.cfg.smt_ways > 1 && self.cfg.smt_selective_flush {
                                     Some(tid)
                                 } else {
                                     None
                                 };
-                                let cycles = machine.flush_nc_filtered(core, flt, now);
-                                machine.stats.invalidate_cycles += cycles;
+                                let cycles = self.machine.flush_nc_filtered(core, flt, now);
+                                self.machine.stats.invalidate_cycles += cycles;
                                 now += cycles;
-                                if machine.has_checker() && cfg.smt_ways == 1 {
-                                    machine.check_note(CheckEvent::NcInvalidate { core });
+                                if self.machine.has_checker() && self.cfg.smt_ways == 1 {
+                                    self.machine.check_note(CheckEvent::NcInvalidate { core });
                                     // The NCRT itself survives the abort:
                                     // re-arm the discipline mirror.
-                                    machine.check_note(CheckEvent::NcrtLoaded {
+                                    self.machine.check_note(CheckEvent::NcrtLoaded {
                                         core,
-                                        ranges: ncrts[ctx].entries().to_vec(),
+                                        ranges: self.ncrts[ctx].entries().to_vec(),
                                     });
                                 }
                             }
@@ -483,34 +753,35 @@ fn run_program_inner(
                             }
                             // Fresh roll: the retry may fail elsewhere.
                             let trace_len = run.trace.len();
-                            run.fail_at = machine
+                            run.fail_at = self
+                                .machine
                                 .faults_mut()
                                 .and_then(|f| f.roll_task(now, trace_len).fail_at);
                             run.pos = 0;
-                            running[ctx] = Some(run);
-                            heap.push(Reverse((now, ctx)));
+                            self.running[ctx] = Some(run);
+                            self.heap.push(Reverse((now, ctx)));
                         }
                     }
                 } else if run.pos < run.trace.len() {
-                    running[ctx] = Some(run);
-                    heap.push(Reverse((now, ctx)));
+                    self.running[ctx] = Some(run);
+                    self.heap.push(Reverse((now, ctx)));
                 } else {
                     // Invalidate non-coherent data (RaCCD only), then the
                     // wake-up phase.
-                    if mode == CoherenceMode::Raccd {
-                        let flt = if cfg.smt_ways > 1 && cfg.smt_selective_flush {
+                    if self.mode == CoherenceMode::Raccd {
+                        let flt = if self.cfg.smt_ways > 1 && self.cfg.smt_selective_flush {
                             Some(tid)
                         } else {
                             None
                         };
                         let inv_start = now;
-                        let flushed_before = machine.stats.nc_lines_flushed;
-                        let cycles = machine.flush_nc_filtered(core, flt, now);
-                        machine.stats.invalidate_cycles += cycles;
+                        let flushed_before = self.machine.stats.nc_lines_flushed;
+                        let cycles = self.machine.flush_nc_filtered(core, flt, now);
+                        self.machine.stats.invalidate_cycles += cycles;
                         now += cycles;
-                        ncrts[ctx].clear();
-                        if machine.has_checker() && cfg.smt_ways == 1 {
-                            machine.check_note(CheckEvent::NcInvalidate { core });
+                        self.ncrts[ctx].clear();
+                        if self.machine.has_checker() && self.cfg.smt_ways == 1 {
+                            self.machine.check_note(CheckEvent::NcInvalidate { core });
                         }
                         if let Some(r) = rec.as_deref_mut() {
                             r.record(Event::NcrtInvalidate {
@@ -519,12 +790,12 @@ fn run_program_inner(
                                 core: core as u32,
                                 task: run.tid as u32,
                                 dur: cycles,
-                                lines_flushed: machine.stats.nc_lines_flushed - flushed_before,
+                                lines_flushed: self.machine.stats.nc_lines_flushed - flushed_before,
                             });
                         }
                     }
-                    let ndeps = graph.dependent_count(run.tid) as u64;
-                    now += cfg.runtime.wakeup_base + ndeps * cfg.runtime.wakeup_per_dep;
+                    let ndeps = self.graph.dependent_count(run.tid) as u64;
+                    now += self.cfg.runtime.wakeup_base + ndeps * self.cfg.runtime.wakeup_per_dep;
                     if let Some(r) = rec.as_deref_mut() {
                         r.record(Event::TaskCompleted {
                             cycle: now,
@@ -533,9 +804,9 @@ fn run_program_inner(
                             refs: run.trace.len() as u64,
                         });
                     }
-                    for woken in graph.complete(run.tid) {
-                        waker_core[woken] = Some(core as u32);
-                        wake_time[woken] = now;
+                    for woken in self.graph.complete(run.tid) {
+                        self.waker_core[woken] = Some(core as u32);
+                        self.wake_time[woken] = now;
                         if let Some(r) = rec.as_deref_mut() {
                             r.record(Event::TaskWoken {
                                 cycle: now,
@@ -543,94 +814,221 @@ fn run_program_inner(
                                 waker_core: Some(core as u32),
                             });
                         }
-                        ready.push(ctx, woken);
+                        self.ready.push(ctx, woken);
                     }
-                    completed += 1;
-                    if let Some(w) = watchdog.as_mut() {
+                    self.completion_order.push(run.tid);
+                    if let Some(w) = self.watchdog.as_mut() {
                         w.note_progress(now);
                     }
-                    trace_pool[ctx] = run.trace;
+                    self.trace_pool[ctx] = run.trace;
                     // Unpark idle cores while work is available.
-                    let mut avail = ready.len();
+                    let mut avail = self.ready.len();
                     while avail > 0 {
-                        match idle.pop() {
+                        match self.idle.pop() {
                             Some(ic) => {
-                                let wake =
-                                    core_time[ic].max(now) + sched_jitter(ic, completed as u64);
-                                heap.push(Reverse((wake, ic)));
+                                let wake = self.core_time[ic].max(now)
+                                    + sched_jitter(ic, self.completion_order.len() as u64);
+                                self.heap.push(Reverse((wake, ic)));
                                 avail -= 1;
                             }
                             None => break,
                         }
                     }
-                    running[ctx] = None;
-                    heap.push(Reverse((now, ctx)));
+                    self.running[ctx] = None;
+                    self.heap.push(Reverse((now, ctx)));
                 }
             }
         }
-        machine.stats.busy_cycles += now - t;
-        core_time[ctx] = now;
-        end_time = end_time.max(now);
-        if detection.is_some() {
-            break;
+        self.machine.stats.busy_cycles += now - t;
+        self.core_time[ctx] = now;
+        self.end_time = self.end_time.max(now);
+        self.detection.is_none()
+    }
+
+    /// Capture the entire run as a [`Snapshot`]: every machine section
+    /// (see [`Machine::snapshot`]) plus the driver's runtime state.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut s = self.machine.snapshot();
+        s.put("driver/mode", &self.mode);
+        s.put("driver/mem", &self.mem);
+        s.put("driver/ntasks", &self.graph.len());
+        s.put("driver/completion_order", &self.completion_order);
+        s.put("driver/watchdog", &self.watchdog);
+        s.put("driver/retry_book", &self.retry_book);
+        s.put("driver/degrade", &self.degrade);
+        s.put("driver/ncrts", &self.ncrts);
+        s.put("driver/pt", &self.pt);
+        s.put("driver/tlbc", &self.tlbc);
+        s.put("driver/census", &self.census);
+        s.put("driver/sched", &self.ready);
+        s.put("driver/running", &self.running);
+        s.put("driver/waker_core", &self.waker_core);
+        s.put("driver/wake_time", &self.wake_time);
+        s.put("driver/core_time", &self.core_time);
+        s.put("driver/idle", &self.idle);
+        let mut heap: Vec<(u64, usize)> = self.heap.iter().map(|&Reverse(x)| x).collect();
+        heap.sort_unstable();
+        s.put("driver/heap", &heap);
+        s.put("driver/end_time", &self.end_time);
+        s.put("driver/rollbacks", &self.rollbacks);
+        s
+    }
+
+    /// Revive a run from a snapshot. `cfg` and `mode` must match the
+    /// captured run, and `program` must be the same program rebuilt (the
+    /// builders are deterministic); the graph is replayed to the captured
+    /// point rather than deserialized, because task bodies are closures.
+    pub fn restore(
+        cfg: MachineConfig,
+        mode: CoherenceMode,
+        program: Program,
+        s: &Snapshot,
+    ) -> Result<Driver, SnapError> {
+        let smode: CoherenceMode = s.get("driver/mode")?;
+        if smode != mode {
+            return Err(SnapError::Invalid("coherence mode mismatch"));
         }
-    }
-
-    // A detection ends the run early by design; only a clean run promises
-    // every task retired.
-    if detection.is_none() {
-        assert_eq!(
-            completed,
-            graph.len(),
-            "simulation ended with unexecuted tasks (TDG cycle?)"
-        );
-    }
-    drop(graph);
-
-    machine.stats.contexts = nctx as u64;
-    let mut events = machine.take_events();
-    if let Some(r) = rec.as_deref_mut() {
-        // Tail of the protocol stream goes to the recorder, like the rest.
-        for te in events.drain(..) {
-            if let CoherenceEvent::RetryRecovered { delay, .. } = te.ev {
-                r.hist_retry_latency.record(delay);
+        let mut machine = Machine::new(cfg);
+        machine.restore(s)?;
+        let Program { mem: _, mut graph } = program;
+        let edges = graph.edges();
+        let ntasks: usize = s.get("driver/ntasks")?;
+        if graph.len() != ntasks {
+            return Err(SnapError::Invalid("program shape mismatch"));
+        }
+        let nctx = cfg.ncontexts();
+        let completion_order: Vec<raccd_runtime::TaskId> = s.get("driver/completion_order")?;
+        let running: Vec<Option<Running>> = s.get("driver/running")?;
+        let ncrts: Vec<Ncrt> = s.get("driver/ncrts")?;
+        let waker_core: Vec<Option<u32>> = s.get("driver/waker_core")?;
+        let wake_time: Vec<u64> = s.get("driver/wake_time")?;
+        let core_time: Vec<u64> = s.get("driver/core_time")?;
+        let idle: Vec<usize> = s.get("driver/idle")?;
+        let heap_vec: Vec<(u64, usize)> = s.get("driver/heap")?;
+        if running.len() != nctx
+            || ncrts.len() != nctx
+            || core_time.len() != nctx
+            || waker_core.len() != ntasks
+            || wake_time.len() != ntasks
+            || idle.iter().any(|&c| c >= nctx)
+            || heap_vec.iter().any(|&(_, c)| c >= nctx)
+        {
+            return Err(SnapError::Invalid("driver geometry"));
+        }
+        // Replay the TDG to the captured point: completions re-walk the
+        // wake-up edges in their original order; bodies of completed and
+        // in-flight tasks are consumed (their functional effect is already
+        // in the restored memory image).
+        let mut seen = vec![false; ntasks];
+        for &id in &completion_order {
+            if id >= ntasks || seen[id] {
+                return Err(SnapError::Invalid("completion order"));
             }
-            r.record(Event::Coherence {
-                cycle: te.cycle,
-                ev: te.ev,
-            });
+            seen[id] = true;
+            drop(graph.take_body(id));
+            let _ = graph.complete(id);
         }
+        for run in running.iter().flatten() {
+            if run.tid >= ntasks || seen[run.tid] {
+                return Err(SnapError::Invalid("running task id"));
+            }
+            seen[run.tid] = true;
+            drop(graph.take_body(run.tid));
+        }
+        Ok(Driver {
+            cfg,
+            mode,
+            machine,
+            mem: s.get("driver/mem")?,
+            graph,
+            edges,
+            watchdog: s.get("driver/watchdog")?,
+            retry_book: s.get("driver/retry_book")?,
+            degrade: s.get("driver/degrade")?,
+            detection: None,
+            ncrts,
+            pt: s.get("driver/pt")?,
+            tlbc: s.get("driver/tlbc")?,
+            census: s.get("driver/census")?,
+            ready: s.get("driver/sched")?,
+            running,
+            waker_core,
+            wake_time,
+            trace_pool: (0..nctx).map(|_| Vec::new()).collect(),
+            core_time,
+            idle,
+            heap: heap_vec.into_iter().map(Reverse).collect(),
+            completion_order,
+            end_time: s.get("driver/end_time")?,
+            ckpt_interval: None,
+            next_ckpt: 0,
+            last_ckpt: None,
+            rollbacks: s.get("driver/rollbacks")?,
+        })
     }
-    let stats = machine.finalize(end_time);
-    if let Some(r) = rec {
-        r.finish(
-            end_time,
-            &stats,
-            Gauges {
-                dir_occupied: machine.dir_occupied_total(),
-                dir_capacity: machine.dir_capacity_total(),
-                ready_tasks: 0,
-                busy_contexts: 0,
-            },
-        );
-    }
-    let check = machine.detach_checker();
-    let fault = machine.fault_stats().map(|fs| FaultReport {
-        stats: fs,
-        detected: detection,
-        degraded: degrade.as_ref().is_some_and(|d| d.degraded()),
-        tasks_completed: completed,
-        task_retries: stats.task_retries,
-    });
-    DriverOutput {
-        stats,
-        events,
-        census,
-        mem,
-        tasks: completed,
-        edges,
-        check,
-        fault,
+
+    /// Tear the run down into its output. Must only be called once the
+    /// run is over ([`Driver::step`] returned `false`).
+    fn into_output(mut self, mut rec: Option<&mut Recorder>) -> DriverOutput {
+        let completed = self.completion_order.len();
+        // A detection ends the run early by design; only a clean run
+        // promises every task retired.
+        if self.detection.is_none() {
+            assert_eq!(
+                completed,
+                self.graph.len(),
+                "simulation ended with unexecuted tasks (TDG cycle?)"
+            );
+        }
+        drop(self.graph);
+
+        self.machine.stats.contexts = self.cfg.ncontexts() as u64;
+        let mut events = self.machine.take_events();
+        if let Some(r) = rec.as_deref_mut() {
+            // Tail of the protocol stream goes to the recorder, like the
+            // rest.
+            for te in events.drain(..) {
+                if let CoherenceEvent::RetryRecovered { delay, .. } = te.ev {
+                    r.hist_retry_latency.record(delay);
+                }
+                r.record(Event::Coherence {
+                    cycle: te.cycle,
+                    ev: te.ev,
+                });
+            }
+        }
+        let stats = self.machine.finalize(self.end_time);
+        if let Some(r) = rec {
+            r.finish(
+                self.end_time,
+                &stats,
+                Gauges {
+                    dir_occupied: self.machine.dir_occupied_total(),
+                    dir_capacity: self.machine.dir_capacity_total(),
+                    ready_tasks: 0,
+                    busy_contexts: 0,
+                },
+            );
+        }
+        let check = self.machine.detach_checker();
+        let fault = self.machine.fault_stats().map(|fs| FaultReport {
+            stats: fs,
+            detected: self.detection,
+            degraded: self.degrade.as_ref().is_some_and(|d| d.degraded()),
+            tasks_completed: completed,
+            task_retries: stats.task_retries,
+            rollbacks: self.rollbacks,
+        });
+        DriverOutput {
+            stats,
+            events,
+            census: self.census,
+            mem: self.mem,
+            tasks: completed,
+            edges: self.edges,
+            check,
+            fault,
+        }
     }
 }
 

@@ -28,6 +28,7 @@ pub mod resilience;
 pub mod tlbclass;
 
 pub use census::{Census, CensusSummary};
+pub use driver::{Driver, DriverOutput, RollbackPolicy};
 pub use experiment::{Experiment, RunResult};
 pub use mode::CoherenceMode;
 pub use ncrt::Ncrt;

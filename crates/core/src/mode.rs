@@ -51,6 +51,26 @@ impl core::fmt::Display for CoherenceMode {
     }
 }
 
+impl raccd_snap::Snap for CoherenceMode {
+    fn save(&self, w: &mut raccd_snap::SnapWriter) {
+        w.u8(match self {
+            CoherenceMode::FullCoh => 0,
+            CoherenceMode::PageTable => 1,
+            CoherenceMode::Raccd => 2,
+            CoherenceMode::TlbClass => 3,
+        });
+    }
+    fn load(r: &mut raccd_snap::SnapReader) -> Result<Self, raccd_snap::SnapError> {
+        Ok(match r.u8()? {
+            0 => CoherenceMode::FullCoh,
+            1 => CoherenceMode::PageTable,
+            2 => CoherenceMode::Raccd,
+            3 => CoherenceMode::TlbClass,
+            _ => return Err(raccd_snap::SnapError::Invalid("coherence mode tag")),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

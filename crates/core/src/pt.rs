@@ -91,6 +91,39 @@ impl PageClassifier {
     }
 }
 
+impl raccd_snap::Snap for PageState {
+    fn save(&self, w: &mut raccd_snap::SnapWriter) {
+        match *self {
+            PageState::Private(core) => {
+                w.u8(0);
+                w.u8(core);
+            }
+            PageState::Shared => w.u8(1),
+        }
+    }
+    fn load(r: &mut raccd_snap::SnapReader) -> Result<Self, raccd_snap::SnapError> {
+        Ok(match r.u8()? {
+            0 => PageState::Private(r.u8()?),
+            1 => PageState::Shared,
+            _ => return Err(raccd_snap::SnapError::Invalid("page state tag")),
+        })
+    }
+}
+
+impl raccd_snap::Snap for PageClassifier {
+    fn save(&self, w: &mut raccd_snap::SnapWriter) {
+        self.pages.save(w);
+        w.u64(self.transitions);
+    }
+    fn load(r: &mut raccd_snap::SnapReader) -> Result<Self, raccd_snap::SnapError> {
+        use raccd_snap::Snap;
+        Ok(PageClassifier {
+            pages: Snap::load(r)?,
+            transitions: r.u64()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

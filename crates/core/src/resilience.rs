@@ -47,6 +47,9 @@ pub struct FaultReport {
     pub tasks_completed: usize,
     /// Task re-executions performed.
     pub task_retries: u64,
+    /// Checkpoint rollbacks performed by the recovery loop
+    /// ([`crate::driver::run_program_resilient`]); 0 for plain runs.
+    pub rollbacks: u32,
 }
 
 impl FaultReport {
@@ -116,6 +119,34 @@ impl DegradeController {
             overflows.saturating_sub(self.overflows_base),
             retries.saturating_sub(self.retries_base),
         )
+    }
+}
+
+impl raccd_snap::Snap for DegradeController {
+    fn save(&self, w: &mut raccd_snap::SnapWriter) {
+        w.u64(self.window);
+        w.u64(self.overflow_limit);
+        w.u64(self.retry_limit);
+        w.u64(self.window_start);
+        w.u64(self.overflows_base);
+        w.u64(self.retries_base);
+        self.degraded.save(w);
+    }
+    fn load(r: &mut raccd_snap::SnapReader) -> Result<Self, raccd_snap::SnapError> {
+        use raccd_snap::Snap;
+        let c = DegradeController {
+            window: r.u64()?,
+            overflow_limit: r.u64()?,
+            retry_limit: r.u64()?,
+            window_start: r.u64()?,
+            overflows_base: r.u64()?,
+            retries_base: r.u64()?,
+            degraded: Snap::load(r)?,
+        };
+        if c.window == 0 {
+            return Err(raccd_snap::SnapError::Invalid("degrade window"));
+        }
+        Ok(c)
     }
 }
 

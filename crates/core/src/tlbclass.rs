@@ -163,6 +163,26 @@ fn compose(ppage: PageNum, vaddr: VAddr) -> PAddr {
     PAddr((ppage.0 << PAGE_SHIFT) | vaddr.page_offset())
 }
 
+impl raccd_snap::Snap for TlbClassifier {
+    fn save(&self, w: &mut raccd_snap::SnapWriter) {
+        self.class.save(w);
+        self.decay.save(w);
+        w.u64(self.decay_threshold);
+        w.u64(self.resolutions);
+        w.u64(self.decay_invalidations);
+    }
+    fn load(r: &mut raccd_snap::SnapReader) -> Result<Self, raccd_snap::SnapError> {
+        use raccd_snap::Snap;
+        Ok(TlbClassifier {
+            class: Snap::load(r)?,
+            decay: Snap::load(r)?,
+            decay_threshold: r.u64()?,
+            resolutions: r.u64()?,
+            decay_invalidations: r.u64()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -611,6 +611,139 @@ impl FaultPlane {
     pub fn fatal(&self) -> bool {
         self.fatal
     }
+
+    /// Re-seed the RNG stream and clear the fatal latch for
+    /// checkpoint-rollback recovery. Restoring a snapshot replays the
+    /// *exact* machine state — including this plane's RNG — so a rolled-back
+    /// run would re-draw the very rolls that killed it and livelock.
+    /// Folding a per-rollback salt into the stream keeps the plan (and its
+    /// rates) intact while decorrelating the replayed interval.
+    pub fn reseed(&mut self, salt: u64) {
+        self.rng = SplitMix64::new(
+            self.plan.seed ^ 0xfa17_0000_0000_0001 ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        self.fatal = false;
+    }
+}
+
+impl raccd_snap::Snap for Watchdog {
+    fn save(&self, w: &mut raccd_snap::SnapWriter) {
+        w.u64(self.threshold);
+        w.u64(self.last_progress);
+    }
+    fn load(r: &mut raccd_snap::SnapReader) -> Result<Self, raccd_snap::SnapError> {
+        Ok(Watchdog {
+            threshold: r.u64()?,
+            last_progress: r.u64()?,
+        })
+    }
+}
+
+impl raccd_snap::Snap for FaultSite {
+    fn save(&self, w: &mut raccd_snap::SnapWriter) {
+        w.u8(match self {
+            FaultSite::NocDrop => 0,
+            FaultSite::NocDup => 1,
+            FaultSite::NocCorrupt => 2,
+            FaultSite::NocDelay => 3,
+            FaultSite::DirLoss => 4,
+            FaultSite::NcrtStorm => 5,
+            FaultSite::TaskFail => 6,
+            FaultSite::TaskStraggle => 7,
+        });
+    }
+    fn load(r: &mut raccd_snap::SnapReader) -> Result<Self, raccd_snap::SnapError> {
+        Ok(match r.u8()? {
+            0 => FaultSite::NocDrop,
+            1 => FaultSite::NocDup,
+            2 => FaultSite::NocCorrupt,
+            3 => FaultSite::NocDelay,
+            4 => FaultSite::DirLoss,
+            5 => FaultSite::NcrtStorm,
+            6 => FaultSite::TaskFail,
+            7 => FaultSite::TaskStraggle,
+            _ => return Err(raccd_snap::SnapError::Invalid("fault site")),
+        })
+    }
+}
+
+impl raccd_snap::Snap for FaultStats {
+    fn save(&self, w: &mut raccd_snap::SnapWriter) {
+        let FaultStats {
+            injected,
+            drops,
+            dups,
+            corrupts,
+            delays,
+            dir_losses,
+            storms,
+            task_fails,
+            straggles,
+            retries,
+            nacks,
+            recovered,
+            budget_exhausted,
+        } = *self;
+        for v in [
+            injected,
+            drops,
+            dups,
+            corrupts,
+            delays,
+            dir_losses,
+            storms,
+            task_fails,
+            straggles,
+            retries,
+            nacks,
+            recovered,
+            budget_exhausted,
+        ] {
+            w.u64(v);
+        }
+    }
+    fn load(r: &mut raccd_snap::SnapReader) -> Result<Self, raccd_snap::SnapError> {
+        Ok(FaultStats {
+            injected: r.u64()?,
+            drops: r.u64()?,
+            dups: r.u64()?,
+            corrupts: r.u64()?,
+            delays: r.u64()?,
+            dir_losses: r.u64()?,
+            storms: r.u64()?,
+            task_fails: r.u64()?,
+            straggles: r.u64()?,
+            retries: r.u64()?,
+            nacks: r.u64()?,
+            recovered: r.u64()?,
+            budget_exhausted: r.u64()?,
+        })
+    }
+}
+
+impl raccd_snap::Snap for FaultPlane {
+    fn save(&self, w: &mut raccd_snap::SnapWriter) {
+        // The plan round-trips through its canonical spec string, the same
+        // grammar `RACCD_FAULT_SPEC` uses — one parser, one format.
+        self.plan.to_spec().save(w);
+        self.stats.save(w);
+        self.rng.save(w);
+        w.u64(self.storm_until);
+        self.fatal.save(w);
+    }
+    fn load(r: &mut raccd_snap::SnapReader) -> Result<Self, raccd_snap::SnapError> {
+        use raccd_snap::Snap;
+        let spec: String = Snap::load(r)?;
+        let plan = FaultPlan::from_spec(&spec)
+            .map_err(|_| raccd_snap::SnapError::Invalid("fault plan spec"))?;
+        Ok(FaultPlane {
+            plan,
+            stats: Snap::load(r)?,
+            rng: Snap::load(r)?,
+            storm_until: r.u64()?,
+            fatal: Snap::load(r)?,
+        })
+    }
 }
 
 #[cfg(test)]

@@ -172,6 +172,37 @@ impl VRange {
     }
 }
 
+macro_rules! snap_newtype {
+    ($ty:ident) => {
+        impl raccd_snap::Snap for $ty {
+            fn save(&self, w: &mut raccd_snap::SnapWriter) {
+                w.u64(self.0);
+            }
+            fn load(r: &mut raccd_snap::SnapReader) -> Result<Self, raccd_snap::SnapError> {
+                Ok($ty(r.u64()?))
+            }
+        }
+    };
+}
+
+snap_newtype!(VAddr);
+snap_newtype!(PAddr);
+snap_newtype!(BlockAddr);
+snap_newtype!(PageNum);
+
+impl raccd_snap::Snap for VRange {
+    fn save(&self, w: &mut raccd_snap::SnapWriter) {
+        w.u64(self.start.0);
+        w.u64(self.len);
+    }
+    fn load(r: &mut raccd_snap::SnapReader) -> Result<Self, raccd_snap::SnapError> {
+        Ok(VRange {
+            start: VAddr(r.u64()?),
+            len: r.u64()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -119,6 +119,25 @@ typed_access!(read_i32, write_i32, i32);
 typed_access!(read_f32, write_f32, f32);
 typed_access!(read_f64, write_f64, f64);
 
+impl raccd_snap::Snap for SimMemory {
+    fn save(&self, w: &mut raccd_snap::SnapWriter) {
+        // Hand-rolled for the flat store: one bulk copy instead of a
+        // per-byte element loop (byte-compatible with `Vec<u8>`'s encoding).
+        w.u64(self.data.len() as u64);
+        w.bytes(&self.data);
+        self.allocs.save(w);
+    }
+    fn load(r: &mut raccd_snap::SnapReader) -> Result<Self, raccd_snap::SnapError> {
+        use raccd_snap::Snap;
+        let n = r.len_prefix()?;
+        let data = r.bytes(n)?.to_vec();
+        Ok(SimMemory {
+            data,
+            allocs: Snap::load(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

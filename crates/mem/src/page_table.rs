@@ -105,6 +105,42 @@ impl PageTable {
     }
 }
 
+impl raccd_snap::Snap for FrameAllocPolicy {
+    fn save(&self, w: &mut raccd_snap::SnapWriter) {
+        w.u8(match self {
+            FrameAllocPolicy::Contiguous => 0,
+            FrameAllocPolicy::Permuted => 1,
+        });
+    }
+    fn load(r: &mut raccd_snap::SnapReader) -> Result<Self, raccd_snap::SnapError> {
+        match r.u8()? {
+            0 => Ok(FrameAllocPolicy::Contiguous),
+            1 => Ok(FrameAllocPolicy::Permuted),
+            _ => Err(raccd_snap::SnapError::Invalid("frame alloc policy tag")),
+        }
+    }
+}
+
+impl raccd_snap::Snap for PageTable {
+    fn save(&self, w: &mut raccd_snap::SnapWriter) {
+        self.map.save(w);
+        self.policy.save(w);
+        w.u64(self.next_frame);
+        self.rng.save(w);
+        w.u64(self.base_frame);
+    }
+    fn load(r: &mut raccd_snap::SnapReader) -> Result<Self, raccd_snap::SnapError> {
+        use raccd_snap::Snap;
+        Ok(PageTable {
+            map: Snap::load(r)?,
+            policy: Snap::load(r)?,
+            next_frame: r.u64()?,
+            rng: Snap::load(r)?,
+            base_frame: r.u64()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

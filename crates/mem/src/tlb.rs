@@ -113,6 +113,34 @@ impl Tlb {
     }
 }
 
+impl raccd_snap::Snap for Tlb {
+    fn save(&self, w: &mut raccd_snap::SnapWriter) {
+        self.capacity.save(w);
+        self.entries.save(w);
+        w.u64(self.stamp);
+        w.u64(self.hits);
+        w.u64(self.misses);
+    }
+    fn load(r: &mut raccd_snap::SnapReader) -> Result<Self, raccd_snap::SnapError> {
+        use raccd_snap::Snap;
+        let capacity: usize = Snap::load(r)?;
+        if capacity == 0 {
+            return Err(raccd_snap::SnapError::Invalid("zero TLB capacity"));
+        }
+        let entries: std::collections::HashMap<u64, (u64, u64)> = Snap::load(r)?;
+        if entries.len() > capacity {
+            return Err(raccd_snap::SnapError::Invalid("TLB over capacity"));
+        }
+        Ok(Tlb {
+            capacity,
+            entries,
+            stamp: r.u64()?,
+            hits: r.u64()?,
+            misses: r.u64()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

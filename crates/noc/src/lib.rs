@@ -218,6 +218,64 @@ impl Mesh {
     }
 }
 
+impl raccd_snap::Snap for FaultTraffic {
+    fn save(&self, w: &mut raccd_snap::SnapWriter) {
+        for v in [
+            self.dropped,
+            self.corrupted,
+            self.duplicated,
+            self.nacks,
+            self.retries,
+            self.delayed,
+        ] {
+            w.u64(v);
+        }
+    }
+    fn load(r: &mut raccd_snap::SnapReader) -> Result<Self, raccd_snap::SnapError> {
+        Ok(FaultTraffic {
+            dropped: r.u64()?,
+            corrupted: r.u64()?,
+            duplicated: r.u64()?,
+            nacks: r.u64()?,
+            retries: r.u64()?,
+            delayed: r.u64()?,
+        })
+    }
+}
+
+impl raccd_snap::Snap for Mesh {
+    fn save(&self, w: &mut raccd_snap::SnapWriter) {
+        self.k.save(w);
+        w.u64(self.link_cycles);
+        w.u64(self.router_cycles);
+        w.u64(self.flit_bytes);
+        w.u64(self.flit_hops);
+        self.flits_by_class.save(w);
+        self.msgs_by_class.save(w);
+        self.fault.save(w);
+    }
+    fn load(r: &mut raccd_snap::SnapReader) -> Result<Self, raccd_snap::SnapError> {
+        use raccd_snap::Snap;
+        let k: usize = Snap::load(r)?;
+        let link_cycles = r.u64()?;
+        let router_cycles = r.u64()?;
+        let flit_bytes = r.u64()?;
+        if k == 0 || flit_bytes == 0 {
+            return Err(raccd_snap::SnapError::Invalid("mesh geometry"));
+        }
+        Ok(Mesh {
+            k,
+            link_cycles,
+            router_cycles,
+            flit_bytes,
+            flit_hops: r.u64()?,
+            flits_by_class: Snap::load(r)?,
+            msgs_by_class: Snap::load(r)?,
+            fault: Snap::load(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -194,6 +194,20 @@ pub struct ApplyEffect {
     pub invalidate: u64,
 }
 
+impl raccd_snap::Snap for EntryState {
+    fn save(&self, w: &mut raccd_snap::SnapWriter) {
+        w.u64(self.sharers);
+        self.owner.save(w);
+    }
+    fn load(r: &mut raccd_snap::SnapReader) -> Result<Self, raccd_snap::SnapError> {
+        use raccd_snap::Snap;
+        Ok(EntryState {
+            sharers: r.u64()?,
+            owner: Snap::load(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

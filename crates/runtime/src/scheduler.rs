@@ -123,6 +123,42 @@ impl StealQueues {
     }
 }
 
+impl raccd_snap::Snap for ReadyQueue {
+    fn save(&self, w: &mut raccd_snap::SnapWriter) {
+        self.queue.save(w);
+        w.u64(self.pushed);
+        w.u64(self.popped);
+    }
+    fn load(r: &mut raccd_snap::SnapReader) -> Result<Self, raccd_snap::SnapError> {
+        use raccd_snap::Snap;
+        Ok(ReadyQueue {
+            queue: Snap::load(r)?,
+            pushed: r.u64()?,
+            popped: r.u64()?,
+        })
+    }
+}
+
+impl raccd_snap::Snap for StealQueues {
+    fn save(&self, w: &mut raccd_snap::SnapWriter) {
+        self.deques.save(w);
+        w.u64(self.steals);
+        w.u64(self.local_pops);
+    }
+    fn load(r: &mut raccd_snap::SnapReader) -> Result<Self, raccd_snap::SnapError> {
+        use raccd_snap::Snap;
+        let q = StealQueues {
+            deques: Snap::load(r)?,
+            steals: r.u64()?,
+            local_pops: r.u64()?,
+        };
+        if q.deques.is_empty() {
+            return Err(raccd_snap::SnapError::Invalid("steal queues empty"));
+        }
+        Ok(q)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

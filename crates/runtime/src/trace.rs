@@ -70,6 +70,27 @@ impl MemRef {
     pub fn is_stack(self) -> bool {
         self.0 & STACK_BIT != 0
     }
+
+    /// The packed representation, for serialization.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuild from [`MemRef::raw`] bits.
+    #[inline]
+    pub fn from_raw(bits: u64) -> Self {
+        MemRef(bits)
+    }
+}
+
+impl raccd_snap::Snap for MemRef {
+    fn save(&self, w: &mut raccd_snap::SnapWriter) {
+        w.u64(self.0);
+    }
+    fn load(r: &mut raccd_snap::SnapReader) -> Result<Self, raccd_snap::SnapError> {
+        Ok(MemRef(r.u64()?))
+    }
 }
 
 impl core::fmt::Debug for MemRef {

@@ -1295,3 +1295,158 @@ impl CheckSink for ShadowChecker {
         self.finish_report()
     }
 }
+
+/// Known violation codes, used to restore the `&'static str` codes from a
+/// snapshot. A code minted after a snapshot was written maps to
+/// `"restored"` rather than failing the load.
+const KNOWN_CODES: &[&str] = &[
+    "data-value",
+    "dir-inclusion",
+    "l1-inclusion",
+    "lost-dirty",
+    "mirror-desync",
+    "nc-discipline",
+    "nc-exclusivity",
+    "stranded-sharer",
+    "swmr",
+    "write-through",
+    "writeback-lost",
+    "wt-dirty",
+];
+
+impl raccd_snap::Snap for ShadowLine {
+    fn save(&self, w: &mut raccd_snap::SnapWriter) {
+        self.state.save(w);
+        self.nc.save(w);
+        w.u64(self.ver);
+        self.stale_ok.save(w);
+    }
+    fn load(r: &mut raccd_snap::SnapReader) -> Result<Self, raccd_snap::SnapError> {
+        use raccd_snap::Snap;
+        Ok(ShadowLine {
+            state: Snap::load(r)?,
+            nc: Snap::load(r)?,
+            ver: r.u64()?,
+            stale_ok: Snap::load(r)?,
+        })
+    }
+}
+
+impl raccd_snap::Snap for ShadowLlc {
+    fn save(&self, w: &mut raccd_snap::SnapWriter) {
+        self.nc.save(w);
+        w.u64(self.ver);
+    }
+    fn load(r: &mut raccd_snap::SnapReader) -> Result<Self, raccd_snap::SnapError> {
+        use raccd_snap::Snap;
+        Ok(ShadowLlc {
+            nc: Snap::load(r)?,
+            ver: r.u64()?,
+        })
+    }
+}
+
+impl raccd_snap::Snap for CheckStats {
+    fn save(&self, w: &mut raccd_snap::SnapWriter) {
+        let CheckStats {
+            events,
+            reads_checked,
+            writes_checked,
+            stale_excused,
+            nc_write_races,
+            discipline_checked,
+            audits,
+        } = *self;
+        w.u64(events);
+        w.u64(reads_checked);
+        w.u64(writes_checked);
+        w.u64(stale_excused);
+        w.u64(nc_write_races);
+        w.u64(discipline_checked);
+        w.u64(audits);
+    }
+    fn load(r: &mut raccd_snap::SnapReader) -> Result<Self, raccd_snap::SnapError> {
+        Ok(CheckStats {
+            events: r.u64()?,
+            reads_checked: r.u64()?,
+            writes_checked: r.u64()?,
+            stale_excused: r.u64()?,
+            nc_write_races: r.u64()?,
+            discipline_checked: r.u64()?,
+            audits: r.u64()?,
+        })
+    }
+}
+
+impl raccd_snap::Snap for Violation {
+    fn save(&self, w: &mut raccd_snap::SnapWriter) {
+        self.code.to_string().save(w);
+        self.detail.save(w);
+    }
+    fn load(r: &mut raccd_snap::SnapReader) -> Result<Self, raccd_snap::SnapError> {
+        use raccd_snap::Snap;
+        let code: String = Snap::load(r)?;
+        let detail: String = Snap::load(r)?;
+        let code = KNOWN_CODES
+            .iter()
+            .copied()
+            .find(|&k| k == code)
+            .unwrap_or("restored");
+        Ok(Violation { code, detail })
+    }
+}
+
+impl raccd_snap::Snap for ShadowChecker {
+    fn save(&self, w: &mut raccd_snap::SnapWriter) {
+        // `recent` is a diagnostic-only window; it is not saved and
+        // restores empty.
+        self.ncores.save(w);
+        self.write_through.save(w);
+        self.fail_fast.save(w);
+        self.discipline.save(w);
+        self.l1.save(w);
+        self.llc.save(w);
+        self.mem.save(w);
+        self.cur.save(w);
+        self.dir.save(w);
+        self.ncrt.save(w);
+        self.touched.save(w);
+        self.violations.save(w);
+        self.stats.save(w);
+    }
+    fn load(r: &mut raccd_snap::SnapReader) -> Result<Self, raccd_snap::SnapError> {
+        use raccd_snap::Snap;
+        let ncores: usize = Snap::load(r)?;
+        let write_through = Snap::load(r)?;
+        let fail_fast = Snap::load(r)?;
+        let discipline = Snap::load(r)?;
+        let l1: Vec<BTreeMap<u64, ShadowLine>> = Snap::load(r)?;
+        let llc = Snap::load(r)?;
+        let mem = Snap::load(r)?;
+        let cur = Snap::load(r)?;
+        let dir = Snap::load(r)?;
+        let ncrt: Vec<Vec<(u64, u64)>> = Snap::load(r)?;
+        let touched = Snap::load(r)?;
+        let violations = Snap::load(r)?;
+        let stats = Snap::load(r)?;
+        if ncores == 0 || l1.len() != ncores || ncrt.len() != ncores {
+            return Err(raccd_snap::SnapError::Invalid("shadow checker geometry"));
+        }
+        Ok(ShadowChecker {
+            ncores,
+            write_through,
+            fail_fast,
+            discipline,
+            l1,
+            llc,
+            mem,
+            cur,
+            dir,
+            ncrt,
+            touched,
+            violations,
+            recent: VecDeque::with_capacity(RECENT_EVENTS),
+            stats,
+        })
+    }
+}

@@ -1493,6 +1493,291 @@ impl Machine {
     }
 }
 
+impl raccd_snap::Snap for CoreSlice {
+    fn save(&self, w: &mut raccd_snap::SnapWriter) {
+        self.tlb.save(w);
+        self.l1.save(w);
+    }
+    fn load(r: &mut raccd_snap::SnapReader) -> Result<Self, raccd_snap::SnapError> {
+        use raccd_snap::Snap;
+        Ok(CoreSlice {
+            tlb: Snap::load(r)?,
+            l1: Snap::load(r)?,
+        })
+    }
+}
+
+impl raccd_snap::Snap for CoherenceEvent {
+    fn save(&self, w: &mut raccd_snap::SnapWriter) {
+        match *self {
+            CoherenceEvent::CoherentFill {
+                core,
+                block,
+                write,
+                from_owner,
+            } => {
+                w.u8(0);
+                core.save(w);
+                block.save(w);
+                write.save(w);
+                from_owner.save(w);
+            }
+            CoherenceEvent::NcFill { core, block, write } => {
+                w.u8(1);
+                core.save(w);
+                block.save(w);
+                write.save(w);
+            }
+            CoherenceEvent::Upgrade { core, block } => {
+                w.u8(2);
+                core.save(w);
+                block.save(w);
+            }
+            CoherenceEvent::DirEviction { block } => {
+                w.u8(3);
+                block.save(w);
+            }
+            CoherenceEvent::NcToCoherent { block } => {
+                w.u8(4);
+                block.save(w);
+            }
+            CoherenceEvent::CoherentToNc { block } => {
+                w.u8(5);
+                block.save(w);
+            }
+            CoherenceEvent::FlushNc { core, lines } => {
+                w.u8(6);
+                core.save(w);
+                w.u32(lines);
+            }
+            CoherenceEvent::AdrResize {
+                bank,
+                grow,
+                new_entries,
+                blocked_cycles,
+            } => {
+                w.u8(7);
+                bank.save(w);
+                grow.save(w);
+                new_entries.save(w);
+                w.u64(blocked_cycles);
+            }
+            CoherenceEvent::FaultInjected { site, from, to } => {
+                w.u8(8);
+                site.save(w);
+                from.save(w);
+                to.save(w);
+            }
+            CoherenceEvent::Nack { from, to } => {
+                w.u8(9);
+                from.save(w);
+                to.save(w);
+            }
+            CoherenceEvent::RetryRecovered { attempts, delay } => {
+                w.u8(10);
+                w.u32(attempts);
+                w.u64(delay);
+            }
+            CoherenceEvent::RetryExhausted { from, to, attempts } => {
+                w.u8(11);
+                from.save(w);
+                to.save(w);
+                w.u32(attempts);
+            }
+            CoherenceEvent::DirEntryLost { block } => {
+                w.u8(12);
+                block.save(w);
+            }
+        }
+    }
+    fn load(r: &mut raccd_snap::SnapReader) -> Result<Self, raccd_snap::SnapError> {
+        use raccd_snap::Snap;
+        Ok(match r.u8()? {
+            0 => CoherenceEvent::CoherentFill {
+                core: Snap::load(r)?,
+                block: Snap::load(r)?,
+                write: Snap::load(r)?,
+                from_owner: Snap::load(r)?,
+            },
+            1 => CoherenceEvent::NcFill {
+                core: Snap::load(r)?,
+                block: Snap::load(r)?,
+                write: Snap::load(r)?,
+            },
+            2 => CoherenceEvent::Upgrade {
+                core: Snap::load(r)?,
+                block: Snap::load(r)?,
+            },
+            3 => CoherenceEvent::DirEviction {
+                block: Snap::load(r)?,
+            },
+            4 => CoherenceEvent::NcToCoherent {
+                block: Snap::load(r)?,
+            },
+            5 => CoherenceEvent::CoherentToNc {
+                block: Snap::load(r)?,
+            },
+            6 => CoherenceEvent::FlushNc {
+                core: Snap::load(r)?,
+                lines: r.u32()?,
+            },
+            7 => CoherenceEvent::AdrResize {
+                bank: Snap::load(r)?,
+                grow: Snap::load(r)?,
+                new_entries: Snap::load(r)?,
+                blocked_cycles: r.u64()?,
+            },
+            8 => CoherenceEvent::FaultInjected {
+                site: Snap::load(r)?,
+                from: Snap::load(r)?,
+                to: Snap::load(r)?,
+            },
+            9 => CoherenceEvent::Nack {
+                from: Snap::load(r)?,
+                to: Snap::load(r)?,
+            },
+            10 => CoherenceEvent::RetryRecovered {
+                attempts: r.u32()?,
+                delay: r.u64()?,
+            },
+            11 => CoherenceEvent::RetryExhausted {
+                from: Snap::load(r)?,
+                to: Snap::load(r)?,
+                attempts: r.u32()?,
+            },
+            12 => CoherenceEvent::DirEntryLost {
+                block: Snap::load(r)?,
+            },
+            _ => return Err(raccd_snap::SnapError::Invalid("coherence event tag")),
+        })
+    }
+}
+
+impl raccd_snap::Snap for TimedEvent {
+    fn save(&self, w: &mut raccd_snap::SnapWriter) {
+        w.u64(self.cycle);
+        self.ev.save(w);
+    }
+    fn load(r: &mut raccd_snap::SnapReader) -> Result<Self, raccd_snap::SnapError> {
+        use raccd_snap::Snap;
+        Ok(TimedEvent {
+            cycle: r.u64()?,
+            ev: Snap::load(r)?,
+        })
+    }
+}
+
+/// Whole-machine snapshot/restore (the `raccd-snap` integration).
+///
+/// A snapshot captures every bit of machine state that influences future
+/// behaviour — caches (tags, state, data-version mirrors via the attached
+/// checker, PLRU), directory banks, ADR controllers, page table, TLBs, NoC
+/// counters, fault-plane RNG, statistics, recorded protocol events and the
+/// two scratch fill flags — as independently-CRC'd sections of a
+/// [`raccd_snap::Snapshot`]. The configuration itself is *not* serialized:
+/// restore targets a machine built with an identical `MachineConfig`, and a
+/// config fingerprint section rejects mismatches up front.
+impl Machine {
+    /// Fingerprint of the configuration a snapshot is only valid for.
+    fn cfg_fingerprint(&self) -> String {
+        format!("{:?}", self.cfg)
+    }
+
+    /// Capture the entire machine state. When a [`ShadowChecker`] is
+    /// attached, its mirror state and its canonical
+    /// [`ShadowChecker::state_key`] are captured too, so
+    /// [`Machine::restore`] can prove the restored coherence state is
+    /// bit-identical to the captured one.
+    pub fn snapshot(&self) -> raccd_snap::Snapshot {
+        let mut s = raccd_snap::Snapshot::new();
+        s.put_raw("machine/cfg", self.cfg_fingerprint().into_bytes());
+        s.put("machine/page_table", &self.page_table);
+        s.put("machine/cores", &self.cores);
+        s.put("machine/llc", &self.llc);
+        s.put("machine/dir", &self.dir);
+        s.put("machine/adr", &self.adr);
+        s.put("machine/noc", &self.noc);
+        s.put("machine/bank_busy", &self.bank_busy);
+        s.put("machine/events", &self.events);
+        s.put("machine/stats", &self.stats);
+        s.put(
+            "machine/scratch",
+            &(self.last_fill_shared, self.last_fill_from_owner),
+        );
+        if let Some(f) = &self.faults {
+            s.put("machine/faults", f.as_ref());
+        }
+        if let Some(sc) = self
+            .checker
+            .as_ref()
+            .and_then(|c| c.as_any().downcast_ref::<ShadowChecker>())
+        {
+            s.put("machine/checker", sc);
+            s.put_raw("machine/state_key", sc.state_key(self).into_bytes());
+        }
+        s
+    }
+
+    /// Restore a snapshot taken from a machine with an identical
+    /// configuration. The checker and fault plane are restored to exactly
+    /// the captured attachment state (detached if the snapshot carried
+    /// none). When the snapshot recorded a shadow `state_key`, the restored
+    /// state is re-fingerprinted and compared as an end-to-end integrity
+    /// check beyond the per-section CRCs.
+    pub fn restore(&mut self, s: &raccd_snap::Snapshot) -> Result<(), raccd_snap::SnapError> {
+        if s.raw("machine/cfg")? != self.cfg_fingerprint().as_bytes() {
+            return Err(raccd_snap::SnapError::Invalid("machine config mismatch"));
+        }
+        let cores: Vec<CoreSlice> = s.get("machine/cores")?;
+        let llc: Vec<LlcBank> = s.get("machine/llc")?;
+        let dir: Vec<DirectoryBank> = s.get("machine/dir")?;
+        let adr: Vec<Adr> = s.get("machine/adr")?;
+        let bank_busy: Vec<u64> = s.get("machine/bank_busy")?;
+        let n = self.cfg.ncores;
+        let nadr = if self.cfg.adr { n } else { 0 };
+        if cores.len() != n
+            || llc.len() != n
+            || dir.len() != n
+            || adr.len() != nadr
+            || bank_busy.len() != n
+        {
+            return Err(raccd_snap::SnapError::Invalid("machine geometry"));
+        }
+        self.page_table = s.get("machine/page_table")?;
+        self.cores = cores;
+        self.llc = llc;
+        self.dir = dir;
+        self.adr = adr;
+        self.noc = s.get("machine/noc")?;
+        self.bank_busy = bank_busy;
+        self.events = s.get("machine/events")?;
+        self.stats = s.get("machine/stats")?;
+        let (fs, fo): (bool, bool) = s.get("machine/scratch")?;
+        self.last_fill_shared = fs;
+        self.last_fill_from_owner = fo;
+        self.faults = if s.has("machine/faults") {
+            Some(Box::new(s.get::<FaultPlane>("machine/faults")?))
+        } else {
+            None
+        };
+        self.checker = if s.has("machine/checker") {
+            Some(Box::new(s.get::<ShadowChecker>("machine/checker")?))
+        } else {
+            None
+        };
+        if s.has("machine/state_key") {
+            let want = s.raw("machine/state_key")?;
+            let got = self.shadow_state_key().unwrap_or_default();
+            if got.as_bytes() != want {
+                return Err(raccd_snap::SnapError::Invalid(
+                    "restored state_key mismatch",
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

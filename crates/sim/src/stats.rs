@@ -311,6 +311,167 @@ impl Stats {
     }
 }
 
+impl raccd_snap::Snap for Stats {
+    fn save(&self, w: &mut raccd_snap::SnapWriter) {
+        // Exhaustive destructure: adding a Stats field without a snap arm
+        // is a compile error, mirroring `merge` above.
+        let Stats {
+            cycles,
+            l1_hits,
+            l1_misses,
+            l1_writebacks,
+            write_throughs,
+            tlb_hits,
+            tlb_misses,
+            dir_accesses,
+            dir_allocations,
+            dir_evictions,
+            dir_avg_occupancy,
+            dir_access_hist: ref hist,
+            dir_capacity_integral,
+            adr_reconfigs,
+            adr_blocked_cycles,
+            llc_hits,
+            llc_misses,
+            llc_inclusion_invalidations,
+            invalidations_sent,
+            owner_forwards,
+            nc_fills,
+            coherent_fills,
+            bank_wait_cycles,
+            noc_traffic,
+            noc_flits,
+            mem_reads,
+            mem_writes,
+            register_cycles,
+            invalidate_cycles,
+            nc_lines_flushed,
+            ncrt_overflows,
+            pt_shared_transitions,
+            pt_flush_lines,
+            tasks_executed,
+            refs_processed,
+            busy_cycles,
+            contexts,
+            task_migrations,
+            faults_injected,
+            msg_retries,
+            msg_nacks,
+            retry_budget_exhausted,
+            dir_entries_lost,
+            fault_delay_cycles,
+            protocol_recoveries,
+            task_retries,
+            task_straggles,
+            watchdog_fires,
+            mode_downgrades,
+        } = *self;
+        w.u64(cycles);
+        w.u64(l1_hits);
+        w.u64(l1_misses);
+        w.u64(l1_writebacks);
+        w.u64(write_throughs);
+        w.u64(tlb_hits);
+        w.u64(tlb_misses);
+        w.u64(dir_accesses);
+        w.u64(dir_allocations);
+        w.u64(dir_evictions);
+        dir_avg_occupancy.save(w);
+        hist.save(w);
+        dir_capacity_integral.save(w);
+        w.u64(adr_reconfigs);
+        w.u64(adr_blocked_cycles);
+        w.u64(llc_hits);
+        w.u64(llc_misses);
+        w.u64(llc_inclusion_invalidations);
+        w.u64(invalidations_sent);
+        w.u64(owner_forwards);
+        w.u64(nc_fills);
+        w.u64(coherent_fills);
+        w.u64(bank_wait_cycles);
+        w.u64(noc_traffic);
+        w.u64(noc_flits);
+        w.u64(mem_reads);
+        w.u64(mem_writes);
+        w.u64(register_cycles);
+        w.u64(invalidate_cycles);
+        w.u64(nc_lines_flushed);
+        w.u64(ncrt_overflows);
+        w.u64(pt_shared_transitions);
+        w.u64(pt_flush_lines);
+        w.u64(tasks_executed);
+        w.u64(refs_processed);
+        w.u64(busy_cycles);
+        contexts.save(w);
+        w.u64(task_migrations);
+        w.u64(faults_injected);
+        w.u64(msg_retries);
+        w.u64(msg_nacks);
+        w.u64(retry_budget_exhausted);
+        w.u64(dir_entries_lost);
+        w.u64(fault_delay_cycles);
+        w.u64(protocol_recoveries);
+        w.u64(task_retries);
+        w.u64(task_straggles);
+        w.u64(watchdog_fires);
+        w.u64(mode_downgrades);
+    }
+    fn load(r: &mut raccd_snap::SnapReader) -> Result<Self, raccd_snap::SnapError> {
+        use raccd_snap::Snap;
+        Ok(Stats {
+            cycles: r.u64()?,
+            l1_hits: r.u64()?,
+            l1_misses: r.u64()?,
+            l1_writebacks: r.u64()?,
+            write_throughs: r.u64()?,
+            tlb_hits: r.u64()?,
+            tlb_misses: r.u64()?,
+            dir_accesses: r.u64()?,
+            dir_allocations: r.u64()?,
+            dir_evictions: r.u64()?,
+            dir_avg_occupancy: Snap::load(r)?,
+            dir_access_hist: Snap::load(r)?,
+            dir_capacity_integral: Snap::load(r)?,
+            adr_reconfigs: r.u64()?,
+            adr_blocked_cycles: r.u64()?,
+            llc_hits: r.u64()?,
+            llc_misses: r.u64()?,
+            llc_inclusion_invalidations: r.u64()?,
+            invalidations_sent: r.u64()?,
+            owner_forwards: r.u64()?,
+            nc_fills: r.u64()?,
+            coherent_fills: r.u64()?,
+            bank_wait_cycles: r.u64()?,
+            noc_traffic: r.u64()?,
+            noc_flits: r.u64()?,
+            mem_reads: r.u64()?,
+            mem_writes: r.u64()?,
+            register_cycles: r.u64()?,
+            invalidate_cycles: r.u64()?,
+            nc_lines_flushed: r.u64()?,
+            ncrt_overflows: r.u64()?,
+            pt_shared_transitions: r.u64()?,
+            pt_flush_lines: r.u64()?,
+            tasks_executed: r.u64()?,
+            refs_processed: r.u64()?,
+            busy_cycles: r.u64()?,
+            contexts: Snap::load(r)?,
+            task_migrations: r.u64()?,
+            faults_injected: r.u64()?,
+            msg_retries: r.u64()?,
+            msg_nacks: r.u64()?,
+            retry_budget_exhausted: r.u64()?,
+            dir_entries_lost: r.u64()?,
+            fault_delay_cycles: r.u64()?,
+            protocol_recoveries: r.u64()?,
+            task_retries: r.u64()?,
+            task_straggles: r.u64()?,
+            watchdog_fires: r.u64()?,
+            mode_downgrades: r.u64()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -417,6 +578,92 @@ mod tests {
         assert_eq!(a.nc_fills, 3);
         assert!((a.dir_avg_occupancy - 0.4).abs() < 1e-12);
         assert_eq!(a.dir_access_hist, vec![(64, 9)]);
+    }
+
+    /// Every field populated with a distinct value, via an exhaustive
+    /// struct literal: adding a `Stats` field without updating this test
+    /// (and therefore without deciding its merge and snapshot behaviour)
+    /// is a compile error.
+    fn fully_populated() -> Stats {
+        Stats {
+            cycles: 1,
+            l1_hits: 2,
+            l1_misses: 3,
+            l1_writebacks: 4,
+            write_throughs: 5,
+            tlb_hits: 6,
+            tlb_misses: 7,
+            dir_accesses: 8,
+            dir_allocations: 9,
+            dir_evictions: 10,
+            dir_avg_occupancy: 0.25,
+            dir_access_hist: vec![(32, 11), (64, 12)],
+            dir_capacity_integral: 1024,
+            adr_reconfigs: 13,
+            adr_blocked_cycles: 14,
+            llc_hits: 15,
+            llc_misses: 16,
+            llc_inclusion_invalidations: 17,
+            invalidations_sent: 18,
+            owner_forwards: 19,
+            nc_fills: 20,
+            coherent_fills: 21,
+            bank_wait_cycles: 22,
+            noc_traffic: 23,
+            noc_flits: 24,
+            mem_reads: 25,
+            mem_writes: 26,
+            register_cycles: 27,
+            invalidate_cycles: 28,
+            nc_lines_flushed: 29,
+            ncrt_overflows: 30,
+            pt_shared_transitions: 31,
+            pt_flush_lines: 32,
+            tasks_executed: 33,
+            refs_processed: 34,
+            busy_cycles: 35,
+            contexts: 36,
+            task_migrations: 37,
+            faults_injected: 38,
+            msg_retries: 39,
+            msg_nacks: 40,
+            retry_budget_exhausted: 41,
+            dir_entries_lost: 42,
+            fault_delay_cycles: 43,
+            protocol_recoveries: 44,
+            task_retries: 45,
+            task_straggles: 46,
+            watchdog_fires: 47,
+            mode_downgrades: 48,
+        }
+    }
+
+    #[test]
+    fn merge_is_complete_over_every_field() {
+        // Merging a fully-populated Stats into a default one must carry
+        // every field over — in particular all eleven fault/resilience
+        // counters (faults_injected, msg_retries, msg_nacks,
+        // retry_budget_exhausted, dir_entries_lost, fault_delay_cycles,
+        // protocol_recoveries, task_retries, task_straggles,
+        // watchdog_fires, mode_downgrades). A counter whose merge arm is
+        // missing stays 0 and fails the whole-struct equality.
+        let full = fully_populated();
+        let mut merged = Stats::default();
+        merged.merge(&full);
+        assert_eq!(merged, full);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_is_complete_over_every_field() {
+        use raccd_snap::Snap;
+        let full = fully_populated();
+        let mut w = raccd_snap::SnapWriter::default();
+        full.save(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = raccd_snap::SnapReader::new(&bytes);
+        let back = Stats::load(&mut r).expect("stats decode");
+        assert_eq!(r.remaining(), 0, "decode consumed every byte");
+        assert_eq!(back, full);
     }
 
     #[test]

@@ -1,0 +1,814 @@
+#![warn(missing_docs)]
+
+//! `raccd-snap`: a versioned, chunked binary snapshot format.
+//!
+//! Checkpointing a cycle-level simulator is only useful if a restored run is
+//! *bit-identical* to an uninterrupted one — otherwise a checkpoint is a
+//! different experiment, not a resumable artifact (gem5's checkpointing and
+//! the BedRock validation flow both hinge on this). This crate provides the
+//! wire format and the encoding discipline that makes that guarantee
+//! checkable:
+//!
+//! * [`Snap`] — a hand-rolled save/load trait (the workspace is offline; no
+//!   serde). All integers are little-endian fixed-width; hash maps are
+//!   encoded in sorted key order so the same logical state always produces
+//!   the same bytes.
+//! * [`Snapshot`] — a chunked container: `RSNP` magic, format version,
+//!   tagged sections each protected by a CRC-32, and an FNV-1a-64 content
+//!   hash trailer over all payloads. Corruption is detected at the section
+//!   that suffered it; truncation is detected by the trailer.
+//! * [`crc32`] / [`fnv1a64`] — the two checksums, exposed so tests and the
+//!   golden-header CI check can recompute them independently.
+//!
+//! Component crates (`raccd-mem`, `raccd-cache`, …) implement [`Snap`] for
+//! their private-field types in-crate; `raccd-sim` assembles whole-machine
+//! snapshots from those sections (DESIGN.md §10).
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::fmt;
+
+/// Magic bytes opening every snapshot byte stream.
+pub const MAGIC: [u8; 4] = *b"RSNP";
+
+/// Current snapshot format version. Bump on any incompatible layout change;
+/// the CI golden-header check fails when the committed header disagrees.
+pub const FORMAT_VERSION: u32 = 1;
+
+// ---------------------------------------------------------------------------
+// Checksums
+// ---------------------------------------------------------------------------
+
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) of a byte slice.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// FNV-1a 64-bit hash of a byte slice (content-hash trailer).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// Decode-side failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SnapError {
+    /// The byte stream ended before the value it was supposed to hold.
+    Eof,
+    /// The stream does not start with [`MAGIC`].
+    BadMagic,
+    /// The stream's format version is not [`FORMAT_VERSION`].
+    BadVersion {
+        /// Version found in the header.
+        found: u32,
+    },
+    /// A section's payload failed its CRC-32.
+    BadCrc {
+        /// Tag of the corrupted section.
+        tag: String,
+    },
+    /// The trailer content hash disagrees with the decoded payloads.
+    BadHash,
+    /// A requested section tag is absent.
+    MissingSection {
+        /// The tag that was looked up.
+        tag: String,
+    },
+    /// A value decoded but violates its type's invariants.
+    Invalid(&'static str),
+    /// Bytes remain after the value a decoder was asked for.
+    TrailingBytes,
+}
+
+impl fmt::Display for SnapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapError::Eof => write!(f, "unexpected end of snapshot stream"),
+            SnapError::BadMagic => write!(f, "not a snapshot: bad magic"),
+            SnapError::BadVersion { found } => write!(
+                f,
+                "snapshot format version {found} (this build reads {FORMAT_VERSION})"
+            ),
+            SnapError::BadCrc { tag } => write!(f, "section '{tag}' failed its CRC"),
+            SnapError::BadHash => write!(f, "content hash mismatch (truncated or tampered)"),
+            SnapError::MissingSection { tag } => write!(f, "snapshot has no section '{tag}'"),
+            SnapError::Invalid(what) => write!(f, "invalid snapshot value: {what}"),
+            SnapError::TrailingBytes => write!(f, "trailing bytes after decoded value"),
+        }
+    }
+}
+
+impl std::error::Error for SnapError {}
+
+// ---------------------------------------------------------------------------
+// Writer / reader
+// ---------------------------------------------------------------------------
+
+/// Append-only byte sink for [`Snap::save`].
+#[derive(Clone, Debug, Default)]
+pub struct SnapWriter {
+    buf: Vec<u8>,
+}
+
+impl SnapWriter {
+    /// Fresh empty writer.
+    pub fn new() -> Self {
+        SnapWriter::default()
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consume the writer, yielding its bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Append raw bytes verbatim.
+    #[inline]
+    pub fn bytes(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+
+    /// Append one byte.
+    #[inline]
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a little-endian u32.
+    #[inline]
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian u64.
+    #[inline]
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Cursor over a byte slice for [`Snap::load`].
+#[derive(Debug)]
+pub struct SnapReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SnapReader<'a> {
+    /// Read from the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        SnapReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Take `n` raw bytes.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], SnapError> {
+        if self.remaining() < n {
+            return Err(SnapError::Eof);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Take one byte.
+    pub fn u8(&mut self) -> Result<u8, SnapError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    /// Take a little-endian u32.
+    pub fn u32(&mut self) -> Result<u32, SnapError> {
+        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
+    }
+
+    /// Take a little-endian u64.
+    pub fn u64(&mut self) -> Result<u64, SnapError> {
+        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
+    }
+
+    /// Take a u64 length prefix, guarding against lengths that cannot fit in
+    /// the remaining stream (so corrupt lengths fail fast, not via OOM).
+    pub fn len_prefix(&mut self) -> Result<usize, SnapError> {
+        let n = self.u64()?;
+        if n > self.remaining() as u64 {
+            return Err(SnapError::Eof);
+        }
+        Ok(n as usize)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The Snap trait + impls
+// ---------------------------------------------------------------------------
+
+/// A type that can serialize itself into a snapshot byte stream and
+/// reconstruct itself, bit-identically, from one.
+pub trait Snap: Sized {
+    /// Append this value's encoding to `w`.
+    fn save(&self, w: &mut SnapWriter);
+    /// Decode one value from `r`, advancing the cursor past it.
+    fn load(r: &mut SnapReader) -> Result<Self, SnapError>;
+}
+
+/// Encode a single value to bytes.
+pub fn encode<T: Snap>(v: &T) -> Vec<u8> {
+    let mut w = SnapWriter::new();
+    v.save(&mut w);
+    w.into_bytes()
+}
+
+/// Decode a single value from bytes, requiring full consumption.
+pub fn decode<T: Snap>(bytes: &[u8]) -> Result<T, SnapError> {
+    let mut r = SnapReader::new(bytes);
+    let v = T::load(&mut r)?;
+    if r.remaining() != 0 {
+        return Err(SnapError::TrailingBytes);
+    }
+    Ok(v)
+}
+
+macro_rules! snap_int {
+    ($ty:ty) => {
+        impl Snap for $ty {
+            fn save(&self, w: &mut SnapWriter) {
+                w.bytes(&self.to_le_bytes());
+            }
+            fn load(r: &mut SnapReader) -> Result<Self, SnapError> {
+                Ok(<$ty>::from_le_bytes(
+                    r.bytes(core::mem::size_of::<$ty>())?.try_into().unwrap(),
+                ))
+            }
+        }
+    };
+}
+
+snap_int!(u8);
+snap_int!(u16);
+snap_int!(u32);
+snap_int!(u64);
+snap_int!(u128);
+snap_int!(i8);
+snap_int!(i16);
+snap_int!(i32);
+snap_int!(i64);
+
+impl Snap for usize {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u64(*self as u64);
+    }
+    fn load(r: &mut SnapReader) -> Result<Self, SnapError> {
+        let v = r.u64()?;
+        usize::try_from(v).map_err(|_| SnapError::Invalid("usize overflow"))
+    }
+}
+
+impl Snap for bool {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u8(*self as u8);
+    }
+    fn load(r: &mut SnapReader) -> Result<Self, SnapError> {
+        match r.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(SnapError::Invalid("bool byte not 0/1")),
+        }
+    }
+}
+
+impl Snap for f32 {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u32(self.to_bits());
+    }
+    fn load(r: &mut SnapReader) -> Result<Self, SnapError> {
+        Ok(f32::from_bits(r.u32()?))
+    }
+}
+
+impl Snap for f64 {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u64(self.to_bits());
+    }
+    fn load(r: &mut SnapReader) -> Result<Self, SnapError> {
+        Ok(f64::from_bits(r.u64()?))
+    }
+}
+
+impl Snap for String {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u64(self.len() as u64);
+        w.bytes(self.as_bytes());
+    }
+    fn load(r: &mut SnapReader) -> Result<Self, SnapError> {
+        let n = r.len_prefix()?;
+        let b = r.bytes(n)?;
+        String::from_utf8(b.to_vec()).map_err(|_| SnapError::Invalid("string not UTF-8"))
+    }
+}
+
+impl<T: Snap> Snap for Option<T> {
+    fn save(&self, w: &mut SnapWriter) {
+        match self {
+            None => w.u8(0),
+            Some(v) => {
+                w.u8(1);
+                v.save(w);
+            }
+        }
+    }
+    fn load(r: &mut SnapReader) -> Result<Self, SnapError> {
+        match r.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::load(r)?)),
+            _ => Err(SnapError::Invalid("option tag not 0/1")),
+        }
+    }
+}
+
+impl<T: Snap> Snap for Vec<T> {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u64(self.len() as u64);
+        for v in self {
+            v.save(w);
+        }
+    }
+    fn load(r: &mut SnapReader) -> Result<Self, SnapError> {
+        // A zero-sized element would defeat the len-vs-remaining guard, but
+        // no Snap impl encodes to zero bytes; keep the cheap guard.
+        let n = r.len_prefix()?;
+        let mut out = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            out.push(T::load(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Snap> Snap for VecDeque<T> {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u64(self.len() as u64);
+        for v in self {
+            v.save(w);
+        }
+    }
+    fn load(r: &mut SnapReader) -> Result<Self, SnapError> {
+        let n = r.len_prefix()?;
+        let mut out = VecDeque::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            out.push_back(T::load(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<const N: usize, T: Snap + Copy + Default> Snap for [T; N] {
+    fn save(&self, w: &mut SnapWriter) {
+        for v in self {
+            v.save(w);
+        }
+    }
+    fn load(r: &mut SnapReader) -> Result<Self, SnapError> {
+        let mut out = [T::default(); N];
+        for slot in out.iter_mut() {
+            *slot = T::load(r)?;
+        }
+        Ok(out)
+    }
+}
+
+impl<A: Snap, B: Snap> Snap for (A, B) {
+    fn save(&self, w: &mut SnapWriter) {
+        self.0.save(w);
+        self.1.save(w);
+    }
+    fn load(r: &mut SnapReader) -> Result<Self, SnapError> {
+        Ok((A::load(r)?, B::load(r)?))
+    }
+}
+
+impl<A: Snap, B: Snap, C: Snap> Snap for (A, B, C) {
+    fn save(&self, w: &mut SnapWriter) {
+        self.0.save(w);
+        self.1.save(w);
+        self.2.save(w);
+    }
+    fn load(r: &mut SnapReader) -> Result<Self, SnapError> {
+        Ok((A::load(r)?, B::load(r)?, C::load(r)?))
+    }
+}
+
+/// `HashMap` iteration order is nondeterministic, so entries are written in
+/// sorted key order — the same logical map always yields the same bytes
+/// (the property the content hash and the bisector depend on).
+impl<K: Snap + Ord + Eq + std::hash::Hash, V: Snap> Snap for HashMap<K, V> {
+    fn save(&self, w: &mut SnapWriter) {
+        let mut keys: Vec<&K> = self.keys().collect();
+        keys.sort();
+        w.u64(keys.len() as u64);
+        for k in keys {
+            k.save(w);
+            self[k].save(w);
+        }
+    }
+    fn load(r: &mut SnapReader) -> Result<Self, SnapError> {
+        let n = r.len_prefix()?;
+        let mut out = HashMap::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            let k = K::load(r)?;
+            let v = V::load(r)?;
+            out.insert(k, v);
+        }
+        Ok(out)
+    }
+}
+
+impl<K: Snap + Ord, V: Snap> Snap for BTreeMap<K, V> {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u64(self.len() as u64);
+        for (k, v) in self {
+            k.save(w);
+            v.save(w);
+        }
+    }
+    fn load(r: &mut SnapReader) -> Result<Self, SnapError> {
+        let n = r.len_prefix()?;
+        let mut out = BTreeMap::new();
+        for _ in 0..n {
+            let k = K::load(r)?;
+            let v = V::load(r)?;
+            out.insert(k, v);
+        }
+        Ok(out)
+    }
+}
+
+impl<K: Snap + Ord> Snap for BTreeSet<K> {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u64(self.len() as u64);
+        for k in self {
+            k.save(w);
+        }
+    }
+    fn load(r: &mut SnapReader) -> Result<Self, SnapError> {
+        let n = r.len_prefix()?;
+        let mut out = BTreeSet::new();
+        for _ in 0..n {
+            out.insert(K::load(r)?);
+        }
+        Ok(out)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Chunked container
+// ---------------------------------------------------------------------------
+
+/// One tagged section of a snapshot.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Section {
+    tag: String,
+    payload: Vec<u8>,
+}
+
+/// A chunked, versioned snapshot: an ordered list of tagged sections.
+///
+/// Byte layout:
+///
+/// ```text
+/// "RSNP"  u32 version  u64 nsections
+/// per section:  u64 tag_len, tag bytes, u64 payload_len, u32 crc32(payload), payload
+/// trailer:      u64 fnv1a64(all tag bytes ++ payload bytes, in order)
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    sections: Vec<Section>,
+}
+
+impl Snapshot {
+    /// An empty snapshot.
+    pub fn new() -> Self {
+        Snapshot::default()
+    }
+
+    /// Encode `value` and append it as section `tag`. Tags must be unique;
+    /// re-adding an existing tag replaces its payload (so incremental
+    /// builders can overwrite).
+    pub fn put<T: Snap>(&mut self, tag: &str, value: &T) {
+        self.put_raw(tag, encode(value));
+    }
+
+    /// Append (or replace) a section from pre-encoded bytes.
+    pub fn put_raw(&mut self, tag: &str, payload: Vec<u8>) {
+        if let Some(s) = self.sections.iter_mut().find(|s| s.tag == tag) {
+            s.payload = payload;
+        } else {
+            self.sections.push(Section {
+                tag: tag.to_string(),
+                payload,
+            });
+        }
+    }
+
+    /// Decode section `tag` as a `T`, requiring the payload be fully
+    /// consumed.
+    pub fn get<T: Snap>(&self, tag: &str) -> Result<T, SnapError> {
+        decode(self.raw(tag)?)
+    }
+
+    /// Raw payload of section `tag`.
+    pub fn raw(&self, tag: &str) -> Result<&[u8], SnapError> {
+        self.sections
+            .iter()
+            .find(|s| s.tag == tag)
+            .map(|s| s.payload.as_slice())
+            .ok_or_else(|| SnapError::MissingSection {
+                tag: tag.to_string(),
+            })
+    }
+
+    /// Whether a section with this tag exists.
+    pub fn has(&self, tag: &str) -> bool {
+        self.sections.iter().any(|s| s.tag == tag)
+    }
+
+    /// Section tags in order.
+    pub fn tags(&self) -> Vec<&str> {
+        self.sections.iter().map(|s| s.tag.as_str()).collect()
+    }
+
+    /// FNV-1a-64 over all tag and payload bytes in order — the value the
+    /// trailer records. Two snapshots with equal content hash hold
+    /// byte-identical state.
+    pub fn content_hash(&self) -> u64 {
+        let mut bytes = Vec::new();
+        for s in &self.sections {
+            bytes.extend_from_slice(s.tag.as_bytes());
+            bytes.extend_from_slice(&s.payload);
+        }
+        fnv1a64(&bytes)
+    }
+
+    /// Serialize to the on-disk byte format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        w.bytes(&MAGIC);
+        w.u32(FORMAT_VERSION);
+        w.u64(self.sections.len() as u64);
+        for s in &self.sections {
+            w.u64(s.tag.len() as u64);
+            w.bytes(s.tag.as_bytes());
+            w.u64(s.payload.len() as u64);
+            w.u32(crc32(&s.payload));
+            w.bytes(&s.payload);
+        }
+        w.u64(self.content_hash());
+        w.into_bytes()
+    }
+
+    /// Parse the on-disk byte format, validating magic, version, every
+    /// section CRC and the trailer content hash.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SnapError> {
+        let mut r = SnapReader::new(bytes);
+        if r.bytes(4)? != MAGIC {
+            return Err(SnapError::BadMagic);
+        }
+        let version = r.u32()?;
+        if version != FORMAT_VERSION {
+            return Err(SnapError::BadVersion { found: version });
+        }
+        let nsections = r.u64()?;
+        let mut sections = Vec::new();
+        for _ in 0..nsections {
+            let tag_len = r.len_prefix()?;
+            let tag = String::from_utf8(r.bytes(tag_len)?.to_vec())
+                .map_err(|_| SnapError::Invalid("section tag not UTF-8"))?;
+            let payload_len = r.len_prefix()?;
+            let crc = r.u32()?;
+            let payload = r.bytes(payload_len)?.to_vec();
+            if crc32(&payload) != crc {
+                return Err(SnapError::BadCrc { tag });
+            }
+            sections.push(Section { tag, payload });
+        }
+        let snap = Snapshot { sections };
+        let recorded = r.u64()?;
+        if recorded != snap.content_hash() {
+            return Err(SnapError::BadHash);
+        }
+        if r.remaining() != 0 {
+            return Err(SnapError::TrailingBytes);
+        }
+        Ok(snap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn fnv_known_vectors() {
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn primitive_roundtrips() {
+        fn rt<T: Snap + PartialEq + std::fmt::Debug>(v: T) {
+            assert_eq!(decode::<T>(&encode(&v)).unwrap(), v);
+        }
+        rt(0u8);
+        rt(255u8);
+        rt(0xDEADu16);
+        rt(0xDEAD_BEEFu32);
+        rt(u64::MAX);
+        rt(u128::MAX - 7);
+        rt(-42i32);
+        rt(i64::MIN);
+        rt(usize::MAX);
+        rt(true);
+        rt(false);
+        rt(1.5f32);
+        rt(-0.0f64);
+        rt(String::from("hello κόσμε"));
+        rt(Option::<u64>::None);
+        rt(Some(9u64));
+        rt(vec![1u64, 2, 3]);
+        rt((1u32, String::from("x")));
+        rt((1u8, 2u16, 3u32));
+        rt([7u64, 8, 9, 10]);
+        rt(VecDeque::from([1u32, 2, 3]));
+    }
+
+    #[test]
+    fn nan_payload_bits_preserved() {
+        let bits = 0x7FF8_0000_0000_1234u64;
+        let v = f64::from_bits(bits);
+        let back = decode::<f64>(&encode(&v)).unwrap();
+        assert_eq!(back.to_bits(), bits);
+    }
+
+    #[test]
+    fn hashmap_encoding_is_order_independent() {
+        let mut a = HashMap::new();
+        let mut b = HashMap::new();
+        for i in 0..100u64 {
+            a.insert(i, i * 3);
+        }
+        for i in (0..100u64).rev() {
+            b.insert(i, i * 3);
+        }
+        assert_eq!(encode(&a), encode(&b));
+        assert_eq!(decode::<HashMap<u64, u64>>(&encode(&a)).unwrap(), a);
+    }
+
+    #[test]
+    fn collection_roundtrips() {
+        let bt: BTreeMap<u64, String> = (0..10).map(|i| (i, format!("v{i}"))).collect();
+        assert_eq!(decode::<BTreeMap<u64, String>>(&encode(&bt)).unwrap(), bt);
+        let bs: BTreeSet<u64> = (0..10).collect();
+        assert_eq!(decode::<BTreeSet<u64>>(&encode(&bs)).unwrap(), bs);
+    }
+
+    #[test]
+    fn truncated_stream_errors_not_panics() {
+        let bytes = encode(&vec![1u64, 2, 3]);
+        for cut in 0..bytes.len() {
+            assert!(decode::<Vec<u64>>(&bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn bogus_length_prefix_is_rejected() {
+        let mut w = SnapWriter::new();
+        w.u64(u64::MAX); // claims 2^64-1 elements
+        assert_eq!(decode::<Vec<u64>>(&w.into_bytes()), Err(SnapError::Eof));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = encode(&7u64);
+        bytes.push(0);
+        assert_eq!(decode::<u64>(&bytes), Err(SnapError::TrailingBytes));
+    }
+
+    #[test]
+    fn container_roundtrip() {
+        let mut s = Snapshot::new();
+        s.put("meta", &(1u64, String::from("raccd")));
+        s.put("data", &vec![1u8, 2, 3]);
+        let bytes = s.to_bytes();
+        let back = Snapshot::from_bytes(&bytes).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.tags(), vec!["meta", "data"]);
+        assert_eq!(back.get::<Vec<u8>>("data").unwrap(), vec![1, 2, 3]);
+        assert_eq!(back.content_hash(), s.content_hash());
+    }
+
+    #[test]
+    fn container_detects_payload_corruption() {
+        let mut s = Snapshot::new();
+        s.put("a", &vec![0u8; 64]);
+        let mut bytes = s.to_bytes();
+        // Flip a payload byte (past the 4+4+8 header and section framing).
+        let n = bytes.len();
+        bytes[n - 20] ^= 0x40;
+        let err = Snapshot::from_bytes(&bytes).unwrap_err();
+        assert!(
+            matches!(err, SnapError::BadCrc { .. } | SnapError::BadHash),
+            "corruption must be detected, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn container_detects_truncation() {
+        let mut s = Snapshot::new();
+        s.put("a", &42u64);
+        let bytes = s.to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(Snapshot::from_bytes(&bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn container_rejects_wrong_magic_and_version() {
+        let s = Snapshot::new();
+        let mut bytes = s.to_bytes();
+        bytes[0] = b'X';
+        assert_eq!(Snapshot::from_bytes(&bytes), Err(SnapError::BadMagic));
+        let mut bytes = s.to_bytes();
+        bytes[4] = 0xFF;
+        assert!(matches!(
+            Snapshot::from_bytes(&bytes),
+            Err(SnapError::BadVersion { .. })
+        ));
+    }
+
+    #[test]
+    fn put_replaces_existing_tag() {
+        let mut s = Snapshot::new();
+        s.put("x", &1u64);
+        s.put("x", &2u64);
+        assert_eq!(s.tags().len(), 1);
+        assert_eq!(s.get::<u64>("x").unwrap(), 2);
+    }
+
+    #[test]
+    fn missing_section_is_typed_error() {
+        let s = Snapshot::new();
+        assert_eq!(
+            s.get::<u64>("nope"),
+            Err(SnapError::MissingSection { tag: "nope".into() })
+        );
+    }
+}

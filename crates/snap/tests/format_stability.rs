@@ -1,0 +1,79 @@
+//! Format stability: the on-disk archive layout is frozen per
+//! `FORMAT_VERSION`.
+//!
+//! A canonical fixture snapshot — one section per primitive encoding the
+//! codec supports — is serialised and compared byte-for-byte against the
+//! committed golden archive `tests/golden_v1.rsnp`. Any change to the
+//! header, section framing, CRC placement, integer endianness, collection
+//! ordering or trailer hash breaks this test; that is the point. If the
+//! change is intentional, bump `FORMAT_VERSION` and regenerate the golden
+//! with `RACCD_SNAP_BLESS=1 cargo test -p raccd-snap golden`.
+
+use raccd_snap::{Snapshot, FORMAT_VERSION};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+
+const GOLDEN: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden_v1.rsnp");
+
+/// Every primitive the codec encodes, with fixed values.
+fn fixture() -> Snapshot {
+    let mut s = Snapshot::default();
+    s.put("prim/u8", &0xabu8);
+    s.put("prim/u16", &0xbeefu16);
+    s.put("prim/u32", &0xdead_beefu32);
+    s.put("prim/u64", &0x0123_4567_89ab_cdefu64);
+    s.put("prim/usize", &4096usize);
+    s.put("prim/bool", &true);
+    s.put("prim/f32", &1.5f32);
+    s.put("prim/f64", &-0.25f64);
+    s.put("prim/string", &"raccd".to_string());
+    s.put("coll/option_some", &Some(7u64));
+    s.put("coll/option_none", &Option::<u64>::None);
+    s.put("coll/vec", &vec![3u64, 1, 2]);
+    s.put("coll/vecdeque", &VecDeque::from([9u32, 8]));
+    s.put("coll/array", &[1u8, 2, 3, 4]);
+    s.put("coll/tuple2", &(5u64, false));
+    s.put("coll/tuple3", &(1u8, 2u16, 3u32));
+    // Hash-ordered containers serialise sorted by key, so insertion order
+    // must not matter.
+    let mut hm = HashMap::new();
+    hm.insert(2u64, 20u64);
+    hm.insert(1u64, 10u64);
+    s.put("coll/hashmap", &hm);
+    let mut bm = BTreeMap::new();
+    bm.insert("b".to_string(), 2u32);
+    bm.insert("a".to_string(), 1u32);
+    s.put("coll/btreemap", &bm);
+    s.put("coll/btreeset", &BTreeSet::from([30u64, 10, 20]));
+    s.put_raw("raw/bytes", vec![0x00, 0xff, 0x7f, 0x80]);
+    s
+}
+
+#[test]
+fn golden_archive_is_stable() {
+    let bytes = fixture().to_bytes();
+    if std::env::var_os("RACCD_SNAP_BLESS").is_some() {
+        std::fs::write(GOLDEN, &bytes).expect("writing golden");
+        panic!("golden regenerated for format v{FORMAT_VERSION}; rerun without RACCD_SNAP_BLESS");
+    }
+    let golden =
+        std::fs::read(GOLDEN).expect("golden archive missing — generate with RACCD_SNAP_BLESS=1");
+    assert_eq!(
+        bytes, golden,
+        "snapshot byte layout changed without a FORMAT_VERSION bump"
+    );
+}
+
+#[test]
+fn golden_archive_decodes_and_hashes_identically() {
+    let golden = std::fs::read(GOLDEN).expect("golden archive present");
+    let decoded = Snapshot::from_bytes(&golden).expect("golden decodes under this build");
+    assert_eq!(decoded, fixture(), "decoded golden equals the fixture");
+    assert_eq!(
+        decoded.content_hash(),
+        fixture().content_hash(),
+        "content hash is a pure function of the sections"
+    );
+    let x: u64 = decoded.get("prim/u64").unwrap();
+    assert_eq!(x, 0x0123_4567_89ab_cdef);
+    assert_eq!(decoded.raw("raw/bytes").unwrap(), &[0x00, 0xff, 0x7f, 0x80]);
+}
