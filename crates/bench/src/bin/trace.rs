@@ -4,7 +4,7 @@
 //! ```text
 //! cargo run --release -p raccd-bench --bin trace -- \
 //!     [--scale test|bench] [--bench Jacobi] [--mode RaCCD] [--head 20] \
-//!     [--interval 4096] [--telemetry out/] \
+//!     [--interval 4096] [--telemetry out/] [--profile] \
 //!     [--snapshot file.rsnp [--snapshot-at CYCLE]] [--restore file.rsnp]
 //! ```
 //!
@@ -12,6 +12,10 @@
 //! Format — load it at <https://ui.perfetto.dev>), `events.jsonl`,
 //! `series.csv` and `histograms.txt` into the directory, then re-parses
 //! the JSON artifacts to prove they are well-formed.
+//!
+//! With `--profile` the self-profiler rides along (bit-identical
+//! simulated outcome — it reads only host clocks) and the run ends with
+//! the span table plus a `# perf:` throughput summary.
 //!
 //! With `--snapshot <file>` the run pauses at `--snapshot-at` cycles
 //! (default 10000) and writes a whole-machine checkpoint before finishing
@@ -65,6 +69,7 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(10_000);
     let restore_path = pick("--restore");
+    let profile = args.iter().any(|a| a == "--profile");
 
     let workloads = raccd_workloads::all_benchmarks(scale);
     let program = workloads[bench_idx].build();
@@ -76,12 +81,16 @@ fn main() {
         sample_interval: interval,
         buffer_events: true,
     });
+    let t0 = std::time::Instant::now();
     let out = if let Some(path) = &restore_path {
         let bytes = std::fs::read(path).unwrap_or_else(|e| panic!("reading {path}: {e}"));
         let snap = Snapshot::from_bytes(&bytes)
             .unwrap_or_else(|e| panic!("decoding snapshot {path}: {e:?}"));
-        let driver = Driver::restore(cfg, mode, program, &snap)
+        let mut driver = Driver::restore(cfg, mode, program, &snap)
             .unwrap_or_else(|e| panic!("restoring {path}: {e:?}"));
+        if profile {
+            driver.attach_prof();
+        }
         eprintln!(
             "restored {path}: {} tasks done, resuming at cycle {}",
             driver.completed_tasks(),
@@ -90,6 +99,9 @@ fn main() {
         driver.finish(Some(&mut rec))
     } else {
         let mut driver = Driver::new(cfg, mode, program, None, Some(&mut rec));
+        if profile {
+            driver.attach_prof();
+        }
         if let Some(path) = &snapshot_path {
             driver.run_until(snapshot_at, Some(&mut rec));
             let snap = driver.snapshot();
@@ -103,6 +115,7 @@ fn main() {
         }
         driver.finish(Some(&mut rec))
     };
+    let wall = t0.elapsed().as_secs_f64();
 
     // Summary by event kind (tags from `Event::kind`).
     let mut counts: BTreeMap<&str, u64> = BTreeMap::new();
@@ -130,6 +143,18 @@ fn main() {
         rec.hist_wake_to_dispatch.quantile_ceil(0.5),
         rec.hist_bank_wait.quantile_ceil(0.5),
     );
+    if let Some(prof) = &out.prof {
+        let metrics = raccd_obs::RunMetrics::from_stats(
+            &format!("{}/{mode}", names[bench_idx]),
+            &out.stats,
+            wall,
+        )
+        .with_prof(prof);
+        println!();
+        println!("# self-profile span table");
+        print!("{}", prof.render_table());
+        println!("{}", metrics.summary_line());
+    }
     println!();
     println!("# first {head} events (JSONL)");
     for ev in rec.events().iter().take(head) {

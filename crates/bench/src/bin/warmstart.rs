@@ -101,6 +101,9 @@ fn main() {
     println!("benchmark\tseed\tcycles\ttasks\tinjected\tmsg_retries\tdetected");
     let mut warm_secs = 0.0f64;
     let mut cold_secs = 0.0f64;
+    // Snapshot-codec throughput across the sweep (`snap/encode` from each
+    // shared checkpoint, `snap/decode` from one probe restore per bench).
+    let mut codec = raccd_prof::ProfReport::empty();
     for &b in &bench_sel {
         let make_program = || -> Program { all_benchmarks(scale)[b].build() };
 
@@ -109,7 +112,21 @@ fn main() {
         let t0 = std::time::Instant::now();
         let mut warm = Driver::new(cfg, mode, make_program(), Some(plan), None);
         warm.run_until(warmup, None);
+        // Attached only now, so the span table holds just the encode (and
+        // the simulated outcome is bit-identical either way).
+        warm.attach_prof();
         let snap = warm.snapshot();
+        if let Some(p) = warm.prof() {
+            codec.merge(&p.report());
+        }
+        {
+            let mut probe = Driver::restore(cfg, mode, make_program(), &snap)
+                .expect("restoring shared warm-up checkpoint");
+            probe.attach_prof();
+            if let Some(p) = probe.prof() {
+                codec.merge(&p.report());
+            }
+        }
         let mut results: Vec<Option<Cell>> = (0..nseeds).map(|_| None).collect();
         // Bound in-flight threads to the host: each seed owns a full
         // Machine, and oversubscribing interleaves their working sets
@@ -179,6 +196,19 @@ fn main() {
         }
     }
     eprintln!("warm-start sweep: {warm_secs:.2}s");
+    let (enc, dec) = (
+        codec.get(raccd_prof::Site::SnapEncode),
+        codec.get(raccd_prof::Site::SnapDecode),
+    );
+    if let (Some(e), Some(d)) = (enc.units_per_sec(), dec.units_per_sec()) {
+        eprintln!(
+            "snapshot codec:   encode {}B/s decode {}B/s ({} checkpoints, {} payload bytes)",
+            raccd_prof::fmt_si(e),
+            raccd_prof::fmt_si(d),
+            enc.count,
+            enc.units
+        );
+    }
     if cold {
         eprintln!(
             "cold baseline:    {cold_secs:.2}s (warm start {:.1}x faster, results identical)",

@@ -8,9 +8,10 @@
 //! own workload instance — simulations never share state).
 
 pub mod chart;
+pub mod perfjson;
 
 use raccd_core::{CoherenceMode, Experiment, RunResult};
-use raccd_obs::{Recorder, RecorderConfig};
+use raccd_obs::{Recorder, RecorderConfig, RunMetrics};
 use raccd_sim::MachineConfig;
 use raccd_workloads::{all_benchmarks, Scale};
 use std::path::{Path, PathBuf};
@@ -38,6 +39,9 @@ pub struct JobResult {
     pub name: String,
     /// Full run result.
     pub result: RunResult,
+    /// Host wall-clock seconds this job took (simulation, plus artifact
+    /// writing when telemetry capture is enabled).
+    pub wall_seconds: f64,
 }
 
 /// Benchmark names at a scale, in paper order.
@@ -83,6 +87,7 @@ pub fn run_jobs_with_telemetry(
                 let w = &workloads[job.bench_idx];
                 let mut cfg = base_cfg.with_dir_ratio(job.ratio).with_adr(job.adr);
                 let exp = Experiment::new(cfg, job.mode);
+                let t0 = std::time::Instant::now();
                 let result = match telemetry {
                     None => exp.run(w.as_ref()),
                     Some(dir) => {
@@ -109,6 +114,7 @@ pub fn run_jobs_with_telemetry(
                     job,
                     name: w.name().to_string(),
                     result,
+                    wall_seconds: t0.elapsed().as_secs_f64(),
                 };
                 results.lock().unwrap()[i] = Some(out);
             });
@@ -156,8 +162,30 @@ pub fn run_matrix(
     );
     let t0 = std::time::Instant::now();
     let results = run_jobs(scale, base_cfg, &jobs);
-    eprintln!("{tag}: done in {:.1}s", t0.elapsed().as_secs_f64());
+    let m = matrix_metrics(tag, &results, t0.elapsed().as_secs_f64());
+    eprintln!(
+        "{tag}: done in {:.1}s ({} simulated cycles/s)",
+        m.wall_seconds,
+        raccd_prof::fmt_si(m.cycles_per_sec())
+    );
+    // One machine-readable perf line into the figure's stdout (and thus
+    // `results/*.txt`); `#`-prefixed so data consumers skip it.
+    println!("{}", m.summary_line());
     results
+}
+
+/// Aggregate a job batch into one [`RunMetrics`]: counters sum across
+/// jobs, the wall time is the batch's (jobs run concurrently, so the
+/// rates report whole-matrix host throughput).
+pub fn matrix_metrics(tag: &str, results: &[JobResult], wall_seconds: f64) -> RunMetrics {
+    let mut stats = raccd_sim::Stats::default();
+    for r in results {
+        stats.cycles += r.result.stats.cycles;
+        stats.refs_processed += r.result.stats.refs_processed;
+        stats.noc_traffic += r.result.stats.noc_traffic;
+        stats.tasks_executed += r.result.stats.tasks_executed;
+    }
+    RunMetrics::from_stats(tag, &stats, wall_seconds)
 }
 
 /// Artifact subdirectory name for one job's telemetry.

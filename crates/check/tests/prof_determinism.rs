@@ -1,0 +1,112 @@
+//! The profiler's cardinal rule, checked by the oracle: attaching the
+//! self-profiler must not perturb the simulation in any observable way.
+//!
+//! Every pair below runs the same program twice — profiler detached vs
+//! attached — with the shadow checker on both, and demands bit-identical
+//! `Stats` plus an identical shadow `state_key` (the full architectural
+//! fingerprint: caches, directory, NCRT, memory image). The pairs cover
+//! random dependence graphs under both systems, real workloads through
+//! the `Experiment` API, and runs with an armed fault plane (where any
+//! extra entropy draw would cascade into different fault schedules).
+
+use raccd_check::taskgen::{GraphParams, RandomGraph};
+use raccd_core::{CoherenceMode, Driver, Experiment};
+use raccd_fault::FaultPlan;
+use raccd_prof::Site;
+use raccd_sim::{MachineConfig, Stats};
+use raccd_workloads::{all_benchmarks, Scale};
+
+fn cfg() -> MachineConfig {
+    let mut cfg = MachineConfig::scaled().with_shadow_check(true);
+    cfg.ncores = 4;
+    cfg.mesh_k = 2;
+    cfg
+}
+
+/// Run a random graph to completion, returning the shadow state key and
+/// final stats; `profiled` decides whether the profiler rides along.
+fn run_keyed(
+    mode: CoherenceMode,
+    seed: u64,
+    plan: Option<FaultPlan>,
+    profiled: bool,
+) -> (String, Stats, Option<raccd_prof::ProfReport>) {
+    let program = RandomGraph::new(GraphParams::small(seed)).build();
+    let mut driver = Driver::new(cfg(), mode, program, plan, None);
+    if profiled {
+        driver.attach_prof();
+    }
+    while driver.step(None) {}
+    let key = driver.shadow_state_key().expect("shadow checker attached");
+    let out = driver.finish(None);
+    assert!(
+        out.check.as_ref().is_some_and(|c| c.clean()),
+        "{mode} seed {seed}: checker unclean"
+    );
+    (key, out.stats, out.prof)
+}
+
+#[test]
+fn profiler_is_invisible_on_random_graphs() {
+    for mode in [CoherenceMode::Raccd, CoherenceMode::FullCoh] {
+        for seed in [7, 42] {
+            let (key_off, stats_off, prof_off) = run_keyed(mode, seed, None, false);
+            let (key_on, stats_on, prof_on) = run_keyed(mode, seed, None, true);
+            assert!(prof_off.is_none());
+            let report = prof_on.expect("profiled run returns a span table");
+            assert!(!report.is_empty(), "profiled run recorded spans");
+            assert_eq!(stats_off, stats_on, "{mode} seed {seed}: Stats diverged");
+            assert_eq!(key_off, key_on, "{mode} seed {seed}: state key diverged");
+        }
+    }
+}
+
+#[test]
+fn profiler_is_invisible_under_fault_injection() {
+    // A fault plane draws from a seeded RNG as messages flow; if the
+    // profiler perturbed any draw, the injected-fault schedule (and with
+    // it the whole run) would diverge.
+    let plan = || {
+        Some(FaultPlan {
+            seed: 1234,
+            drop: 2e-4,
+            dup: 1e-4,
+            delay: 5e-4,
+            ..FaultPlan::default()
+        })
+    };
+    let (key_off, stats_off, _) = run_keyed(CoherenceMode::Raccd, 11, plan(), false);
+    let (key_on, stats_on, prof) = run_keyed(CoherenceMode::Raccd, 11, plan(), true);
+    assert_eq!(stats_off, stats_on, "Stats diverged under fault injection");
+    assert_eq!(key_off, key_on, "state key diverged under fault injection");
+    assert!(stats_on.msg_retries > 0 || stats_on.noc_traffic > 0);
+    assert!(prof.is_some_and(|p| p.get(Site::NocXmit).count > 0));
+}
+
+#[test]
+fn profiler_is_invisible_on_real_workloads() {
+    // The Experiment-level wrappers on Table II workloads: `run_profiled`
+    // must verify and produce the exact counters of a plain `run`.
+    let workloads = all_benchmarks(Scale::Test);
+    for &idx in &[3usize, 7] {
+        // Jacobi, MD5
+        let w = workloads[idx].as_ref();
+        for mode in [CoherenceMode::Raccd, CoherenceMode::FullCoh] {
+            let exp = Experiment::new(MachineConfig::scaled(), mode);
+            let plain = exp.run(w);
+            let profiled = exp.run_profiled(w);
+            assert!(plain.verified && profiled.verified);
+            assert_eq!(
+                plain.stats,
+                profiled.stats,
+                "{} under {mode}: profiled Stats diverged",
+                w.name()
+            );
+            let report = profiled.prof.expect("span table present");
+            assert_eq!(
+                report.get(Site::MemRef).count,
+                profiled.stats.refs_processed
+            );
+        }
+    }
+}

@@ -24,6 +24,7 @@ use crate::resilience::{DegradeController, DetectReason, FaultReport};
 use crate::tlbclass::TlbClassifier;
 use raccd_mem::{SimMemory, VAddr};
 use raccd_obs::{Event, Gauges, Recorder};
+use raccd_prof::{Prof, ProfReport, Site};
 use raccd_runtime::{
     MemRef, Program, ReadyQueue, RetryBook, RetryDecision, StealQueues, TaskCtx, TaskGraph,
 };
@@ -111,6 +112,11 @@ pub struct DriverOutput {
     /// Fault-plane outcome, when a plane was attached
     /// ([`run_program_faulty`] or `RACCD_FAULT_SPEC`). `None` otherwise.
     pub fault: Option<FaultReport>,
+    /// Self-profiler span table, when a profiler was attached
+    /// ([`run_program_profiled`] or [`Driver::attach_prof`]). `None`
+    /// otherwise. Host wall-time attribution only — never affects the
+    /// simulated outcome.
+    pub prof: Option<ProfReport>,
 }
 
 /// Run a program to completion on a machine configured per `cfg` under the
@@ -132,6 +138,24 @@ pub fn run_program_with(
     mut rec: Option<&mut Recorder>,
 ) -> DriverOutput {
     Driver::new(cfg, mode, program, None, rec.as_deref_mut()).finish(rec)
+}
+
+/// [`run_program_with`] plus the self-profiler: the returned
+/// `output.prof` attributes host wall-time to the fixed site registry
+/// (cache lookups, directory accesses, NoC transmits, TLB walks, runtime
+/// scheduling, snapshot codecs). The profiler reads only host clocks —
+/// never simulated state — so the simulated outcome (Stats, memory image,
+/// `state_key`) is bit-identical to an unprofiled run; the differential
+/// suite asserts this.
+pub fn run_program_profiled(
+    cfg: MachineConfig,
+    mode: CoherenceMode,
+    program: Program,
+    mut rec: Option<&mut Recorder>,
+) -> DriverOutput {
+    let mut driver = Driver::new(cfg, mode, program, None, rec.as_deref_mut());
+    driver.attach_prof();
+    driver.finish(rec)
 }
 
 /// [`run_program_with`] plus a fault plane built from `plan`. The run
@@ -301,6 +325,10 @@ pub struct Driver {
     next_ckpt: u64,
     last_ckpt: Option<Snapshot>,
     rollbacks: u32,
+    /// Decode time and payload bytes measured during [`Driver::restore`],
+    /// held until a profiler is attached (restore runs before
+    /// [`Driver::attach_prof`] can), then credited to `snap/decode`.
+    pending_decode: Option<(u64, u64)>,
 }
 
 impl Driver {
@@ -401,7 +429,25 @@ impl Driver {
             next_ckpt: 0,
             last_ckpt: None,
             rollbacks: 0,
+            pending_decode: None,
         }
+    }
+
+    /// Attach the self-profiler (host wall-time attribution per
+    /// [`raccd_prof::Site`]; see [`run_program_profiled`]). A decode
+    /// measurement pending from [`Driver::restore`] is credited to the
+    /// fresh profiler's `snap/decode` site.
+    pub fn attach_prof(&mut self) {
+        let p = Box::new(Prof::new());
+        if let Some((ns, bytes)) = self.pending_decode.take() {
+            p.rec_ns(Site::SnapDecode, ns, bytes);
+        }
+        self.machine.attach_prof(p);
+    }
+
+    /// The attached profiler, if any.
+    pub fn prof(&self) -> Option<&Prof> {
+        self.machine.prof()
     }
 
     /// Auto-checkpoint every `cycles` heap cycles; the latest snapshot is
@@ -470,6 +516,7 @@ impl Driver {
     /// Process one heap entry (one core turn). Returns `false` when the
     /// run is over: the heap drained or a detection aborted it.
     pub fn step(&mut self, mut rec: Option<&mut Recorder>) -> bool {
+        let t_step = raccd_prof::t0(self.machine.prof());
         // Auto-checkpoint on iteration boundaries (state is consistent
         // only between core turns).
         if let Some(interval) = self.ckpt_interval {
@@ -565,6 +612,7 @@ impl Driver {
         match self.running[ctx].take() {
             None => {
                 // Scheduling phase.
+                let t_sched = raccd_prof::t0(self.machine.prof());
                 if let Some(task) = self.ready.pop(ctx) {
                     now += self.cfg.runtime.schedule + sched_jitter(ctx, task as u64);
                     if let Some(w) = self.waker_core[task] {
@@ -585,6 +633,7 @@ impl Driver {
                             wait_cycles: wait,
                         });
                     }
+                    raccd_prof::rec(self.machine.prof(), Site::Schedule, t_sched);
                     if eff_mode == CoherenceMode::Raccd {
                         // Deactivate coherence: one raccd_register per
                         // dependence (§III-B).
@@ -604,12 +653,14 @@ impl Driver {
                                 continue;
                             }
                             let reg_start = now;
+                            let t_reg = raccd_prof::t0(self.machine.prof());
                             let out = self.ncrts[ctx].register_region(
                                 &mut self.machine,
                                 core,
                                 range,
                                 &self.cfg.runtime,
                             );
+                            raccd_prof::rec(self.machine.prof(), Site::NcrtRegister, t_reg);
                             now += out.cycles;
                             self.machine.stats.register_cycles += out.cycles;
                             if out.overflowed {
@@ -636,6 +687,7 @@ impl Driver {
                         }
                     }
                     // Run the body functionally, recording the trace.
+                    let t_body = raccd_prof::t0(self.machine.prof());
                     let body = self.graph.take_body(task);
                     let mut trace = std::mem::take(&mut self.trace_pool[ctx]);
                     trace.clear();
@@ -644,6 +696,7 @@ impl Driver {
                         body(&mut tcx);
                         tcx.stack_traffic(self.cfg.runtime.stack_words_per_task);
                     }
+                    raccd_prof::rec(self.machine.prof(), Site::TaskBody, t_body);
                     self.machine.stats.tasks_executed += 1;
                     // Fault plane: roll this dispatch for a straggler
                     // delay and/or a mid-replay failure point.
@@ -669,6 +722,7 @@ impl Driver {
                     self.heap.push(Reverse((now, ctx)));
                 } else {
                     // Nothing ready: park until a wake-up re-arms us.
+                    raccd_prof::rec(self.machine.prof(), Site::Schedule, t_sched);
                     self.core_time[ctx] = now;
                     self.end_time = self.end_time.max(now);
                     self.idle.push(ctx);
@@ -686,6 +740,7 @@ impl Driver {
                     let r = run.trace[run.pos];
                     run.pos += 1;
                     let bank_wait_before = self.machine.stats.bank_wait_cycles;
+                    let t_ref = raccd_prof::t0(self.machine.prof());
                     let cycles = process_ref(
                         &mut self.machine,
                         eff_mode,
@@ -701,6 +756,7 @@ impl Driver {
                         &self.cfg,
                         rec.as_deref_mut(),
                     );
+                    raccd_prof::rec(self.machine.prof(), Site::MemRef, t_ref);
                     now += cycles;
                     if let Some(rr) = rec.as_deref_mut() {
                         rr.hist_mem_latency.record(cycles);
@@ -730,7 +786,9 @@ impl Driver {
                                 } else {
                                     None
                                 };
+                                let t_inv = raccd_prof::t0(self.machine.prof());
                                 let cycles = self.machine.flush_nc_filtered(core, flt, now);
+                                raccd_prof::rec(self.machine.prof(), Site::NcInvalidate, t_inv);
                                 self.machine.stats.invalidate_cycles += cycles;
                                 now += cycles;
                                 if self.machine.has_checker() && self.cfg.smt_ways == 1 {
@@ -776,7 +834,9 @@ impl Driver {
                         };
                         let inv_start = now;
                         let flushed_before = self.machine.stats.nc_lines_flushed;
+                        let t_inv = raccd_prof::t0(self.machine.prof());
                         let cycles = self.machine.flush_nc_filtered(core, flt, now);
+                        raccd_prof::rec(self.machine.prof(), Site::NcInvalidate, t_inv);
                         self.machine.stats.invalidate_cycles += cycles;
                         now += cycles;
                         self.ncrts[ctx].clear();
@@ -842,12 +902,14 @@ impl Driver {
         self.machine.stats.busy_cycles += now - t;
         self.core_time[ctx] = now;
         self.end_time = self.end_time.max(now);
+        raccd_prof::rec(self.machine.prof(), Site::Step, t_step);
         self.detection.is_none()
     }
 
     /// Capture the entire run as a [`Snapshot`]: every machine section
     /// (see [`Machine::snapshot`]) plus the driver's runtime state.
     pub fn snapshot(&self) -> Snapshot {
+        let t = raccd_prof::t0(self.machine.prof());
         let mut s = self.machine.snapshot();
         s.put("driver/mode", &self.mode);
         s.put("driver/mem", &self.mem);
@@ -871,6 +933,7 @@ impl Driver {
         s.put("driver/heap", &heap);
         s.put("driver/end_time", &self.end_time);
         s.put("driver/rollbacks", &self.rollbacks);
+        raccd_prof::rec_units(self.machine.prof(), Site::SnapEncode, t, s.payload_bytes());
         s
     }
 
@@ -884,6 +947,10 @@ impl Driver {
         program: Program,
         s: &Snapshot,
     ) -> Result<Driver, SnapError> {
+        // Decode time is measured unconditionally (restore is rare and the
+        // clock reads touch no simulated state); the measurement is parked
+        // in `pending_decode` and credited iff a profiler is attached.
+        let t_decode = std::time::Instant::now();
         let smode: CoherenceMode = s.get("driver/mode")?;
         if smode != mode {
             return Err(SnapError::Invalid("coherence mode mismatch"));
@@ -964,6 +1031,7 @@ impl Driver {
             next_ckpt: 0,
             last_ckpt: None,
             rollbacks: s.get("driver/rollbacks")?,
+            pending_decode: Some((t_decode.elapsed().as_nanos() as u64, s.payload_bytes())),
         })
     }
 
@@ -1010,6 +1078,7 @@ impl Driver {
                 },
             );
         }
+        let prof = self.machine.take_prof().map(|p| p.report());
         let check = self.machine.detach_checker();
         let fault = self.machine.fault_stats().map(|fs| FaultReport {
             stats: fs,
@@ -1028,6 +1097,7 @@ impl Driver {
             edges: self.edges,
             check,
             fault,
+            prof,
         }
     }
 }

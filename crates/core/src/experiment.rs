@@ -25,9 +25,10 @@
 //! ```
 
 use crate::census::CensusSummary;
-use crate::driver::{run_program_with, DriverOutput};
+use crate::driver::{run_program_profiled, run_program_with, DriverOutput};
 use crate::mode::CoherenceMode;
 use raccd_obs::Recorder;
+use raccd_prof::ProfReport;
 use raccd_runtime::Workload;
 use raccd_sim::{MachineConfig, Stats};
 
@@ -55,6 +56,8 @@ pub struct RunResult {
     pub tasks: usize,
     /// TDG edges.
     pub edges: usize,
+    /// Self-profiler span table ([`Experiment::run_profiled`] only).
+    pub prof: Option<ProfReport>,
 }
 
 impl Experiment {
@@ -77,6 +80,20 @@ impl Experiment {
         rec: Option<&mut Recorder>,
     ) -> RunResult {
         let program = workload.build();
+        let out = run_program_with(self.config, self.mode, program, rec);
+        Self::finish_run(workload, out)
+    }
+
+    /// [`Experiment::run`] with the self-profiler attached: the result's
+    /// `prof` holds the span table. The simulated outcome is bit-identical
+    /// to an unprofiled run (the profiler reads only host clocks).
+    pub fn run_profiled(&self, workload: &dyn Workload) -> RunResult {
+        let program = workload.build();
+        let out = run_program_profiled(self.config, self.mode, program, None);
+        Self::finish_run(workload, out)
+    }
+
+    fn finish_run(workload: &dyn Workload, out: DriverOutput) -> RunResult {
         let DriverOutput {
             stats,
             census,
@@ -86,7 +103,8 @@ impl Experiment {
             events: _,
             check: _,
             fault: _,
-        } = run_program_with(self.config, self.mode, program, rec);
+            prof,
+        } = out;
         let verify = workload.verify(&mem);
         RunResult {
             stats,
@@ -95,6 +113,7 @@ impl Experiment {
             verify_error: verify.err(),
             tasks,
             edges,
+            prof,
         }
     }
 }

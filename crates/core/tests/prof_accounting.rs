@@ -1,0 +1,97 @@
+//! Span-accounting invariants of the self-profiler.
+//!
+//! Several sites are defined to fire exactly once per counted event, so
+//! their span counts must *equal* the machine's own `Stats` counters —
+//! a drift here means an instrumentation hole (a path that bumps the
+//! counter without passing the profiled site, or vice versa). On top of
+//! that, the site registry's parent/child structure implies a timing
+//! inequality: a parent span covers its children, so the children's total
+//! time can never exceed the parent's.
+
+use raccd_core::{CoherenceMode, Experiment, RunResult};
+use raccd_prof::{ProfReport, Site};
+use raccd_sim::MachineConfig;
+use raccd_workloads::{all_benchmarks, Scale};
+
+fn run(idx: usize, mode: CoherenceMode) -> (RunResult, ProfReport) {
+    let workloads = all_benchmarks(Scale::Test);
+    let r = Experiment::new(MachineConfig::scaled(), mode).run_profiled(workloads[idx].as_ref());
+    assert!(r.verified, "{:?}", r.verify_error);
+    let prof = r.prof.clone().expect("profiled run returns a span table");
+    (r, prof)
+}
+
+#[test]
+fn counts_match_stats_counters() {
+    for mode in [CoherenceMode::Raccd, CoherenceMode::FullCoh] {
+        for idx in [3usize, 7] {
+            // Jacobi, MD5
+            let (r, prof) = run(idx, mode);
+            let s = &r.stats;
+            assert_eq!(
+                prof.get(Site::MemRef).count,
+                s.refs_processed,
+                "{mode}: every replayed reference passes driver/mem_ref"
+            );
+            assert_eq!(
+                prof.get(Site::CacheLookup).count,
+                s.l1_hits + s.l1_misses,
+                "{mode}: every L1 probe passes cache/l1_lookup"
+            );
+            assert_eq!(
+                prof.get(Site::MissFill).count,
+                s.l1_misses,
+                "{mode}: every L1 miss passes cache/miss_fill"
+            );
+            assert_eq!(
+                prof.get(Site::DirAccess).count,
+                s.dir_accesses,
+                "{mode}: every directory touch passes dir/access"
+            );
+            assert_eq!(
+                prof.get(Site::TaskBody).count,
+                s.tasks_executed,
+                "{mode}: every retired task passes runtime/task_body"
+            );
+        }
+    }
+}
+
+#[test]
+fn tlb_walks_split_between_mem_ref_and_register() {
+    // In FullCoh every TLB miss happens on the demand-access path, so the
+    // walk site matches the counter exactly. Under RaCCD, register-time
+    // walks are charged to `raccd/register` instead, so the site can only
+    // undercount.
+    let (r, prof) = run(3, CoherenceMode::FullCoh);
+    assert_eq!(prof.get(Site::TlbWalk).count, r.stats.tlb_misses);
+
+    let (r, prof) = run(3, CoherenceMode::Raccd);
+    assert!(prof.get(Site::TlbWalk).count <= r.stats.tlb_misses);
+    assert!(prof.get(Site::NcrtRegister).count > 0);
+}
+
+#[test]
+fn children_never_exceed_their_parent() {
+    for mode in [CoherenceMode::Raccd, CoherenceMode::FullCoh] {
+        let (_, prof) = run(3, mode);
+        for parent in [Site::Step, Site::MemRef] {
+            let parent_ns = prof.get(parent).total_ns;
+            let child_ns = prof.children_total_ns(parent);
+            assert!(
+                child_ns <= parent_ns,
+                "{mode}: {} children sum {}ns > parent {}ns",
+                parent.name(),
+                child_ns,
+                parent_ns
+            );
+        }
+        // And the registry agrees with itself: every child's declared
+        // parent owns it.
+        for parent in Site::ALL {
+            for child in parent.children() {
+                assert_eq!(child.parent(), Some(parent));
+            }
+        }
+    }
+}

@@ -24,11 +24,16 @@
 //!   overhead budget (DESIGN.md §Observability).
 //! * [`json`] — dependency-free JSON writer and strict parser used by the
 //!   exporters and their validation tests.
+//! * [`metrics`] — the [`RunMetrics`] registry: simulator-throughput rates
+//!   (cycles/sec, refs/sec, protocol events/sec, snapshot bytes/sec, peak
+//!   RSS) derived from `Stats` + the `raccd-prof` span table, with
+//!   JSONL/CSV/table exports.
 
 pub mod event;
 pub mod export;
 pub mod hist;
 pub mod json;
+pub mod metrics;
 pub mod recorder;
 pub mod sampler;
 
@@ -38,5 +43,6 @@ pub use export::{
     write_series_csv, JsonlSink,
 };
 pub use hist::Log2Hist;
+pub use metrics::{peak_rss_bytes, render_table as render_metrics_table, RunMetrics};
 pub use recorder::{Recorder, RecorderConfig};
 pub use sampler::{Gauges, IntervalSampler, Sample};

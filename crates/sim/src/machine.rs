@@ -33,7 +33,9 @@ use raccd_cache::{L1Cache, L1Line, L1State, LlcBank, LlcLine};
 use raccd_fault::{FaultPlan, FaultPlane, FaultSite, FaultStats, MsgOutcome};
 use raccd_mem::{BlockAddr, PAddr, PageNum, PageTable, Tlb, VAddr};
 use raccd_noc::{Mesh, MsgClass};
+use raccd_prof::{Prof, Site};
 use raccd_protocol::{Adr, AdrConfig, DirEntry, DirEviction, DirectoryBank, ResizeDirection};
+use std::time::Instant;
 
 /// A protocol-level event, recorded when `MachineConfig::record_events`
 /// is set. Used by protocol-conformance tests and the `trace` binary.
@@ -200,6 +202,11 @@ pub struct Machine {
     /// path on a single never-taken branch — the zero-fault configuration
     /// is perf-neutral, same as the `checker` and recorder patterns.
     faults: Option<Box<FaultPlane>>,
+    /// Optional self-profiler (host wall-time attribution per
+    /// [`raccd_prof::Site`]). Host-side only: it reads monotonic clocks,
+    /// never simulated state, so a profiled run is bit-identical to an
+    /// unprofiled one. Never serialized into snapshots.
+    prof: Option<Box<Prof>>,
 }
 
 impl Machine {
@@ -259,6 +266,7 @@ impl Machine {
             last_fill_from_owner: false,
             checker: None,
             faults: None,
+            prof: None,
         };
         if m.cfg.shadow_collect {
             m.checker = Some(Box::new(ShadowChecker::collecting(&m.cfg)));
@@ -306,9 +314,11 @@ impl Machine {
         let Some(mut sink) = self.checker.take() else {
             return;
         };
+        let t = self.p0();
         if let Some(sc) = sink.as_any_mut().downcast_mut::<ShadowChecker>() {
             sc.run_audit(self);
         }
+        self.pend(Site::ShadowCheck, t);
         self.checker = Some(sink);
     }
 
@@ -328,7 +338,9 @@ impl Machine {
     #[inline]
     fn check_ev(&mut self, ev: CheckEvent) {
         if let Some(c) = self.checker.as_mut() {
+            let t = raccd_prof::t0(self.prof.as_deref());
             c.on_event(&ev);
+            raccd_prof::rec(self.prof.as_deref(), Site::ShadowCheck, t);
         }
     }
 
@@ -366,15 +378,55 @@ impl Machine {
         self.faults.as_deref_mut()
     }
 
+    /// Attach the self-profiler (replacing any existing one). Mirrors the
+    /// checker/fault-plane discipline: with `None` every hook is a single
+    /// never-taken branch. The profiler is host-side state and is never
+    /// serialized into snapshots.
+    pub fn attach_prof(&mut self, p: Box<Prof>) {
+        self.prof = Some(p);
+    }
+
+    /// Whether a profiler is attached.
+    pub fn has_prof(&self) -> bool {
+        self.prof.is_some()
+    }
+
+    /// The attached profiler (driver-level sites record through this).
+    pub fn prof(&self) -> Option<&Prof> {
+        self.prof.as_deref()
+    }
+
+    /// Detach the profiler, handing its accumulators to the caller.
+    pub fn take_prof(&mut self) -> Option<Box<Prof>> {
+        self.prof.take()
+    }
+
+    /// Start a site measurement iff a profiler is attached (one branch,
+    /// no clock read, when detached).
+    #[inline]
+    fn p0(&self) -> Option<Instant> {
+        raccd_prof::t0(self.prof.as_deref())
+    }
+
+    /// Close a [`Machine::p0`] measurement at `site`.
+    #[inline]
+    fn pend(&self, site: Site, t: Option<Instant>) {
+        raccd_prof::rec(self.prof.as_deref(), site, t);
+    }
+
     /// Send one protocol message, routing through the fault plane when
     /// one is attached. Without a plane this is exactly `noc.send` plus
     /// one untaken branch.
     #[inline]
     fn xmit(&mut self, from: usize, to: usize, class: MsgClass, now: u64) -> u64 {
-        if self.faults.is_none() {
-            return self.noc.send(from, to, class);
-        }
-        self.xmit_faulty(from, to, class, now)
+        let t = self.p0();
+        let lat = if self.faults.is_none() {
+            self.noc.send(from, to, class)
+        } else {
+            self.xmit_faulty(from, to, class, now)
+        };
+        self.pend(Site::NocXmit, t);
+        lat
     }
 
     /// The faulty transmit path: one seeded draw decides the message's
@@ -625,9 +677,11 @@ impl Machine {
         let ppage = match self.cores[core].tlb.lookup(vpage) {
             Some(p) => p,
             None => {
+                let t = self.p0();
                 cycles += self.cfg.lat.page_walk;
                 let p = self.page_table.translate_page(vpage);
                 self.cores[core].tlb.fill(vpage, p);
+                self.pend(Site::TlbWalk, t);
                 p
             }
         };
@@ -702,8 +756,10 @@ impl Machine {
             if other == core {
                 continue;
             }
+            let t = self.p0();
             let go = self.noc.send(core, other, MsgClass::Control);
             let back = self.noc.send(other, core, MsgClass::Control);
+            self.pend(Site::NocXmit, t);
             worst = worst.max(go + back);
         }
         worst
@@ -712,6 +768,19 @@ impl Machine {
     /// L1 lookup; on a write hit to a coherent Shared line this performs the
     /// upgrade transaction (invalidating other holders via the directory).
     pub fn l1_lookup(
+        &mut self,
+        core: usize,
+        block: BlockAddr,
+        write: bool,
+        now: u64,
+    ) -> L1LookupResult {
+        let t = self.p0();
+        let r = self.l1_lookup_inner(core, block, write, now);
+        self.pend(Site::CacheLookup, t);
+        r
+    }
+
+    fn l1_lookup_inner(
         &mut self,
         core: usize,
         block: BlockAddr,
@@ -795,14 +864,25 @@ impl Machine {
         }
     }
 
+    /// One directory-bank touch: record the access (feeding the occupancy
+    /// integrals and access histogram) and bump the counter. Every
+    /// `dir_accesses` increment goes through here, so the profiler's
+    /// `dir/access` count matches the Stats counter exactly.
+    #[inline]
+    fn dir_touch(&mut self, home: usize, now: u64) {
+        let t = self.p0();
+        self.dir[home].record_access(now);
+        self.stats.dir_accesses += 1;
+        self.pend(Site::DirAccess, t);
+    }
+
     /// Upgrade (GetX on an S line): directory access + invalidations.
     fn upgrade(&mut self, core: usize, block: BlockAddr, now: u64) -> u64 {
         let home = self.home_of(block);
         self.maybe_dir_loss(home, now);
         let mut cycles = self.xmit(core, home, MsgClass::Request, now);
         cycles += self.bank_service(home, now + cycles, self.cfg.lat.dir);
-        self.dir[home].record_access(now);
-        self.stats.dir_accesses += 1;
+        self.dir_touch(home, now);
 
         let inv_mask = match Self::try_getx(&mut self.dir[home], block, core) {
             Ok(mask) => mask,
@@ -910,6 +990,7 @@ impl Machine {
         nc: bool,
         now: u64,
     ) -> u64 {
+        let t = self.p0();
         let cycles = if nc {
             self.nc_fill_path(core, block, now)
         } else {
@@ -960,6 +1041,7 @@ impl Machine {
             self.handle_l1_victim(core, vblock, vline, now);
         }
         self.check_ev(CheckEvent::OpEnd);
+        self.pend(Site::MissFill, t);
         cycles
     }
 
@@ -977,8 +1059,7 @@ impl Machine {
                 line.nc = true;
                 self.event(now, CoherenceEvent::CoherentToNc { block });
                 self.check_ev(CheckEvent::CoherentToNc { block });
-                self.dir[home].record_access(now);
-                self.stats.dir_accesses += 1;
+                self.dir_touch(home, now);
                 if let Some(entry) = self.dir[home].deallocate(block, now) {
                     let holders = entry.all_holders();
                     self.check_ev(CheckEvent::DirDeallocate { block });
@@ -1000,8 +1081,7 @@ impl Machine {
         self.maybe_dir_loss(home, now);
         let mut cycles = self.xmit(core, home, MsgClass::Request, now);
         cycles += self.bank_service(home, now + cycles, self.cfg.lat.dir.max(self.cfg.lat.llc));
-        self.dir[home].record_access(now);
-        self.stats.dir_accesses += 1;
+        self.dir_touch(home, now);
         self.last_fill_shared = false;
         self.last_fill_from_owner = false;
 
@@ -1131,8 +1211,7 @@ impl Machine {
             dirty: line.dirty,
         });
         if !line.nc {
-            self.dir[home].record_access(now);
-            self.stats.dir_accesses += 1;
+            self.dir_touch(home, now);
             if let Some(entry) = self.dir[home].deallocate(block, now) {
                 self.check_ev(CheckEvent::DirDeallocate { block });
                 dirty |= self.invalidate_and_collect_dirty(home, block, entry.all_holders(), now);
@@ -1241,8 +1320,7 @@ impl Machine {
                 // PutM: update directory, write data into the LLC.
                 self.xmit(core, home, MsgClass::WriteBack, now);
                 self.stats.l1_writebacks += 1;
-                self.dir[home].record_access(now);
-                self.stats.dir_accesses += 1;
+                self.dir_touch(home, now);
                 if let Some(e) = self.dir[home].lookup(block) {
                     e.owner_writeback(core);
                 }
@@ -1253,8 +1331,7 @@ impl Machine {
             L1State::Exclusive => {
                 // PutE: clean notification so the owner pointer stays exact.
                 self.xmit(core, home, MsgClass::Control, now);
-                self.dir[home].record_access(now);
-                self.stats.dir_accesses += 1;
+                self.dir_touch(home, now);
                 if let Some(e) = self.dir[home].lookup(block) {
                     e.owner_writeback(core);
                 }
@@ -1345,8 +1422,7 @@ impl Machine {
             if !line.nc {
                 // The flush acts as a replacement: keep the directory's
                 // owner/sharer tracking exact for coherent lines.
-                self.dir[home].record_access(now);
-                self.stats.dir_accesses += 1;
+                self.dir_touch(home, now);
                 if let Some(e) = self.dir[home].lookup(block) {
                     e.owner_writeback(core);
                 }

@@ -579,6 +579,12 @@ impl Snapshot {
         self.sections.iter().map(|s| s.tag.as_str()).collect()
     }
 
+    /// Total payload bytes across all sections (the snapshot-throughput
+    /// denominator used by the profiler's encode/decode sites).
+    pub fn payload_bytes(&self) -> u64 {
+        self.sections.iter().map(|s| s.payload.len() as u64).sum()
+    }
+
     /// FNV-1a-64 over all tag and payload bytes in order — the value the
     /// trailer records. Two snapshots with equal content hash hold
     /// byte-identical state.
