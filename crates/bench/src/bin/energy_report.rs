@@ -47,6 +47,7 @@ fn main() {
                 mode,
                 ratio,
                 adr: false,
+                engine: raccd_core::Engine::Serial,
             });
         }
     }

@@ -5,7 +5,8 @@
 //! cargo run --release -p raccd-bench --bin sweep -- \
 //!     [--scale test|bench|paper] [--bench Jacobi,...] [--ratios 1,8,256] \
 //!     [--modes FullCoh,PT,TLB,RaCCD] [--adr] [--smt N] [--wt] \
-//!     [--contention] [--permuted] [--steal] [--telemetry out/]
+//!     [--contention] [--permuted] [--steal] [--telemetry out/] \
+//!     [--engine serial|parallel [--threads N]]
 //! ```
 //!
 //! With `--telemetry <dir>` every job additionally runs with a recorder and
@@ -13,7 +14,7 @@
 //! histogram report) into a per-job subdirectory of `dir`.
 
 use raccd_bench::{
-    bench_names, config_for_scale, run_jobs_with_telemetry, scale_from_args,
+    bench_names, config_for_scale, engine_from_args, run_jobs_with_telemetry, scale_from_args,
     telemetry_dir_from_args, Job,
 };
 use raccd_core::CoherenceMode;
@@ -79,6 +80,7 @@ fn main() {
         base_cfg.sched = raccd_sim::SchedPolicy::WorkStealing;
     }
 
+    let engine = engine_from_args(&args);
     let mut jobs = Vec::new();
     for &b in &bench_sel {
         for &mode in &modes {
@@ -88,6 +90,7 @@ fn main() {
                     mode,
                     ratio,
                     adr,
+                    engine,
                 });
             }
         }

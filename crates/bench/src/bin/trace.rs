@@ -5,7 +5,8 @@
 //! cargo run --release -p raccd-bench --bin trace -- \
 //!     [--scale test|bench] [--bench Jacobi] [--mode RaCCD] [--head 20] \
 //!     [--interval 4096] [--telemetry out/] [--profile] \
-//!     [--snapshot file.rsnp [--snapshot-at CYCLE]] [--restore file.rsnp]
+//!     [--snapshot file.rsnp [--snapshot-at CYCLE]] [--restore file.rsnp] \
+//!     [--engine serial|parallel [--threads N]]
 //! ```
 //!
 //! With `--telemetry <dir>` the run writes `trace.json` (Chrome Trace
@@ -25,7 +26,8 @@
 //! run (telemetry covers only the resumed half).
 
 use raccd_bench::{
-    bench_names, config_for_scale, scale_from_args, telemetry_dir_from_args, write_telemetry,
+    bench_names, config_for_scale, engine_from_args, scale_from_args, telemetry_dir_from_args,
+    write_telemetry,
 };
 use raccd_core::{CoherenceMode, Driver};
 use raccd_obs::{event_json, json, Recorder, RecorderConfig};
@@ -70,6 +72,7 @@ fn main() {
         .unwrap_or(10_000);
     let restore_path = pick("--restore");
     let profile = args.iter().any(|a| a == "--profile");
+    let engine = engine_from_args(&args);
 
     let workloads = raccd_workloads::all_benchmarks(scale);
     let program = workloads[bench_idx].build();
@@ -96,7 +99,7 @@ fn main() {
             driver.completed_tasks(),
             driver.next_time().unwrap_or(0)
         );
-        driver.finish(Some(&mut rec))
+        driver.finish_engine(engine, Some(&mut rec))
     } else {
         let mut driver = Driver::new(cfg, mode, program, None, Some(&mut rec));
         if profile {
@@ -113,7 +116,7 @@ fn main() {
                 snap.content_hash()
             );
         }
-        driver.finish(Some(&mut rec))
+        driver.finish_engine(engine, Some(&mut rec))
     };
     let wall = t0.elapsed().as_secs_f64();
 

@@ -6,7 +6,8 @@
 //! ```text
 //! cargo run --release -p raccd-bench --bin warmstart -- \
 //!     [--scale test|bench] [--bench Jacobi,...] [--mode RaCCD] \
-//!     [--warmup 20000] [--seeds 8] [--spec "drop=2e-4,..."] [--cold]
+//!     [--warmup 20000] [--seeds 8] [--spec "drop=2e-4,..."] [--cold] \
+//!     [--engine serial|parallel [--threads N]]
 //! ```
 //!
 //! Each seed's run is *identical* to a cold run that simulates the warm-up
@@ -15,8 +16,8 @@
 //! matches exactly (cycles, fault counters, detection), and reports the
 //! wall-clock for both paths.
 
-use raccd_bench::{bench_names, config_for_scale, scale_from_args, tsv_row};
-use raccd_core::{CoherenceMode, Driver, DriverOutput};
+use raccd_bench::{bench_names, config_for_scale, engine_from_args, scale_from_args, tsv_row};
+use raccd_core::{CoherenceMode, Driver, DriverOutput, Engine};
 use raccd_fault::FaultPlan;
 use raccd_runtime::Program;
 use raccd_workloads::all_benchmarks;
@@ -48,9 +49,9 @@ fn cell(out: &DriverOutput) -> Cell {
 /// warm-up boundary, then run to the end. Both the warm path (restored
 /// driver) and the cold path (freshly simulated warm-up) go through this,
 /// which is what makes them comparable run-for-run.
-fn finish_seeded(mut driver: Driver, seed: u64) -> DriverOutput {
+fn finish_seeded(mut driver: Driver, seed: u64, engine: Engine) -> DriverOutput {
     driver.reseed_faults(seed);
-    driver.finish(None)
+    driver.finish_engine(engine, None)
 }
 
 fn main() {
@@ -97,6 +98,7 @@ fn main() {
         },
     };
     let cfg = config_for_scale(scale);
+    let engine = engine_from_args(&args);
 
     println!("benchmark\tseed\tcycles\ttasks\tinjected\tmsg_retries\tdetected");
     let mut warm_secs = 0.0f64;
@@ -145,7 +147,7 @@ fn main() {
                     s.spawn(move || {
                         let driver = Driver::restore(cfg, mode, make_program(), snap)
                             .expect("restoring shared warm-up checkpoint");
-                        *out = Some(cell(&finish_seeded(driver, seed)));
+                        *out = Some(cell(&finish_seeded(driver, seed, engine)));
                     });
                 }
             });
@@ -174,7 +176,9 @@ fn main() {
             for (i, warm_cell) in results.iter().enumerate() {
                 let mut driver = Driver::new(cfg, mode, make_program(), Some(plan), None);
                 driver.run_until(warmup, None);
-                let c = cell(&finish_seeded(driver, i as u64 + 1));
+                // The cold baseline always finishes serially, so `--cold
+                // --engine parallel` doubles as a differential check.
+                let c = cell(&finish_seeded(driver, i as u64 + 1, Engine::Serial));
                 assert_eq!(c.cycles, warm_cell.cycles, "{} seed {}", names[b], i + 1);
                 assert_eq!(
                     c.injected,

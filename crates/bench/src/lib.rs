@@ -10,7 +10,7 @@
 pub mod chart;
 pub mod perfjson;
 
-use raccd_core::{CoherenceMode, Experiment, RunResult};
+use raccd_core::{CoherenceMode, Engine, Experiment, RunResult};
 use raccd_obs::{Recorder, RecorderConfig, RunMetrics};
 use raccd_sim::MachineConfig;
 use raccd_workloads::{all_benchmarks, Scale};
@@ -29,6 +29,8 @@ pub struct Job {
     pub ratio: usize,
     /// Enable Adaptive Directory Reduction.
     pub adr: bool,
+    /// Simulation engine (serial oracle or epoch-parallel).
+    pub engine: Engine,
 }
 
 /// A completed simulation.
@@ -86,7 +88,7 @@ pub fn run_jobs_with_telemetry(
                 let workloads = all_benchmarks(scale);
                 let w = &workloads[job.bench_idx];
                 let mut cfg = base_cfg.with_dir_ratio(job.ratio).with_adr(job.adr);
-                let exp = Experiment::new(cfg, job.mode);
+                let exp = Experiment::new(cfg, job.mode).with_engine(job.engine);
                 let t0 = std::time::Instant::now();
                 let result = match telemetry {
                     None => exp.run(w.as_ref()),
@@ -94,6 +96,7 @@ pub fn run_jobs_with_telemetry(
                         cfg.record_events = true;
                         let mut rec = Recorder::new(RecorderConfig::default());
                         let result = Experiment::new(cfg, job.mode)
+                            .with_engine(job.engine)
                             .run_with_recorder(w.as_ref(), Some(&mut rec));
                         let sub = dir.join(telemetry_run_name(w.name(), job));
                         write_telemetry(&rec, &sub).unwrap_or_else(|e| {
@@ -143,6 +146,22 @@ pub fn run_matrix(
     modes: &[(CoherenceMode, bool)],
     ratios: &[usize],
 ) -> Vec<JobResult> {
+    run_matrix_engine(tag, scale, base_cfg, nbench, modes, ratios, Engine::Serial)
+}
+
+/// [`run_matrix`] under a selectable engine (`--engine parallel --threads
+/// N` on the figure binaries). Results are bit-identical across engines —
+/// the parallel engine only changes how each simulation is advanced.
+#[allow(clippy::too_many_arguments)]
+pub fn run_matrix_engine(
+    tag: &str,
+    scale: Scale,
+    base_cfg: MachineConfig,
+    nbench: usize,
+    modes: &[(CoherenceMode, bool)],
+    ratios: &[usize],
+    engine: Engine,
+) -> Vec<JobResult> {
     let mut jobs = Vec::with_capacity(nbench * modes.len() * ratios.len());
     for b in 0..nbench {
         for &(mode, adr) in modes {
@@ -152,12 +171,13 @@ pub fn run_matrix(
                     mode,
                     ratio,
                     adr,
+                    engine,
                 });
             }
         }
     }
     eprintln!(
-        "{tag}: running {} simulations at scale {scale}...",
+        "{tag}: running {} simulations at scale {scale} ({engine} engine)...",
         jobs.len()
     );
     let t0 = std::time::Instant::now();
@@ -186,6 +206,45 @@ pub fn matrix_metrics(tag: &str, results: &[JobResult], wall_seconds: f64) -> Ru
         stats.tasks_executed += r.result.stats.tasks_executed;
     }
     RunMetrics::from_stats(tag, &stats, wall_seconds)
+}
+
+/// Deterministic FNV-1a checksum over a job batch's protocol-visible
+/// counters, folded in job order. The engine never changes simulated
+/// outcomes, so this value is identical for every `--engine`/`--threads`
+/// combination — the thread-count regression test pins the serial value
+/// as a golden and asserts every parallel sweep reproduces it.
+pub fn sweep_checksum(results: &[JobResult]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut fold = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    };
+    for r in results {
+        let s = &r.result.stats;
+        for v in [
+            s.cycles,
+            s.l1_hits,
+            s.l1_misses,
+            s.tlb_hits,
+            s.tlb_misses,
+            s.dir_accesses,
+            s.llc_hits,
+            s.llc_misses,
+            s.invalidations_sent,
+            s.nc_fills,
+            s.coherent_fills,
+            s.noc_traffic,
+            s.mem_reads,
+            s.mem_writes,
+            s.tasks_executed,
+            s.refs_processed,
+        ] {
+            fold(v);
+        }
+    }
+    h
 }
 
 /// Artifact subdirectory name for one job's telemetry.
@@ -230,6 +289,30 @@ pub fn write_telemetry(rec: &Recorder, dir: &Path) -> std::io::Result<()> {
     let mut w = file("histograms.txt")?;
     raccd_obs::write_histograms(rec, &mut w)?;
     w.flush()
+}
+
+/// Parse `--engine serial|parallel` and `--threads N` from argv (default:
+/// serial). `--threads` without `--engine` implies the parallel engine.
+pub fn engine_from_args(args: &[String]) -> Engine {
+    let pick = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+    };
+    let threads: usize = pick("--threads")
+        .map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| panic!("--threads: bad count `{v}`"))
+        })
+        .unwrap_or(4);
+    match pick("--engine").map(String::as_str) {
+        Some(name) => Engine::parse(name, threads)
+            .unwrap_or_else(|| panic!("--engine: unknown engine `{name}` (serial|parallel)")),
+        None if pick("--threads").is_some() => Engine::EpochParallel {
+            threads: threads.max(1),
+        },
+        None => Engine::Serial,
+    }
 }
 
 /// Parse `--scale test|bench|paper` from argv (default: bench).
@@ -298,6 +381,24 @@ mod tests {
     }
 
     #[test]
+    fn engine_parsing() {
+        let args = |s: &[&str]| s.iter().map(|x| x.to_string()).collect::<Vec<_>>();
+        assert_eq!(engine_from_args(&args(&[])), Engine::Serial);
+        assert_eq!(
+            engine_from_args(&args(&["--engine", "parallel", "--threads", "8"])),
+            Engine::EpochParallel { threads: 8 }
+        );
+        assert_eq!(
+            engine_from_args(&args(&["--threads", "2"])),
+            Engine::EpochParallel { threads: 2 }
+        );
+        assert_eq!(
+            engine_from_args(&args(&["--engine", "serial", "--threads", "2"])),
+            Engine::Serial
+        );
+    }
+
+    #[test]
     fn run_jobs_returns_in_order() {
         let jobs = [
             Job {
@@ -305,12 +406,14 @@ mod tests {
                 mode: CoherenceMode::FullCoh,
                 ratio: 1,
                 adr: false,
+                engine: Engine::Serial,
             },
             Job {
                 bench_idx: 7,
                 mode: CoherenceMode::Raccd,
                 ratio: 4,
                 adr: false,
+                engine: Engine::EpochParallel { threads: 2 },
             },
         ];
         let out = run_jobs(Scale::Test, MachineConfig::scaled(), &jobs);

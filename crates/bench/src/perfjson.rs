@@ -227,8 +227,23 @@ impl CompareOutcome {
 /// A job regresses when its candidate throughput falls more than
 /// [`REGRESSION_TOLERANCE`] below the baseline. Jobs present on only one
 /// side are reported but never gate (the matrix is allowed to grow).
+///
+/// When the two documents carry different host fingerprints the absolute
+/// throughputs are not comparable (different CPU, core count, or both), so
+/// over-tolerance drops are reported as `WARN (host differs)` instead of
+/// counting as regressions — the gate only ever fires on like-for-like
+/// hardware.
 pub fn compare(baseline: &BenchDoc, candidate: &BenchDoc) -> CompareOutcome {
     let mut out = CompareOutcome::default();
+    let host_differs = baseline.host != candidate.host;
+    if host_differs {
+        out.lines.push(format!(
+            "  host fingerprint differs — throughput deltas are advisory only\n\
+             \x20   baseline:  {}\n\
+             \x20   candidate: {}",
+            baseline.host, candidate.host
+        ));
+    }
     for b in &baseline.jobs {
         let Some(c) = candidate.jobs.iter().find(|c| c.name == b.name) else {
             out.lines
@@ -244,8 +259,12 @@ pub fn compare(baseline: &BenchDoc, candidate: &BenchDoc) -> CompareOutcome {
         }
         let delta = (cand - base) / base;
         let verdict = if delta < -REGRESSION_TOLERANCE {
-            out.regressions += 1;
-            "REGRESSED"
+            if host_differs {
+                "WARN (host differs)"
+            } else {
+                out.regressions += 1;
+                "REGRESSED"
+            }
         } else {
             "ok"
         };
@@ -401,6 +420,41 @@ mod tests {
         let out = compare(&base, &cand);
         assert_eq!(out.regressions, 1);
         assert!(out.lines.iter().any(|l| l.contains("REGRESSED")));
+    }
+
+    #[test]
+    fn compare_exempts_regressions_across_hosts() {
+        let base = doc();
+        let mut cand = doc();
+        cand.host = "other-host (1 cpus, linux-aarch64)".to_string();
+        // 40 % slower — would regress on the same host — but the candidate
+        // was measured on different hardware, so it only warns.
+        cand.jobs[0].metrics.wall_seconds = 0.25 / 0.6;
+        let out = compare(&base, &cand);
+        assert_eq!(out.compared, 2);
+        assert!(out.clean(), "{:?}", out.lines);
+        assert!(out.lines.iter().any(|l| l.contains("WARN (host differs)")));
+        assert!(out
+            .lines
+            .iter()
+            .any(|l| l.contains("host fingerprint differs")));
+        assert!(!out.lines.iter().any(|l| l.contains("REGRESSED")));
+    }
+
+    #[test]
+    fn compare_still_gates_on_same_host() {
+        // Same fingerprint, same 40 % drop: the gate must fire (the
+        // cross-host exemption must not swallow real regressions).
+        let base = doc();
+        let mut cand = doc();
+        cand.jobs[0].metrics.wall_seconds = 0.25 / 0.6;
+        let out = compare(&base, &cand);
+        assert_eq!(out.regressions, 1);
+        assert!(!out.clean());
+        assert!(!out
+            .lines
+            .iter()
+            .any(|l| l.contains("host fingerprint differs")));
     }
 
     #[test]

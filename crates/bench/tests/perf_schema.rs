@@ -1,18 +1,19 @@
-//! The committed `BENCH_6.json` perf-trajectory file must stay valid:
-//! it parses under the strict schema, covers the pinned matrix, carries
-//! the required throughput metrics, and compares clean against itself.
-//! Any schema drift has to come with a `SCHEMA_VERSION` bump and a
-//! regenerated file — this test is what makes that drift loud.
+//! The committed `BENCH_7.json` perf-trajectory file must stay valid:
+//! it parses under the strict schema, covers the pinned matrix
+//! (including the epoch-parallel twins and the fig7-sweep engine-speedup
+//! pair), carries the required throughput metrics, and compares clean
+//! against itself. Any schema drift has to come with a `SCHEMA_VERSION`
+//! bump and a regenerated file — this test is what makes that drift loud.
 
 use raccd_bench::perfjson::{compare, BenchDoc, SCHEMA_VERSION};
 use raccd_prof::Site;
 use std::path::PathBuf;
 
 fn committed_doc() -> BenchDoc {
-    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_6.json");
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_7.json");
     let text = std::fs::read_to_string(&path)
         .unwrap_or_else(|e| panic!("reading {}: {e}", path.display()));
-    BenchDoc::parse(&text).expect("committed BENCH_6.json parses under the current schema")
+    BenchDoc::parse(&text).expect("committed BENCH_7.json parses under the current schema")
 }
 
 #[test]
@@ -36,6 +37,23 @@ fn golden_file_is_schema_valid() {
                 "matrix covers {mode}/profiled={profiled}"
             );
         }
+        // ... and the epoch-parallel twin of every (workload, mode) cell.
+        assert!(
+            doc.jobs
+                .iter()
+                .any(|j| j.mode == mode && j.name.ends_with("/par4")),
+            "matrix covers {mode} under the epoch-parallel engine"
+        );
+    }
+    // The fig7-sweep engine-speedup pair is the trajectory's record of
+    // the parallel engine's wall-clock effect.
+    for engine in ["serial", "par4"] {
+        assert!(
+            doc.jobs
+                .iter()
+                .any(|j| j.name == format!("fig7-sweep/{engine}")),
+            "fig7-sweep/{engine} job present"
+        );
     }
 }
 

@@ -38,7 +38,7 @@ use std::collections::BinaryHeap;
 
 /// References processed per core turn before re-entering the heap.
 /// Small enough to interleave finely, large enough to amortise heap cost.
-const BATCH: usize = 64;
+pub(crate) const BATCH: usize = 64;
 
 /// Deterministic scheduling jitter (cycles), modelling the wake-up/IPI
 /// latency variation of a real runtime. Without it the simulator's
@@ -51,12 +51,12 @@ fn sched_jitter(core: usize, salt: u64) -> u64 {
     h.next_below(48)
 }
 
-struct Running {
+pub(crate) struct Running {
     tid: raccd_runtime::TaskId,
-    trace: Vec<MemRef>,
-    pos: usize,
+    pub(crate) trace: Vec<MemRef>,
+    pub(crate) pos: usize,
     /// Fault plane: the trace index at which this attempt aborts, if any.
-    fail_at: Option<usize>,
+    pub(crate) fail_at: Option<usize>,
 }
 
 /// The runtime's ready-task store, per the configured scheduling policy.
@@ -296,9 +296,9 @@ impl raccd_snap::Snap for Sched {
 /// bodies of already-dispatched tasks whose functional effect is already
 /// in the restored memory image.
 pub struct Driver {
-    cfg: MachineConfig,
-    mode: CoherenceMode,
-    machine: Machine,
+    pub(crate) cfg: MachineConfig,
+    pub(crate) mode: CoherenceMode,
+    pub(crate) machine: Machine,
     mem: SimMemory,
     graph: TaskGraph,
     edges: usize,
@@ -311,13 +311,13 @@ pub struct Driver {
     tlbc: TlbClassifier,
     census: Census,
     ready: Sched,
-    running: Vec<Option<Running>>,
+    pub(crate) running: Vec<Option<Running>>,
     waker_core: Vec<Option<u32>>,
     wake_time: Vec<u64>,
     trace_pool: Vec<Vec<MemRef>>,
     core_time: Vec<u64>,
     idle: Vec<usize>,
-    heap: BinaryHeap<Reverse<(u64, usize)>>,
+    pub(crate) heap: BinaryHeap<Reverse<(u64, usize)>>,
     /// Tasks in the order they completed (the graph replay script).
     completion_order: Vec<raccd_runtime::TaskId>,
     end_time: u64,
@@ -515,7 +515,24 @@ impl Driver {
 
     /// Process one heap entry (one core turn). Returns `false` when the
     /// run is over: the heap drained or a detection aborted it.
-    pub fn step(&mut self, mut rec: Option<&mut Recorder>) -> bool {
+    pub fn step(&mut self, rec: Option<&mut Recorder>) -> bool {
+        self.step_spec(None, rec)
+    }
+
+    /// [`Driver::step`] with an optional speculated hit prefix for the
+    /// turn being popped. With `Some(prefix)` the turn's leading private
+    /// hits were pre-executed off-thread on a shard clone (see
+    /// [`raccd_sim::spec`]); the prefix is committed by adopting the shard
+    /// and replaying its deferred side effects in exact serial order, then
+    /// the rest of the batch runs through the unchanged serial path. The
+    /// epoch-parallel engine is the only caller that passes `Some`; it
+    /// guarantees the shard is still current (heap-agreement + the
+    /// machine's spec-touch mask).
+    pub(crate) fn step_spec(
+        &mut self,
+        spec: Option<raccd_sim::HitPrefix>,
+        mut rec: Option<&mut Recorder>,
+    ) -> bool {
         let t_step = raccd_prof::t0(self.machine.prof());
         // Auto-checkpoint on iteration boundaries (state is consistent
         // only between core turns).
@@ -731,6 +748,31 @@ impl Driver {
             Some(mut run) => {
                 // Task execution phase: replay a batch of references.
                 let end = (run.pos + BATCH).min(run.trace.len());
+                if let Some(prefix) = spec {
+                    // Commit a speculated hit prefix: adopt the shard (the
+                    // exact state the serial hit path would have produced),
+                    // then replay the deferred per-reference side effects —
+                    // checker events, census, refs counter, latency
+                    // histograms — in serial order. Hits never touch a
+                    // bank, so the bank-wait histogram records zeros.
+                    debug_assert!(run.pos + prefix.refs.len() <= end);
+                    debug_assert!(run.fail_at.is_none_or(|f| f >= end));
+                    let t_merge = raccd_prof::t0(self.machine.prof());
+                    let nrefs = prefix.refs.len() as u64;
+                    self.machine.adopt_core_shard(core, prefix.shard);
+                    for s in &prefix.refs {
+                        self.machine.note_spec_hit(core, s.block, s.write, s.nc);
+                        self.census.record(s.block, !s.nc);
+                        self.machine.stats.refs_processed += 1;
+                        now += s.cycles;
+                        if let Some(rr) = rec.as_deref_mut() {
+                            rr.hist_mem_latency.record(s.cycles);
+                            rr.hist_bank_wait.record(0);
+                        }
+                    }
+                    run.pos += prefix.refs.len();
+                    raccd_prof::rec_units(self.machine.prof(), Site::EpochMerge, t_merge, nrefs);
+                }
                 let mut failed = false;
                 while run.pos < end {
                     if run.fail_at == Some(run.pos) {
@@ -1037,7 +1079,7 @@ impl Driver {
 
     /// Tear the run down into its output. Must only be called once the
     /// run is over ([`Driver::step`] returned `false`).
-    fn into_output(mut self, mut rec: Option<&mut Recorder>) -> DriverOutput {
+    pub(crate) fn into_output(mut self, mut rec: Option<&mut Recorder>) -> DriverOutput {
         let completed = self.completion_order.len();
         // A detection ends the run early by design; only a clean run
         // promises every task retired.

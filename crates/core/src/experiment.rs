@@ -25,7 +25,8 @@
 //! ```
 
 use crate::census::CensusSummary;
-use crate::driver::{run_program_profiled, run_program_with, DriverOutput};
+use crate::driver::DriverOutput;
+use crate::engine::{run_program_engine, run_program_engine_profiled, Engine};
 use crate::mode::CoherenceMode;
 use raccd_obs::Recorder;
 use raccd_prof::ProfReport;
@@ -39,6 +40,8 @@ pub struct Experiment {
     pub config: MachineConfig,
     /// System under evaluation.
     pub mode: CoherenceMode,
+    /// Simulation engine advancing the run (default [`Engine::Serial`]).
+    pub engine: Engine,
 }
 
 /// Results of an [`Experiment::run`].
@@ -63,7 +66,19 @@ pub struct RunResult {
 impl Experiment {
     /// Describe an experiment.
     pub fn new(config: MachineConfig, mode: CoherenceMode) -> Self {
-        Experiment { config, mode }
+        Experiment {
+            config,
+            mode,
+            engine: Engine::Serial,
+        }
+    }
+
+    /// Select the simulation engine. Any engine produces bit-identical
+    /// results; [`Engine::EpochParallel`] trades coordinator work for
+    /// concurrent hit-prefix speculation.
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
     }
 
     /// Build the workload's program, simulate it, and verify the output.
@@ -80,7 +95,7 @@ impl Experiment {
         rec: Option<&mut Recorder>,
     ) -> RunResult {
         let program = workload.build();
-        let out = run_program_with(self.config, self.mode, program, rec);
+        let out = run_program_engine(self.config, self.mode, program, self.engine, rec);
         Self::finish_run(workload, out)
     }
 
@@ -89,7 +104,7 @@ impl Experiment {
     /// to an unprofiled run (the profiler reads only host clocks).
     pub fn run_profiled(&self, workload: &dyn Workload) -> RunResult {
         let program = workload.build();
-        let out = run_program_profiled(self.config, self.mode, program, None);
+        let out = run_program_engine_profiled(self.config, self.mode, program, self.engine, None);
         Self::finish_run(workload, out)
     }
 

@@ -16,10 +16,14 @@
 //! * [`driver`] — the simulation loop: scheduling, `raccd_register`, task
 //!   execution (functional-at-dispatch, timed replay under interleaving),
 //!   `raccd_invalidate`, wake-up (Figure 3).
+//! * [`engine`] — the selectable simulation loop: the serial oracle and
+//!   the epoch-parallel engine (speculative hit prefixes committed in heap
+//!   order, bit-identical to serial for any thread count; DESIGN.md §12).
 //! * [`experiment`] — the top-level [`Experiment`] API and [`RunResult`].
 
 pub mod census;
 pub mod driver;
+pub mod engine;
 pub mod experiment;
 pub mod mode;
 pub mod ncrt;
@@ -29,9 +33,13 @@ pub mod tlbclass;
 
 pub use census::{Census, CensusSummary};
 pub use driver::{Driver, DriverOutput, RollbackPolicy};
+pub use engine::{
+    plan_epoch, run_program_engine, run_program_engine_profiled, Engine, PlanTurn, WorkerPool,
+};
 pub use experiment::{Experiment, RunResult};
 pub use mode::CoherenceMode;
 pub use ncrt::Ncrt;
 pub use pt::{PageClassifier, PtDecision};
+pub use raccd_obs::Recorder;
 pub use resilience::{DegradeController, DetectReason, FaultReport};
 pub use tlbclass::TlbClassifier;
