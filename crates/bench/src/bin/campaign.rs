@@ -1,0 +1,230 @@
+//! The crash-safe campaign driver: batches of simulation jobs through the
+//! `raccd-campaign` service, durable against `kill -9`.
+//!
+//! ```text
+//! cargo run --release -p raccd-bench --bin campaign -- \
+//!     --ledger runs/campaign.jsonl \
+//!     [--gen N | --spec "bench=Jacobi scale=test mode=raccd seeds=1..8" | --spec-file F] \
+//!     [--scale test|bench] [--workers N] [--queue-cap N] [--retries N] \
+//!     [--timeout-ms N] [--dedup-probe] [--report F] [--events F] \
+//!     [--depth-csv F] [--bench-json F]
+//! ```
+//!
+//! **Resume = rerun the same command.** Opening an existing ledger replays
+//! it: completed jobs come back as cached results, mid-flight leases as
+//! queued work, and resubmitting the same specs is absorbed by dedup — so
+//! a campaign killed anywhere finishes with zero duplicated executions and
+//! zero lost jobs (the report's reconciliation block proves it; exit code
+//! 1 if it cannot).
+//!
+//! `--gen N` expands a deterministic N-job matrix (benchmarks × {fullcoh,
+//! pt, raccd} × ratios {4, 8}, warm-started, seeds split evenly) — the CI
+//! soak and the `BENCH_8.json` throughput point both use it.
+//! `--dedup-probe` submits every spec a second time after admission; the
+//! second pass must dedup completely, which pins the fingerprint/dedup
+//! path in the perf document.
+
+use raccd_bench::perfjson::{git_rev, host_fingerprint, BenchDoc, PerfJob, SCHEMA_VERSION};
+use raccd_bench::{bench_names, scale_from_args};
+use raccd_campaign::{Campaign, CampaignConfig, JobSpec};
+use raccd_core::CoherenceMode;
+use raccd_obs::{write_campaign_depth_csv, write_events_jsonl, RunMetrics};
+use raccd_workloads::Scale;
+use std::path::PathBuf;
+
+/// Deterministic `--gen` matrix: spread `n` seeded jobs evenly over the
+/// benchmark × mode × ratio grid, warm-started so the snapshot pool earns
+/// its keep.
+fn gen_matrix(scale: Scale, n: u64) -> Vec<JobSpec> {
+    let names = bench_names(scale);
+    let modes = [
+        CoherenceMode::FullCoh,
+        CoherenceMode::PageTable,
+        CoherenceMode::Raccd,
+    ];
+    let ratios = [4usize, 8];
+    let mut configs = Vec::new();
+    for name in &names {
+        for &mode in &modes {
+            for &ratio in &ratios {
+                let mut s = JobSpec::new(name, scale, mode);
+                s.ratio = ratio;
+                s.warmup = 2_000;
+                configs.push(s);
+            }
+        }
+    }
+    let nc = configs.len() as u64;
+    configs
+        .into_iter()
+        .enumerate()
+        .filter_map(|(i, mut s)| {
+            let count = n / nc + u64::from((i as u64) < n % nc);
+            (count > 0).then(|| {
+                s.seed_lo = 1;
+                s.seed_hi = count;
+                s
+            })
+        })
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let pick = |flag: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let parse_or = |flag: &str, default: u64| -> u64 {
+        pick(flag)
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("{flag}: bad value `{v}`"))
+            })
+            .unwrap_or(default)
+    };
+
+    let ledger = PathBuf::from(pick("--ledger").unwrap_or_else(|| "campaign.jsonl".into()));
+    let scale = scale_from_args(&args);
+    let mut config = CampaignConfig::default();
+    config.workers = parse_or("--workers", config.workers as u64) as usize;
+    config.queue_cap = parse_or("--queue-cap", config.queue_cap as u64) as usize;
+    config.retry_budget = parse_or("--retries", config.retry_budget as u64) as u32;
+    config.timeout_ms = parse_or("--timeout-ms", 120_000);
+
+    let mut specs: Vec<JobSpec> = Vec::new();
+    for (i, a) in args.iter().enumerate() {
+        if a == "--spec" {
+            let line = args.get(i + 1).expect("--spec needs a value");
+            specs.push(JobSpec::parse(line).unwrap_or_else(|e| panic!("--spec: {e}")));
+        }
+    }
+    if let Some(f) = pick("--spec-file") {
+        let text = std::fs::read_to_string(&f).unwrap_or_else(|e| panic!("--spec-file {f}: {e}"));
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            specs.push(JobSpec::parse(line).unwrap_or_else(|e| panic!("{f}: {e}")));
+        }
+    }
+    if let Some(n) = pick("--gen") {
+        let n: u64 = n
+            .parse()
+            .unwrap_or_else(|_| panic!("--gen: bad count `{n}`"));
+        specs.extend(gen_matrix(scale, n));
+    }
+
+    let campaign = Campaign::open(&ledger, config).unwrap_or_else(|e| {
+        panic!("opening ledger {}: {e}", ledger.display());
+    });
+
+    let mut admitted = 0u64;
+    let mut deduped = 0u64;
+    let mut shed = 0u64;
+    let mut submit = |spec: &JobSpec| {
+        let s = campaign
+            .submit(spec)
+            .unwrap_or_else(|e| panic!("submit {}: {e}", spec.render()));
+        admitted += s.admitted;
+        deduped += s.deduped;
+        shed += s.shed;
+    };
+    for spec in &specs {
+        submit(spec);
+    }
+    if args.iter().any(|a| a == "--dedup-probe") {
+        // Second pass over the same batch: everything must dedup.
+        for spec in &specs {
+            submit(spec);
+        }
+    }
+    eprintln!(
+        "campaign: {} admitted, {} deduped, {} shed (ledger {})",
+        admitted,
+        deduped,
+        shed,
+        ledger.display()
+    );
+
+    let report = campaign
+        .run()
+        .unwrap_or_else(|e| panic!("campaign run: {e}"));
+    println!("{}", report.to_json());
+    if let Some(p) = pick("--report") {
+        std::fs::write(&p, report.to_json() + "\n")
+            .unwrap_or_else(|e| panic!("writing report {p}: {e}"));
+    }
+    if let Some(p) = pick("--events") {
+        let mut w = std::io::BufWriter::new(
+            std::fs::File::create(&p).unwrap_or_else(|e| panic!("creating {p}: {e}")),
+        );
+        write_events_jsonl(&[], &campaign.events(), &mut w)
+            .unwrap_or_else(|e| panic!("writing events {p}: {e}"));
+    }
+    if let Some(p) = pick("--depth-csv") {
+        let mut w = std::io::BufWriter::new(
+            std::fs::File::create(&p).unwrap_or_else(|e| panic!("creating {p}: {e}")),
+        );
+        write_campaign_depth_csv(&campaign.events(), &mut w)
+            .unwrap_or_else(|e| panic!("writing depth csv {p}: {e}"));
+    }
+
+    if let Some(p) = pick("--bench-json") {
+        let results = campaign.results();
+        let total_cycles: u64 = results.iter().map(|(_, d)| d.cycles).sum();
+        let total_tasks: u64 = results.iter().map(|(_, d)| d.tasks).sum();
+        let wall = (report.elapsed_ms as f64 / 1000.0).max(1e-9);
+        let (host, ncpu) = host_fingerprint();
+        let metric = |name: &str, wall_seconds: f64, sim_cycles: u64, tasks: u64| RunMetrics {
+            name: name.to_string(),
+            wall_seconds,
+            sim_cycles,
+            tasks_executed: tasks,
+            ..RunMetrics::default()
+        };
+        let job = |name: &str, m: RunMetrics| PerfJob {
+            name: name.to_string(),
+            workload: "campaign".to_string(),
+            mode: "mixed".to_string(),
+            profiled: false,
+            reps: 1,
+            metrics: m,
+        };
+        let doc = BenchDoc {
+            schema_version: SCHEMA_VERSION,
+            git_rev: git_rev(std::path::Path::new(".")),
+            host,
+            ncpu,
+            scale: format!("{scale}"),
+            reps: 1,
+            prof_overhead_pct: 0.0,
+            jobs: vec![
+                // Campaign throughput: simulated cycles completed per
+                // wall-second across the whole run (pool + warm starts).
+                job(
+                    "campaign/throughput",
+                    metric("campaign/throughput", wall, total_cycles, total_tasks),
+                ),
+                // Dedup probe: `cycles_per_sec` is the raw dedup-hit count
+                // over a 1 s denominator — a fingerprint or dedup
+                // regression zeroes it, which the perf gate flags.
+                job(
+                    "campaign/dedup_probe",
+                    metric("campaign/dedup_probe", 1.0, report.dedup_hits, 0),
+                ),
+            ],
+            spans: raccd_prof::ProfReport::empty(),
+        };
+        std::fs::write(&p, doc.render()).unwrap_or_else(|e| panic!("writing {p}: {e}"));
+        eprintln!("campaign: wrote perf document {p}");
+    }
+
+    if !report.reconcile.consistent {
+        eprintln!("campaign: reconciliation FAILED: {}", report.to_json());
+        std::process::exit(1);
+    }
+}

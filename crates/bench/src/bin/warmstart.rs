@@ -17,6 +17,7 @@
 //! wall-clock for both paths.
 
 use raccd_bench::{bench_names, config_for_scale, engine_from_args, scale_from_args, tsv_row};
+use raccd_campaign::{PoolTask, WorkerPool};
 use raccd_core::{CoherenceMode, Driver, DriverOutput, Engine};
 use raccd_fault::FaultPlan;
 use raccd_runtime::Program;
@@ -106,6 +107,11 @@ fn main() {
     // Snapshot-codec throughput across the sweep (`snap/encode` from each
     // shared checkpoint, `snap/decode` from one probe restore per bench).
     let mut codec = raccd_prof::ProfReport::empty();
+    // One pool for the whole sweep, as wide as the host.
+    let width = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let pool = WorkerPool::new(width, nseeds.max(1) as usize);
     for &b in &bench_sel {
         let make_program = || -> Program { all_benchmarks(scale)[b].build() };
 
@@ -129,30 +135,38 @@ fn main() {
                 codec.merge(&p.report());
             }
         }
-        let mut results: Vec<Option<Cell>> = (0..nseeds).map(|_| None).collect();
-        // Bound in-flight threads to the host: each seed owns a full
-        // Machine, and oversubscribing interleaves their working sets
-        // through one cache hierarchy — slower than running fewer at once.
-        let width = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
-        let mut slot = 0usize;
-        for chunk in results.chunks_mut(width) {
-            std::thread::scope(|s| {
-                for out in chunk.iter_mut() {
-                    let seed = slot as u64 + 1;
-                    slot += 1;
-                    let snap = &snap;
-                    let make_program = &make_program;
-                    s.spawn(move || {
-                        let driver = Driver::restore(cfg, mode, make_program(), snap)
-                            .expect("restoring shared warm-up checkpoint");
-                        *out = Some(cell(&finish_seeded(driver, seed, engine)));
-                    });
+        // Fan the seed sweep out over the campaign worker pool: its width
+        // bounds in-flight simulations to the host (each seed owns a full
+        // Machine — oversubscribing interleaves their working sets through
+        // one cache hierarchy), and a seed that fails surfaces with its
+        // (benchmark, seed) label instead of poisoning the batch.
+        let snap = std::sync::Arc::new(snap);
+        let slots: std::sync::Arc<Vec<std::sync::Mutex<Option<Cell>>>> =
+            std::sync::Arc::new((0..nseeds).map(|_| std::sync::Mutex::new(None)).collect());
+        let tasks: Vec<PoolTask> = (0..nseeds)
+            .map(|i| {
+                let seed = i + 1;
+                let snap = std::sync::Arc::clone(&snap);
+                let slots = std::sync::Arc::clone(&slots);
+                PoolTask {
+                    label: format!("{} seed {}", names[b], seed),
+                    run: Box::new(move |_| {
+                        let driver =
+                            Driver::restore(cfg, mode, all_benchmarks(scale)[b].build(), &snap)
+                                .expect("restoring shared warm-up checkpoint");
+                        *slots[i as usize].lock().unwrap() =
+                            Some(cell(&finish_seeded(driver, seed, engine)));
+                    }),
                 }
-            });
+            })
+            .collect();
+        if let Some((label, msg)) = pool.run_batch(tasks).into_iter().next() {
+            panic!("warm sweep job failed: {label}: {msg}");
         }
-        let results: Vec<Cell> = results.into_iter().map(|r| r.unwrap()).collect();
+        let results: Vec<Cell> = slots
+            .iter()
+            .map(|s| s.lock().unwrap().take().unwrap())
+            .collect();
         warm_secs += t0.elapsed().as_secs_f64();
 
         for (i, c) in results.iter().enumerate() {

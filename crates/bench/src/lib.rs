@@ -4,19 +4,23 @@
 //!
 //! The evaluation matrix (9 benchmarks × 3 systems × 7 directory sizes) is
 //! embarrassingly parallel across *simulations*, so [`run_jobs`] fans jobs
-//! out over host threads with `std::thread::scope` (each worker builds its
-//! own workload instance — simulations never share state).
+//! out over the campaign worker pool ([`raccd_campaign::WorkerPool`] —
+//! each worker builds its own workload instance; simulations never share
+//! state). A job that panics (verification failure, simulator bug) is
+//! captured by the pool with its job spec attached and re-raised here with
+//! that context, instead of surfacing as an unrelated poisoned-mutex
+//! panic in the collector.
 
 pub mod chart;
 pub mod perfjson;
 
+use raccd_campaign::{PoolTask, WorkerPool};
 use raccd_core::{CoherenceMode, Engine, Experiment, RunResult};
 use raccd_obs::{Recorder, RecorderConfig, RunMetrics};
 use raccd_sim::MachineConfig;
 use raccd_workloads::{all_benchmarks, Scale};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// One simulation to run.
 #[derive(Clone, Copy, Debug)]
@@ -69,67 +73,107 @@ pub fn run_jobs_with_telemetry(
     jobs: &[Job],
     telemetry: Option<&Path>,
 ) -> Vec<JobResult> {
-    let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<JobResult>>> =
-        Mutex::new((0..jobs.len()).map(|_| None).collect());
     let threads = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(4)
         .min(jobs.len().max(1));
+    let pool = WorkerPool::new(threads, jobs.len().max(1));
+    // Per-slot locks instead of one collector mutex: a panicking job can
+    // never poison a sibling's result, and the pool reports the panic with
+    // the job spec attached below.
+    let slots: Arc<Vec<Mutex<Option<JobResult>>>> =
+        Arc::new((0..jobs.len()).map(|_| Mutex::new(None)).collect());
+    let names = bench_names(scale);
+    let telemetry: Option<PathBuf> = telemetry.map(Path::to_path_buf);
 
-    std::thread::scope(|s| {
-        for _ in 0..threads {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= jobs.len() {
-                    break;
-                }
-                let job = jobs[i];
-                let workloads = all_benchmarks(scale);
-                let w = &workloads[job.bench_idx];
-                let mut cfg = base_cfg.with_dir_ratio(job.ratio).with_adr(job.adr);
-                let exp = Experiment::new(cfg, job.mode).with_engine(job.engine);
-                let t0 = std::time::Instant::now();
-                let result = match telemetry {
-                    None => exp.run(w.as_ref()),
-                    Some(dir) => {
-                        cfg.record_events = true;
-                        let mut rec = Recorder::new(RecorderConfig::default());
-                        let result = Experiment::new(cfg, job.mode)
-                            .with_engine(job.engine)
-                            .run_with_recorder(w.as_ref(), Some(&mut rec));
-                        let sub = dir.join(telemetry_run_name(w.name(), job));
-                        write_telemetry(&rec, &sub).unwrap_or_else(|e| {
-                            panic!("writing telemetry to {}: {e}", sub.display())
-                        });
-                        result
-                    }
-                };
-                assert!(
-                    result.verified,
-                    "{} [{} 1:{}] failed verification: {:?}",
-                    w.name(),
-                    job.mode,
-                    job.ratio,
-                    result.verify_error
-                );
-                let out = JobResult {
-                    job,
-                    name: w.name().to_string(),
-                    result,
-                    wall_seconds: t0.elapsed().as_secs_f64(),
-                };
-                results.lock().unwrap()[i] = Some(out);
-            });
-        }
-    });
-
-    results
-        .into_inner()
-        .unwrap()
+    let tasks: Vec<PoolTask> = jobs
+        .iter()
+        .enumerate()
+        .map(|(i, &job)| {
+            let slots = Arc::clone(&slots);
+            let telemetry = telemetry.clone();
+            let label = format!(
+                "{} [{} 1:{}{} {}]",
+                names[job.bench_idx],
+                job.mode,
+                job.ratio,
+                if job.adr { " adr" } else { "" },
+                job.engine,
+            );
+            PoolTask {
+                label,
+                run: Box::new(move |_| {
+                    let out = run_one_job(scale, base_cfg, job, telemetry.as_deref());
+                    *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(out);
+                }),
+            }
+        })
+        .collect();
+    let panics = pool.run_batch(tasks);
+    if !panics.is_empty() {
+        let lines: Vec<String> = panics
+            .iter()
+            .map(|(label, msg)| format!("  {label}: {msg}"))
+            .collect();
+        panic!(
+            "{} of {} jobs failed:\n{}",
+            panics.len(),
+            jobs.len(),
+            lines.join("\n")
+        );
+    }
+    drop(pool);
+    Arc::try_unwrap(slots)
+        .unwrap_or_else(|_| panic!("pool drained but slot refs remain"))
         .into_iter()
-        .map(|r| r.expect("job not run"))
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap_or_else(|e| e.into_inner())
+                .expect("job not run")
+        })
         .collect()
+}
+
+/// Simulate one job (with optional telemetry capture) and verify it.
+fn run_one_job(
+    scale: Scale,
+    base_cfg: MachineConfig,
+    job: Job,
+    telemetry: Option<&Path>,
+) -> JobResult {
+    let workloads = all_benchmarks(scale);
+    let w = &workloads[job.bench_idx];
+    let mut cfg = base_cfg.with_dir_ratio(job.ratio).with_adr(job.adr);
+    let exp = Experiment::new(cfg, job.mode).with_engine(job.engine);
+    let t0 = std::time::Instant::now();
+    let result = match telemetry {
+        None => exp.run(w.as_ref()),
+        Some(dir) => {
+            cfg.record_events = true;
+            let mut rec = Recorder::new(RecorderConfig::default());
+            let result = Experiment::new(cfg, job.mode)
+                .with_engine(job.engine)
+                .run_with_recorder(w.as_ref(), Some(&mut rec));
+            let sub = dir.join(telemetry_run_name(w.name(), job));
+            write_telemetry(&rec, &sub)
+                .unwrap_or_else(|e| panic!("writing telemetry to {}: {e}", sub.display()));
+            result
+        }
+    };
+    assert!(
+        result.verified,
+        "{} [{} 1:{}] failed verification: {:?}",
+        w.name(),
+        job.mode,
+        job.ratio,
+        result.verify_error
+    );
+    JobResult {
+        job,
+        name: w.name().to_string(),
+        result,
+        wall_seconds: t0.elapsed().as_secs_f64(),
+    }
 }
 
 /// The shared preamble of every figure binary: build the benchmark ×

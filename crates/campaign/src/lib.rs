@@ -1,0 +1,72 @@
+#![warn(missing_docs)]
+
+//! Crash-safe simulation campaign service.
+//!
+//! Sweeping the paper's evaluation matrix means thousands of independent
+//! simulator runs; a campaign that dies at job 8,000 of 10,000 must not
+//! redo — or worse, double-count — the first 7,999. This crate provides
+//! the durable job-queue engine behind the `campaign` binary:
+//!
+//! * [`spec`] — [`JobSpec`] batches (configuration × seed range), rendered
+//!   canonically and fingerprinted with FNV-1a-64 so identical work dedups
+//!   seed-by-seed across batches.
+//! * [`ledger`] — the append-only JSONL [`Ledger`]: every job transition
+//!   (`enqueued → leased → done/failed/retry`) is a checksummed, durable
+//!   record. Replay takes the longest valid prefix, so a `kill -9`
+//!   mid-write costs at most the torn final line — never a completed
+//!   result, never a queued job.
+//! * [`pool`] — the [`WorkerPool`]: persistent workers over a bounded
+//!   queue with deterministic shedding, labelled panic capture and
+//!   cooperative cancellation. `raccd-bench`'s batch helpers ride the same
+//!   pool.
+//! * [`snappool`] — the shared warm-start [`SnapshotPool`]: each
+//!   configuration's warm-up is simulated once and restored per seed.
+//! * [`service`] — the [`Campaign`] orchestrator tying the above together,
+//!   plus [`execute_job_direct`], the cold serial oracle the differential
+//!   suite compares campaign results against bit-for-bit.
+
+pub mod ledger;
+pub mod pool;
+pub mod service;
+pub mod snappool;
+pub mod spec;
+
+pub use ledger::{JobDigest, JobStatus, Ledger, LedgerState, Record, RecoveredJob};
+pub use pool::{CancelToken, PoolCtx, PoolTask, WorkerPool};
+pub use service::{
+    execute_job_direct, Campaign, CampaignConfig, CampaignReport, ReconcileReport, SubmitSummary,
+};
+pub use snappool::{SnapPoolStats, SnapshotPool};
+pub use spec::{fnv1a64, mode_label, parse_mode, JobKey, JobSpec};
+
+/// FNV-1a-64 over the full protocol-visible counter set of a run — the
+/// same sixteen counters (in the same order) as `raccd-bench`'s sweep
+/// checksum, so campaign digests and bench checksums witness the same
+/// state.
+pub fn stats_digest(s: &raccd_sim::Stats) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for v in [
+        s.cycles,
+        s.l1_hits,
+        s.l1_misses,
+        s.tlb_hits,
+        s.tlb_misses,
+        s.dir_accesses,
+        s.llc_hits,
+        s.llc_misses,
+        s.invalidations_sent,
+        s.nc_fills,
+        s.coherent_fills,
+        s.noc_traffic,
+        s.mem_reads,
+        s.mem_writes,
+        s.tasks_executed,
+        s.refs_processed,
+    ] {
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    h
+}

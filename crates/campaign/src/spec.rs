@@ -1,0 +1,346 @@
+//! Campaign job specifications: what to simulate, rendered canonically so
+//! identical work is identical text — the dedup fingerprint is a hash of
+//! the canonical form.
+//!
+//! One [`JobSpec`] names a *batch*: a (workload, machine, mode, engine,
+//! fault plan, warm-up) configuration plus an inclusive seed range. Each
+//! seed is an independent execution keyed by [`JobKey`] = (configuration
+//! fingerprint, seed); the fingerprint deliberately excludes the seed
+//! range so overlapping batches dedup seed-by-seed.
+
+use raccd_core::{CoherenceMode, Engine};
+use raccd_fault::FaultPlan;
+use raccd_sim::MachineConfig;
+use raccd_workloads::Scale;
+
+/// The unit of dedup and ledger accounting: one seeded execution of one
+/// configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobKey {
+    /// FNV-1a-64 over the spec's canonical configuration line.
+    pub fingerprint: u64,
+    /// Seed within the configuration's sweep.
+    pub seed: u64,
+}
+
+impl JobKey {
+    /// Stable display form, `<fingerprint-hex>/<seed>`.
+    pub fn label(&self) -> String {
+        format!("{:016x}/{}", self.fingerprint, self.seed)
+    }
+}
+
+/// A batch of simulation jobs: configuration plus seed range.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobSpec {
+    /// Benchmark name (Table II spelling, matched case-insensitively).
+    pub bench: String,
+    /// Workload scale.
+    pub scale: Scale,
+    /// System under test.
+    pub mode: CoherenceMode,
+    /// Directory ratio `1:N`.
+    pub ratio: usize,
+    /// Adaptive Directory Reduction enabled.
+    pub adr: bool,
+    /// Simulation engine (results are engine-independent by construction).
+    pub engine: Engine,
+    /// Cycles of warm-up shared through the snapshot pool (0 = cold).
+    pub warmup: u64,
+    /// Fault plan spec (`raccd_fault::FaultPlan::from_spec` grammar), or
+    /// `None` for a fault-free run. The per-seed fault RNG is reseeded at
+    /// the warm-up boundary, so every seed shares the warm-up prefix.
+    pub fault: Option<String>,
+    /// First seed of the sweep (inclusive).
+    pub seed_lo: u64,
+    /// Last seed of the sweep (inclusive).
+    pub seed_hi: u64,
+}
+
+/// FNV-1a-64 over a byte string.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Canonical mode label used in spec lines (round-trips through
+/// [`parse_mode`]).
+pub fn mode_label(mode: CoherenceMode) -> &'static str {
+    match mode {
+        CoherenceMode::FullCoh => "fullcoh",
+        CoherenceMode::PageTable => "pt",
+        CoherenceMode::Raccd => "raccd",
+        CoherenceMode::TlbClass => "tlbclass",
+    }
+}
+
+/// Parse a canonical mode label.
+pub fn parse_mode(s: &str) -> Option<CoherenceMode> {
+    match s.to_ascii_lowercase().as_str() {
+        "fullcoh" => Some(CoherenceMode::FullCoh),
+        "pt" | "pagetable" => Some(CoherenceMode::PageTable),
+        "raccd" => Some(CoherenceMode::Raccd),
+        "tlbclass" => Some(CoherenceMode::TlbClass),
+        _ => None,
+    }
+}
+
+fn engine_token(engine: Engine) -> String {
+    match engine {
+        Engine::Serial => "serial".to_string(),
+        Engine::EpochParallel { threads } => format!("parallel:{threads}"),
+    }
+}
+
+fn parse_engine(s: &str) -> Option<Engine> {
+    match s {
+        "serial" => Some(Engine::Serial),
+        _ => {
+            let threads = s.strip_prefix("parallel:")?.parse().ok()?;
+            Some(Engine::EpochParallel { threads })
+        }
+    }
+}
+
+fn parse_scale(s: &str) -> Option<Scale> {
+    match s {
+        "test" => Some(Scale::Test),
+        "bench" => Some(Scale::Bench),
+        "paper" => Some(Scale::Paper),
+        _ => None,
+    }
+}
+
+impl JobSpec {
+    /// A fault-free serial default for `bench` at `scale` (seed 1 only).
+    pub fn new(bench: &str, scale: Scale, mode: CoherenceMode) -> JobSpec {
+        JobSpec {
+            bench: bench.to_string(),
+            scale,
+            mode,
+            ratio: 8,
+            adr: false,
+            engine: Engine::Serial,
+            warmup: 0,
+            fault: None,
+            seed_lo: 1,
+            seed_hi: 1,
+        }
+    }
+
+    /// The canonical *configuration* line — everything except the seed
+    /// range, in fixed field order. Two specs describing the same work
+    /// render identically, so [`JobSpec::fingerprint`] dedups them.
+    pub fn canonical(&self) -> String {
+        let fault = match &self.fault {
+            // Normalise through the plan grammar so `drop=0.02` and
+            // `drop=2e-2` fingerprint identically.
+            Some(s) => FaultPlan::from_spec(s)
+                .map(|p| p.to_spec())
+                .unwrap_or_else(|_| s.clone()),
+            None => "-".to_string(),
+        };
+        format!(
+            "bench={} scale={} mode={} ratio={} adr={} engine={} warmup={} fault={}",
+            self.bench.to_ascii_lowercase(),
+            self.scale,
+            mode_label(self.mode),
+            self.ratio,
+            self.adr as u8,
+            engine_token(self.engine),
+            self.warmup,
+            fault,
+        )
+    }
+
+    /// One-line render including the seed range (parseable back via
+    /// [`JobSpec::parse`]).
+    pub fn render(&self) -> String {
+        format!(
+            "{} seeds={}..{}",
+            self.canonical(),
+            self.seed_lo,
+            self.seed_hi
+        )
+    }
+
+    /// Parse a [`JobSpec::render`] line (whitespace-separated `key=value`
+    /// items; unknown keys rejected so typos fail loudly).
+    pub fn parse(line: &str) -> Result<JobSpec, String> {
+        let mut spec = JobSpec::new("", Scale::Test, CoherenceMode::Raccd);
+        let mut saw_bench = false;
+        for item in line.split_whitespace() {
+            let (key, val) = item
+                .split_once('=')
+                .ok_or_else(|| format!("spec item `{item}` is not key=value"))?;
+            match key {
+                "bench" => {
+                    spec.bench = val.to_string();
+                    saw_bench = true;
+                }
+                "scale" => {
+                    spec.scale = parse_scale(val).ok_or_else(|| format!("bad scale `{val}`"))?;
+                }
+                "mode" => {
+                    spec.mode = parse_mode(val).ok_or_else(|| format!("bad mode `{val}`"))?;
+                }
+                "ratio" => {
+                    spec.ratio = val.parse().map_err(|_| format!("bad ratio `{val}`"))?;
+                }
+                "adr" => {
+                    spec.adr = match val {
+                        "0" | "false" => false,
+                        "1" | "true" => true,
+                        _ => return Err(format!("bad adr `{val}`")),
+                    };
+                }
+                "engine" => {
+                    spec.engine = parse_engine(val).ok_or_else(|| format!("bad engine `{val}`"))?;
+                }
+                "warmup" => {
+                    spec.warmup = val.parse().map_err(|_| format!("bad warmup `{val}`"))?;
+                }
+                "fault" => {
+                    spec.fault = if val == "-" {
+                        None
+                    } else {
+                        FaultPlan::from_spec(val).map_err(|e| format!("fault: {e}"))?;
+                        Some(val.to_string())
+                    };
+                }
+                "seeds" => {
+                    let (lo, hi) = val
+                        .split_once("..")
+                        .ok_or_else(|| format!("bad seeds `{val}` (want LO..HI)"))?;
+                    spec.seed_lo = lo.parse().map_err(|_| format!("bad seed `{lo}`"))?;
+                    spec.seed_hi = hi.parse().map_err(|_| format!("bad seed `{hi}`"))?;
+                    if spec.seed_lo > spec.seed_hi {
+                        return Err(format!("empty seed range `{val}`"));
+                    }
+                }
+                _ => return Err(format!("unknown spec key `{key}`")),
+            }
+        }
+        if !saw_bench || spec.bench.is_empty() {
+            return Err("spec missing bench=".into());
+        }
+        Ok(spec)
+    }
+
+    /// Configuration fingerprint: FNV-1a-64 of [`JobSpec::canonical`].
+    pub fn fingerprint(&self) -> u64 {
+        fnv1a64(self.canonical().as_bytes())
+    }
+
+    /// The per-seed execution keys of this batch, in seed order.
+    pub fn keys(&self) -> impl Iterator<Item = JobKey> + '_ {
+        let fingerprint = self.fingerprint();
+        (self.seed_lo..=self.seed_hi).map(move |seed| JobKey { fingerprint, seed })
+    }
+
+    /// Number of seeded executions this batch expands to.
+    pub fn njobs(&self) -> u64 {
+        self.seed_hi - self.seed_lo + 1
+    }
+
+    /// Index of the benchmark in [`raccd_workloads::all_benchmarks`].
+    pub fn bench_idx(&self) -> Result<usize, String> {
+        let names: Vec<String> = raccd_workloads::all_benchmarks(self.scale)
+            .iter()
+            .map(|w| w.name().to_string())
+            .collect();
+        names
+            .iter()
+            .position(|n| n.eq_ignore_ascii_case(&self.bench))
+            .ok_or_else(|| format!("unknown benchmark `{}`; have {names:?}", self.bench))
+    }
+
+    /// The machine configuration this spec describes.
+    pub fn machine_config(&self) -> MachineConfig {
+        let base = match self.scale {
+            Scale::Paper => MachineConfig::paper(),
+            _ => MachineConfig::scaled(),
+        };
+        base.with_dir_ratio(self.ratio).with_adr(self.adr)
+    }
+
+    /// The parsed fault plan, if any (validated at parse time).
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        self.fault
+            .as_deref()
+            .map(|s| FaultPlan::from_spec(s).expect("fault spec validated at construction"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> JobSpec {
+        JobSpec {
+            bench: "Jacobi".into(),
+            scale: Scale::Test,
+            mode: CoherenceMode::Raccd,
+            ratio: 8,
+            adr: true,
+            engine: Engine::EpochParallel { threads: 4 },
+            warmup: 5_000,
+            fault: Some("drop=0.02;dup=0.01".into()),
+            seed_lo: 1,
+            seed_hi: 8,
+        }
+    }
+
+    #[test]
+    fn render_parse_roundtrip() {
+        let s = spec();
+        let parsed = JobSpec::parse(&s.render()).expect("parses");
+        assert_eq!(parsed.fingerprint(), s.fingerprint());
+        assert_eq!(parsed.seed_lo, 1);
+        assert_eq!(parsed.seed_hi, 8);
+        assert_eq!(parsed.engine, s.engine);
+    }
+
+    #[test]
+    fn fingerprint_ignores_seed_range_and_case() {
+        let a = spec();
+        let mut b = spec();
+        b.seed_lo = 3;
+        b.seed_hi = 100;
+        b.bench = "jacobi".into();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let mut c = spec();
+        c.ratio = 16;
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_normalises_fault_spec() {
+        let mut a = spec();
+        let mut b = spec();
+        a.fault = Some("drop=0.02".into());
+        b.fault = Some("drop=2e-2".into());
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn rejects_bad_specs() {
+        assert!(JobSpec::parse("scale=test").is_err());
+        assert!(JobSpec::parse("bench=Jacobi seeds=5..2").is_err());
+        assert!(JobSpec::parse("bench=Jacobi bogus=1").is_err());
+        assert!(JobSpec::parse("bench=Jacobi fault=drop=9").is_err());
+    }
+
+    #[test]
+    fn keys_expand_in_seed_order() {
+        let s = spec();
+        let keys: Vec<JobKey> = s.keys().collect();
+        assert_eq!(keys.len(), 8);
+        assert!(keys.windows(2).all(|w| w[0].seed + 1 == w[1].seed));
+        assert!(keys.iter().all(|k| k.fingerprint == s.fingerprint()));
+    }
+}

@@ -1,0 +1,229 @@
+//! Integration tests of the campaign orchestrator: dedup, deterministic
+//! backpressure shedding at 10k+ submissions, retry-to-terminal failure,
+//! cooperative cancel + resume, and torn-tail resume — each reconciled
+//! against the ledger.
+
+use raccd_campaign::{Campaign, CampaignConfig, JobSpec, JobStatus, LedgerState, SubmitSummary};
+use raccd_core::CoherenceMode;
+use raccd_fault::Backoff;
+use raccd_workloads::Scale;
+use std::path::PathBuf;
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("raccd-campaign-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+fn spec(bench: &str, seeds: u64) -> JobSpec {
+    let mut s = JobSpec::new(bench, Scale::Test, CoherenceMode::Raccd);
+    s.seed_hi = seeds;
+    s
+}
+
+fn quick_config() -> CampaignConfig {
+    CampaignConfig {
+        workers: 2,
+        queue_cap: 1024,
+        retry_budget: 2,
+        backoff: Backoff { base: 1, cap: 2 },
+        timeout_ms: 0,
+        slice: 10_000,
+    }
+}
+
+#[test]
+fn dedup_answers_resubmission_from_the_cache() {
+    let path = scratch("dedup.jsonl");
+    let camp = Campaign::open(&path, quick_config()).unwrap();
+    let s = spec("Jacobi", 3);
+    assert_eq!(
+        camp.submit(&s).unwrap(),
+        SubmitSummary {
+            admitted: 3,
+            deduped: 0,
+            shed: 0
+        }
+    );
+    // Resubmitting while queued already dedups: the key is known.
+    assert_eq!(camp.submit(&s).unwrap().deduped, 3);
+    let report = camp.run().unwrap();
+    assert_eq!(report.done, 3);
+    assert_eq!(report.executions, 3);
+    assert!(report.reconcile.consistent, "{}", report.to_json());
+    // Resubmitting after completion dedups against the result cache —
+    // run() again performs zero new executions.
+    assert_eq!(camp.submit(&s).unwrap().deduped, 3);
+    let report = camp.run().unwrap();
+    assert_eq!(report.done, 3);
+    assert_eq!(report.executions, 3, "completed jobs were re-executed");
+    assert_eq!(report.dedup_hits, 6);
+}
+
+#[test]
+fn saturation_sheds_deterministically_beyond_the_cap() {
+    let path = scratch("shed.jsonl");
+    let cap = 40u64;
+    let total = 12_000u64;
+    let config = CampaignConfig {
+        queue_cap: cap as usize,
+        ..quick_config()
+    };
+    let camp = Campaign::open(&path, config.clone()).unwrap();
+    let s = spec("Jacobi", total);
+    let sum = camp.submit(&s).unwrap();
+    assert_eq!(sum.admitted, cap);
+    assert_eq!(sum.shed, total - cap);
+    // Deterministic: admission is a pure function of submission order, so
+    // exactly the first `cap` seeds run and every later seed is shed.
+    let replay = LedgerState::replay(&std::fs::read(&path).unwrap());
+    for (key, job) in &replay.jobs {
+        let expect = if key.seed <= cap {
+            JobStatus::Queued
+        } else {
+            JobStatus::Shed
+        };
+        assert_eq!(job.status, expect, "seed {}", key.seed);
+    }
+    let report = camp.run().unwrap();
+    assert_eq!(report.jobs, total);
+    assert_eq!(report.done, cap);
+    assert_eq!(report.shed, total - cap);
+    assert_eq!(report.executions, cap, "shed jobs must never execute");
+    assert!(report.reconcile.consistent, "{}", report.to_json());
+    drop(camp);
+
+    // Shed is terminal: a resume (same process would dedup; a fresh one
+    // replays) neither runs nor re-admits the shed jobs.
+    let camp = Campaign::open(&path, config).unwrap();
+    assert_eq!(camp.submit(&s).unwrap().deduped, total);
+    let report = camp.run().unwrap();
+    assert_eq!(report.executions, 0);
+    assert_eq!(report.done, cap);
+    assert_eq!(report.shed, total - cap);
+    assert!(report.reconcile.consistent, "{}", report.to_json());
+}
+
+#[test]
+fn failing_job_burns_retries_then_lands_terminal() {
+    let path = scratch("retry.jsonl");
+    let camp = Campaign::open(&path, quick_config()).unwrap();
+    // Every message dropped with a one-retry budget: detection is
+    // guaranteed and identical on every attempt.
+    let mut s = spec("Jacobi", 1);
+    s.fault = Some("drop=1;retry_budget=1".to_string());
+    camp.submit(&s).unwrap();
+    let report = camp.run().unwrap();
+    assert_eq!(report.done, 0);
+    assert_eq!(report.failed, 1);
+    assert_eq!(report.retries, 1, "retry_budget=2 ⇒ exactly one requeue");
+    assert_eq!(report.executions, 2, "both attempts actually ran");
+    assert!(report.reconcile.consistent, "{}", report.to_json());
+    let (_, err) = &camp.failures()[0];
+    assert!(err.contains("detected"), "unexpected failure: {err}");
+}
+
+#[test]
+fn cancel_then_resume_loses_and_duplicates_nothing() {
+    let path = scratch("cancel.jsonl");
+    let total = 8u64;
+    let config = CampaignConfig {
+        workers: 1,
+        ..quick_config()
+    };
+    let camp = Campaign::open(&path, config.clone()).unwrap();
+    camp.submit(&spec("Jacobi", total)).unwrap();
+    let first = std::thread::scope(|scope| {
+        let runner = scope.spawn(|| camp.run().unwrap());
+        // Cancel somewhere mid-run; every interleaving below must hold.
+        std::thread::sleep(std::time::Duration::from_millis(40));
+        camp.cancel();
+        runner.join().unwrap()
+    });
+    assert!(first.done <= total);
+    assert_eq!(first.reconcile.duplicate_completions, 0);
+    drop(camp);
+
+    // Resume on the survivor ledger: exactly the unfinished jobs run.
+    let camp = Campaign::open(&path, config).unwrap();
+    let second = camp.run().unwrap();
+    assert_eq!(second.done, total);
+    assert_eq!(
+        second.executions,
+        total - first.done,
+        "resume re-ran a completed job or dropped a pending one"
+    );
+    assert!(second.reconcile.consistent, "{}", second.to_json());
+    assert_eq!(second.reconcile.duplicate_completions, 0);
+    assert_eq!(second.reconcile.lost_jobs, 0);
+}
+
+#[test]
+fn torn_tail_resume_is_clean() {
+    let path = scratch("torn.jsonl");
+    let s = spec("Gauss", 2);
+    {
+        let camp = Campaign::open(&path, quick_config()).unwrap();
+        camp.submit(&s).unwrap();
+        let report = camp.run().unwrap();
+        assert_eq!(report.done, 2);
+    }
+    // Crash mid-append: half a record at the tail.
+    {
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap();
+        f.write_all(b"{\"seq\":99,\"kind\":\"enqu").unwrap();
+    }
+    let camp = Campaign::open(&path, quick_config()).unwrap();
+    assert_eq!(camp.submit(&s).unwrap().deduped, 2);
+    let report = camp.run().unwrap();
+    assert_eq!(report.executions, 0, "cached results were re-executed");
+    assert_eq!(report.done, 2);
+    assert!(report.reconcile.consistent, "{}", report.to_json());
+}
+
+#[test]
+fn lifecycle_events_track_queue_depth() {
+    let path = scratch("events.jsonl");
+    let camp = Campaign::open(&path, quick_config()).unwrap();
+    camp.submit(&spec("Jacobi", 4)).unwrap();
+    camp.run().unwrap();
+    let events = camp.events();
+    use raccd_obs::{CampaignAction, Event};
+    let actions: Vec<CampaignAction> = events
+        .iter()
+        .filter_map(|e| match e {
+            Event::Campaign { action, .. } => Some(*action),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        actions
+            .iter()
+            .filter(|a| matches!(a, CampaignAction::Enqueue))
+            .count(),
+        4
+    );
+    assert_eq!(
+        actions
+            .iter()
+            .filter(|a| matches!(a, CampaignAction::Complete))
+            .count(),
+        4
+    );
+    // The depth gauge ends drained.
+    let last_depth = events
+        .iter()
+        .rev()
+        .find_map(|e| match e {
+            Event::Campaign { queue_depth, .. } => Some(*queue_depth),
+            _ => None,
+        })
+        .unwrap();
+    assert_eq!(last_depth, 0);
+}

@@ -485,6 +485,60 @@ impl Driver {
     }
 }
 
+/// Why a supervised run stopped ([`Driver::finish_engine_supervised`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SupervisedEnd {
+    /// The run drained its heap (or a fault detection ended it) — the
+    /// normal completions [`Driver::finish_engine`] also reaches.
+    Completed,
+    /// The supervisor's tick aborted the run with this reason (campaign
+    /// cancellation, per-job watchdog timeout, resource ceiling, …).
+    Aborted(String),
+}
+
+impl Driver {
+    /// Resilience hook for long-running orchestration (the campaign
+    /// service): run to completion under `engine`, but between slices of
+    /// at most `slice` heap cycles call `tick` with the live driver. A
+    /// `tick` error aborts the run cooperatively — the driver stops at a
+    /// slice boundary (a state a serial run also reaches, so nothing is
+    /// half-committed) and the partial run is discarded: an aborted
+    /// attempt yields no output, exactly like a crash at the same point.
+    ///
+    /// The tick runs on the simulating thread, so it costs one closure
+    /// call per slice — size `slice` so supervision overhead stays noise
+    /// (the campaign default is 50k cycles).
+    pub fn finish_engine_supervised(
+        mut self,
+        engine: Engine,
+        slice: u64,
+        mut tick: impl FnMut(&Driver) -> Result<(), String>,
+    ) -> (SupervisedEnd, Option<String>, Option<DriverOutput>) {
+        let slice = slice.max(1);
+        let mut pool = match engine {
+            Engine::Serial => None,
+            Engine::EpochParallel { threads } => Some(WorkerPool::new(threads)),
+        };
+        while let Some(t) = self.next_time() {
+            let target = t.saturating_add(slice);
+            let live = match pool.as_mut() {
+                None => self.run_until(target, None),
+                Some(p) => self.run_until_engine(target, p, None),
+            };
+            if !live {
+                break;
+            }
+            if let Err(reason) = tick(&self) {
+                // Mid-program: unexecuted tasks remain, so the driver
+                // cannot be torn down into output — drop it whole.
+                return (SupervisedEnd::Aborted(reason), None, None);
+            }
+        }
+        let key = self.shadow_state_key();
+        (SupervisedEnd::Completed, key, Some(self.into_output(None)))
+    }
+}
+
 /// [`crate::driver::run_program_with`] under a selectable engine.
 pub fn run_program_engine(
     cfg: MachineConfig,

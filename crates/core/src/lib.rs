@@ -34,7 +34,8 @@ pub mod tlbclass;
 pub use census::{Census, CensusSummary};
 pub use driver::{Driver, DriverOutput, RollbackPolicy};
 pub use engine::{
-    plan_epoch, run_program_engine, run_program_engine_profiled, Engine, PlanTurn, WorkerPool,
+    plan_epoch, run_program_engine, run_program_engine_profiled, Engine, PlanTurn, SupervisedEnd,
+    WorkerPool,
 };
 pub use experiment::{Experiment, RunResult};
 pub use mode::CoherenceMode;

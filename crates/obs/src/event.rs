@@ -150,6 +150,56 @@ pub enum Event {
         /// Message retries observed in the triggering window.
         retries: u64,
     },
+    /// Campaign-service job lifecycle transition (`raccd-campaign`). The
+    /// campaign plane has no simulated clock: `cycle` is host milliseconds
+    /// since the campaign started. `queue_depth` after every transition
+    /// gives the queue-depth time-series for free.
+    Campaign {
+        /// Host milliseconds since campaign start.
+        cycle: u64,
+        /// Which transition happened.
+        action: CampaignAction,
+        /// Job configuration fingerprint.
+        fingerprint: u64,
+        /// Seed within the configuration.
+        seed: u64,
+        /// Jobs admitted but not yet terminal, after this transition.
+        queue_depth: u32,
+    },
+}
+
+/// What happened to a campaign job (see [`Event::Campaign`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CampaignAction {
+    /// Admitted to the queue.
+    Enqueue,
+    /// Submission matched an existing key (cache/queue hit).
+    Dedup,
+    /// Rejected by backpressure (queue at capacity).
+    Shed,
+    /// A worker took the job.
+    Lease,
+    /// A failed attempt was requeued with backoff.
+    Retry,
+    /// Completed; result cached.
+    Complete,
+    /// Failed terminally (retry budget exhausted).
+    Fail,
+}
+
+impl CampaignAction {
+    /// Stable lowercase label (JSONL `kind` suffix, CSV column).
+    pub fn label(self) -> &'static str {
+        match self {
+            CampaignAction::Enqueue => "enqueue",
+            CampaignAction::Dedup => "dedup",
+            CampaignAction::Shed => "shed",
+            CampaignAction::Lease => "lease",
+            CampaignAction::Retry => "retry",
+            CampaignAction::Complete => "complete",
+            CampaignAction::Fail => "fail",
+        }
+    }
 }
 
 impl Event {
@@ -166,7 +216,8 @@ impl Event {
             | Event::Coherence { cycle, .. }
             | Event::TaskRetry { cycle, .. }
             | Event::WatchdogFired { cycle, .. }
-            | Event::ModeDowngrade { cycle, .. } => cycle,
+            | Event::ModeDowngrade { cycle, .. }
+            | Event::Campaign { cycle, .. } => cycle,
         }
     }
 
@@ -183,6 +234,15 @@ impl Event {
             Event::TaskRetry { .. } => "task_retry",
             Event::WatchdogFired { .. } => "watchdog_fired",
             Event::ModeDowngrade { .. } => "mode_downgrade",
+            Event::Campaign { action, .. } => match action {
+                CampaignAction::Enqueue => "campaign_enqueue",
+                CampaignAction::Dedup => "campaign_dedup",
+                CampaignAction::Shed => "campaign_shed",
+                CampaignAction::Lease => "campaign_lease",
+                CampaignAction::Retry => "campaign_retry",
+                CampaignAction::Complete => "campaign_complete",
+                CampaignAction::Fail => "campaign_fail",
+            },
             Event::Coherence { ev, .. } => match ev {
                 CoherenceEvent::CoherentFill { .. } => "coherent_fill",
                 CoherenceEvent::NcFill { .. } => "nc_fill",

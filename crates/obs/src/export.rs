@@ -111,6 +111,15 @@ pub fn event_json(names: &[String], ev: &Event) -> String {
         Event::ModeDowngrade {
             overflows, retries, ..
         } => o.u64("overflows", overflows).u64("retries", retries),
+        Event::Campaign {
+            fingerprint,
+            seed,
+            queue_depth,
+            ..
+        } => o
+            .str("fp", &format!("{fingerprint:016x}"))
+            .u64("seed", seed)
+            .u64("queue_depth", queue_depth as u64),
         Event::Coherence { ref ev, .. } => match *ev {
             CoherenceEvent::CoherentFill {
                 core,
@@ -266,6 +275,31 @@ pub fn write_series_csv(samples: &[Sample], w: &mut dyn Write) -> io::Result<()>
             s.d_refs,
             s.d_tasks
         )?;
+    }
+    Ok(())
+}
+
+/// Write the campaign queue-depth time-series as CSV (one row per
+/// campaign lifecycle event; `ms` is host milliseconds since campaign
+/// start). Non-campaign events in `events` are ignored, so the full
+/// recorder stream can be passed straight through.
+pub fn write_campaign_depth_csv(events: &[Event], w: &mut dyn Write) -> io::Result<()> {
+    writeln!(w, "ms,action,fp,seed,queue_depth")?;
+    for ev in events {
+        if let Event::Campaign {
+            cycle,
+            action,
+            fingerprint,
+            seed,
+            queue_depth,
+        } = *ev
+        {
+            writeln!(
+                w,
+                "{cycle},{},{fingerprint:016x},{seed},{queue_depth}",
+                action.label()
+            )?;
+        }
     }
     Ok(())
 }
@@ -529,6 +563,22 @@ pub fn chrome_trace_json(rec: &Recorder) -> String {
                             .u64("attempt", attempt as u64)
                             .render(),
                     );
+                push(&mut entries, ts, o);
+            }
+            Event::Campaign {
+                action,
+                queue_depth,
+                ..
+            } => {
+                // Queue-depth counter track (campaign time is host ms, so
+                // 1 ms = 1 µs of trace time on the machine pid).
+                let o = trace_base("C", "campaign_queue", ts, PID_MACHINE, 0).raw(
+                    "args",
+                    Obj::new()
+                        .u64("depth", queue_depth as u64)
+                        .str("last", action.label())
+                        .render(),
+                );
                 push(&mut entries, ts, o);
             }
             Event::TaskCreated { .. } | Event::TaskWoken { .. } => {}

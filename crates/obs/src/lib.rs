@@ -37,10 +37,10 @@ pub mod metrics;
 pub mod recorder;
 pub mod sampler;
 
-pub use event::{Event, NameId, Sink};
+pub use event::{CampaignAction, Event, NameId, Sink};
 pub use export::{
-    chrome_trace_json, event_json, write_chrome_trace, write_events_jsonl, write_histograms,
-    write_series_csv, JsonlSink,
+    chrome_trace_json, event_json, write_campaign_depth_csv, write_chrome_trace,
+    write_events_jsonl, write_histograms, write_series_csv, JsonlSink,
 };
 pub use hist::Log2Hist;
 pub use metrics::{peak_rss_bytes, render_table as render_metrics_table, RunMetrics};

@@ -13,8 +13,8 @@
 
 use raccd_obs::json::{self, Value};
 use raccd_obs::{
-    chrome_trace_json, write_events_jsonl, write_histograms, write_series_csv, Event, Gauges,
-    Recorder,
+    chrome_trace_json, write_campaign_depth_csv, write_events_jsonl, write_histograms,
+    write_series_csv, CampaignAction, Event, Gauges, Recorder,
 };
 use raccd_sim::{CoherenceEvent, Stats};
 use std::path::Path;
@@ -103,6 +103,21 @@ fn fixture() -> Recorder {
         prev_owner: 0,
         page: 0x40,
         flushed_lines: 5,
+    });
+    // Campaign-plane lifecycle (host-ms clock, not simulated cycles).
+    rec.record(Event::Campaign {
+        cycle: 500,
+        action: CampaignAction::Enqueue,
+        fingerprint: 0xdead_beef_cafe_f00d,
+        seed: 7,
+        queue_depth: 1,
+    });
+    rec.record(Event::Campaign {
+        cycle: 512,
+        action: CampaignAction::Complete,
+        fingerprint: 0xdead_beef_cafe_f00d,
+        seed: 7,
+        queue_depth: 0,
     });
 
     rec.hist_mem_latency.record(2);
@@ -226,6 +241,20 @@ fn series_csv_matches_golden() {
     let header = lines.next().expect("header row");
     assert!(header.starts_with("cycle,"));
     assert_eq!(lines.count(), 2, "one interval sample + the finish sample");
+}
+
+#[test]
+fn campaign_depth_csv_matches_golden() {
+    let rec = fixture();
+    let mut buf = Vec::new();
+    write_campaign_depth_csv(rec.events(), &mut buf).unwrap();
+    let text = String::from_utf8(buf).unwrap();
+    assert_golden("campaign_depth.csv", &text);
+    let mut lines = text.lines();
+    assert_eq!(lines.next(), Some("ms,action,fp,seed,queue_depth"));
+    assert_eq!(lines.next(), Some("500,enqueue,deadbeefcafef00d,7,1"));
+    assert_eq!(lines.next(), Some("512,complete,deadbeefcafef00d,7,0"));
+    assert_eq!(lines.next(), None, "non-campaign events are filtered out");
 }
 
 #[test]
