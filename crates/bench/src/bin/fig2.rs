@@ -9,7 +9,7 @@
 //! §II-B hardware costs RaCCD avoids.
 
 use raccd_bench::chart::{chart_requested, grouped_bar_chart};
-use raccd_bench::{bench_names, config_for_scale, mean, run_matrix, scale_from_args};
+use raccd_bench::{bench_names, config_from_args, mean, run_matrix, scale_from_args};
 use raccd_core::CoherenceMode;
 
 fn main() {
@@ -25,7 +25,7 @@ fn main() {
     let results = run_matrix(
         "fig2",
         scale,
-        config_for_scale(scale),
+        config_from_args(scale, &args),
         names.len(),
         &modes,
         &[1],

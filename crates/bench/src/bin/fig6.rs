@@ -6,7 +6,7 @@
 //! 22 % on average and 71 % at 1:256; PT loses 15 % at 1:8; RaCCD loses
 //! only 0.9 % at 1:8 and ~10 % at 1:256.
 
-use raccd_bench::{bench_names, config_for_scale, mean, run_matrix, scale_from_args};
+use raccd_bench::{bench_names, config_from_args, mean, run_matrix, scale_from_args};
 use raccd_core::CoherenceMode;
 use raccd_sim::DIR_RATIOS;
 use std::collections::HashMap;
@@ -21,7 +21,7 @@ fn main() {
     let results = run_matrix(
         "fig6",
         scale,
-        config_for_scale(scale),
+        config_from_args(scale, &args),
         names.len(),
         &modes,
         &DIR_RATIOS,

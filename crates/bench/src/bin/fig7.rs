@@ -2,9 +2,12 @@
 //! (b) LLC hit ratio, (c) NoC traffic, (d) directory dynamic energy.
 //!
 //! Usage: `fig7 [--scale ...] [--engine serial|parallel [--threads N]]
+//! [--protocol mesi|mesif|moesi] [--topology mesh|numa2]
 //! [accesses|llc|noc|energy]` — with no metric argument all four sections
 //! print. The engine only changes how simulations are advanced; the
-//! figures are bit-identical either way.
+//! figures are bit-identical either way. `--protocol`/`--topology` select
+//! the coherence-protocol variant and NoC shape, so the same sweep runs
+//! over {MESI, MESIF, MOESI} × {mesh, numa2}.
 //!
 //! Paper reference points: RaCCD needs only ~26 % of FullCoh's directory
 //! accesses; FullCoh LLC hit rate collapses 56 %→24 % by 1:256 while
@@ -12,7 +15,7 @@
 //! for RaCCD; RaCCD's directory dynamic energy is 71–80 % below FullCoh.
 
 use raccd_bench::{
-    bench_names, config_for_scale, engine_from_args, mean, run_matrix_engine, scale_from_args,
+    bench_names, config_from_args, engine_from_args, mean, run_matrix_engine, scale_from_args,
 };
 use raccd_core::CoherenceMode;
 use raccd_energy::EnergyModel;
@@ -32,7 +35,7 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let scale = scale_from_args(&args);
     let names = bench_names(scale);
-    let cfg = config_for_scale(scale);
+    let cfg = config_from_args(scale, &args);
     let which: Vec<&str> = {
         let sel: Vec<&str> = args
             .iter()

@@ -7,7 +7,7 @@
 //! energy 13–78 % (avg 50 %) vs RaCCD 1:1 and 72 % vs PT 1:1; overall 86 %
 //! saving vs FullCoh 1:1.
 
-use raccd_bench::{bench_names, config_for_scale, mean, run_matrix, scale_from_args};
+use raccd_bench::{bench_names, config_from_args, mean, run_matrix, scale_from_args};
 use raccd_core::CoherenceMode;
 use raccd_energy::EnergyModel;
 use raccd_sim::Stats;
@@ -25,7 +25,7 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let scale = scale_from_args(&args);
     let names = bench_names(scale);
-    let cfg = config_for_scale(scale);
+    let cfg = config_from_args(scale, &args);
 
     let modes = [
         (CoherenceMode::FullCoh, false),

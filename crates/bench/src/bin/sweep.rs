@@ -5,6 +5,7 @@
 //! cargo run --release -p raccd-bench --bin sweep -- \
 //!     [--scale test|bench|paper] [--bench Jacobi,...] [--ratios 1,8,256] \
 //!     [--modes FullCoh,PT,TLB,RaCCD] [--adr] [--smt N] [--wt] \
+//!     [--protocol mesi|mesif|moesi] [--topology mesh|numa2] \
 //!     [--contention] [--permuted] [--steal] [--telemetry out/] \
 //!     [--engine serial|parallel [--threads N]]
 //! ```
@@ -14,7 +15,7 @@
 //! histogram report) into a per-job subdirectory of `dir`.
 
 use raccd_bench::{
-    bench_names, config_for_scale, engine_from_args, run_jobs_with_telemetry, scale_from_args,
+    bench_names, config_from_args, engine_from_args, run_jobs_with_telemetry, scale_from_args,
     telemetry_dir_from_args, Job,
 };
 use raccd_core::CoherenceMode;
@@ -63,7 +64,7 @@ fn main() {
         .unwrap_or_else(|| CoherenceMode::ALL.to_vec());
 
     let adr = args.iter().any(|a| a == "--adr");
-    let mut base_cfg = config_for_scale(scale);
+    let mut base_cfg = config_from_args(scale, &args);
     if let Some(v) = pick("--smt").and_then(|v| v.first().cloned()) {
         base_cfg = base_cfg.with_smt(v.parse().expect("smt ways"));
     }
@@ -97,7 +98,18 @@ fn main() {
     }
 
     let telemetry = telemetry_dir_from_args(&args);
-    eprintln!("running {} simulations at scale {scale}...", jobs.len());
+    eprintln!(
+        "running {} simulations at scale {scale} ({} protocol, {} topology)...",
+        jobs.len(),
+        base_cfg.protocol.label(),
+        base_cfg.topology.label(),
+    );
+    println!(
+        "# machine: protocol={} topology={} ncores={}",
+        base_cfg.protocol.label(),
+        base_cfg.topology.label(),
+        base_cfg.ncores,
+    );
     let t0 = std::time::Instant::now();
     let results = run_jobs_with_telemetry(scale, base_cfg, &jobs, telemetry.as_deref());
     eprintln!("done in {:.1}s", t0.elapsed().as_secs_f64());

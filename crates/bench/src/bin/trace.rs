@@ -4,6 +4,7 @@
 //! ```text
 //! cargo run --release -p raccd-bench --bin trace -- \
 //!     [--scale test|bench] [--bench Jacobi] [--mode RaCCD] [--head 20] \
+//!     [--protocol mesi|mesif|moesi] [--topology mesh|numa2] \
 //!     [--interval 4096] [--telemetry out/] [--profile] \
 //!     [--snapshot file.rsnp [--snapshot-at CYCLE]] [--restore file.rsnp] \
 //!     [--engine serial|parallel [--threads N]]
@@ -26,7 +27,7 @@
 //! run (telemetry covers only the resumed half).
 
 use raccd_bench::{
-    bench_names, config_for_scale, engine_from_args, scale_from_args, telemetry_dir_from_args,
+    bench_names, config_from_args, engine_from_args, scale_from_args, telemetry_dir_from_args,
     write_telemetry,
 };
 use raccd_core::{CoherenceMode, Driver};
@@ -63,7 +64,7 @@ fn main() {
         .unwrap_or(RecorderConfig::default().sample_interval);
     let telemetry = telemetry_dir_from_args(&args);
 
-    let mut cfg = config_for_scale(scale);
+    let mut cfg = config_from_args(scale, &args);
     cfg.record_events = true;
 
     let snapshot_path = pick("--snapshot");
@@ -77,8 +78,10 @@ fn main() {
     let workloads = raccd_workloads::all_benchmarks(scale);
     let program = workloads[bench_idx].build();
     eprintln!(
-        "tracing {} under {mode} at scale {scale}...",
-        names[bench_idx]
+        "tracing {} under {mode} at scale {scale} ({} protocol, {} topology)...",
+        names[bench_idx],
+        cfg.protocol.label(),
+        cfg.topology.label(),
     );
     let mut rec = Recorder::new(RecorderConfig {
         sample_interval: interval,

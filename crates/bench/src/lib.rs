@@ -17,7 +17,7 @@ pub mod perfjson;
 use raccd_campaign::{PoolTask, WorkerPool};
 use raccd_core::{CoherenceMode, Engine, Experiment, RunResult};
 use raccd_obs::{Recorder, RecorderConfig, RunMetrics};
-use raccd_sim::MachineConfig;
+use raccd_sim::{MachineConfig, ProtocolKind, Topology};
 use raccd_workloads::{all_benchmarks, Scale};
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
@@ -221,8 +221,19 @@ pub fn run_matrix_engine(
         }
     }
     eprintln!(
-        "{tag}: running {} simulations at scale {scale} ({engine} engine)...",
-        jobs.len()
+        "{tag}: running {} simulations at scale {scale} ({engine} engine, {} protocol, {} topology)...",
+        jobs.len(),
+        base_cfg.protocol.label(),
+        base_cfg.topology.label(),
+    );
+    // Machine-variant header into the figure's stdout so `results/*.txt`
+    // records which protocol/topology produced the numbers; `#`-prefixed
+    // so data consumers skip it like the perf summary line.
+    println!(
+        "# machine: protocol={} topology={} ncores={}",
+        base_cfg.protocol.label(),
+        base_cfg.topology.label(),
+        base_cfg.ncores,
     );
     let t0 = std::time::Instant::now();
     let results = run_jobs(scale, base_cfg, &jobs);
@@ -382,6 +393,41 @@ pub fn config_for_scale(scale: Scale) -> MachineConfig {
     }
 }
 
+/// Parse `--protocol mesi|mesif|moesi` from argv (default: mesi).
+pub fn protocol_from_args(args: &[String]) -> ProtocolKind {
+    match args
+        .iter()
+        .position(|a| a == "--protocol")
+        .and_then(|i| args.get(i + 1))
+    {
+        Some(name) => ProtocolKind::parse(name)
+            .unwrap_or_else(|| panic!("--protocol: unknown protocol `{name}` (mesi|mesif|moesi)")),
+        None => ProtocolKind::Mesi,
+    }
+}
+
+/// Parse `--topology mesh|numa2` from argv (default: mesh).
+pub fn topology_from_args(args: &[String]) -> Topology {
+    match args
+        .iter()
+        .position(|a| a == "--topology")
+        .and_then(|i| args.get(i + 1))
+    {
+        Some(name) => Topology::parse(name)
+            .unwrap_or_else(|| panic!("--topology: unknown topology `{name}` (mesh|numa2)")),
+        None => Topology::Mesh,
+    }
+}
+
+/// [`config_for_scale`] plus the `--protocol`/`--topology` CLI overrides —
+/// the standard machine preamble of every figure binary. A `numa2`
+/// topology doubles `ncores` (two sockets of the scale's mesh).
+pub fn config_from_args(scale: Scale, args: &[String]) -> MachineConfig {
+    config_for_scale(scale)
+        .with_protocol(protocol_from_args(args))
+        .with_topology(topology_from_args(args))
+}
+
 /// Format a TSV row.
 pub fn tsv_row(cells: &[String]) -> String {
     cells.join("\t")
@@ -440,6 +486,32 @@ mod tests {
             engine_from_args(&args(&["--engine", "serial", "--threads", "2"])),
             Engine::Serial
         );
+    }
+
+    #[test]
+    fn protocol_and_topology_parsing() {
+        let args = |s: &[&str]| s.iter().map(|x| x.to_string()).collect::<Vec<_>>();
+        assert_eq!(protocol_from_args(&args(&[])), ProtocolKind::Mesi);
+        assert_eq!(
+            protocol_from_args(&args(&["--protocol", "mesif"])),
+            ProtocolKind::Mesif
+        );
+        assert_eq!(
+            protocol_from_args(&args(&["--protocol", "MOESI"])),
+            ProtocolKind::Moesi
+        );
+        assert_eq!(topology_from_args(&args(&[])), Topology::Mesh);
+        assert_eq!(
+            topology_from_args(&args(&["--topology", "numa2"])),
+            Topology::Numa2
+        );
+        let cfg = config_from_args(
+            Scale::Test,
+            &args(&["--protocol", "moesi", "--topology", "numa2"]),
+        );
+        assert_eq!(cfg.protocol, ProtocolKind::Moesi);
+        assert_eq!(cfg.topology, Topology::Numa2);
+        assert_eq!(cfg.ncores, 2 * cfg.mesh_k * cfg.mesh_k);
     }
 
     #[test]

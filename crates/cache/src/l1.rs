@@ -11,6 +11,11 @@ use crate::set_assoc::SetAssoc;
 use raccd_mem::BlockAddr;
 
 /// Coherence state of a resident L1 line (Invalid ⇒ absent from the array).
+///
+/// `Modified`/`Exclusive`/`Shared` are the baseline MESI lattice; the
+/// `Forward` (MESIF) and `Owned` (MOESI) extensions only occur when the
+/// machine runs the corresponding protocol kind — a MESI machine never
+/// installs them.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum L1State {
     /// Modified: exclusive and dirty.
@@ -19,10 +24,18 @@ pub enum L1State {
     Exclusive,
     /// Shared: possibly other copies, clean.
     Shared,
+    /// Forward (MESIF): clean like Shared, but this copy is the
+    /// designated cache-to-cache supplier for read fills. Replacement
+    /// notifies the directory (PutF) instead of dropping silently.
+    Forward,
+    /// Owned (MOESI): dirty like Modified, but read-only — other Shared
+    /// copies may exist. The only up-to-date on-chip version; supplies
+    /// read fills and writes back on replacement or invalidation.
+    Owned,
 }
 
 /// A resident L1 line.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct L1Line {
     /// MESI state. For NC lines the state is kept (E on fill, M after a
     /// write) but the directory knows nothing about it.
@@ -36,9 +49,10 @@ pub struct L1Line {
 }
 
 impl L1Line {
-    /// Whether the line holds data newer than the LLC copy.
+    /// Whether the line holds data newer than the LLC copy (M, or the
+    /// MOESI dirty-shared O).
     pub fn dirty(&self) -> bool {
-        self.state == L1State::Modified
+        matches!(self.state, L1State::Modified | L1State::Owned)
     }
 }
 
@@ -109,9 +123,16 @@ impl L1Cache {
 
     /// Downgrade M/E → S on a forwarded GetS. Returns whether data was dirty.
     pub fn downgrade_to_shared(&mut self, block: BlockAddr) -> Option<bool> {
+        self.downgrade_to(block, L1State::Shared)
+    }
+
+    /// Protocol-directed downgrade on a forwarded GetS: M/E → `to`
+    /// (Shared under MESI/MESIF, Owned for a dirty MOESI owner). Returns
+    /// whether the data was dirty before the transition.
+    pub fn downgrade_to(&mut self, block: BlockAddr, to: L1State) -> Option<bool> {
         self.arr.get_mut(block.0).map(|l| {
             let was_dirty = l.dirty();
-            l.state = L1State::Shared;
+            l.state = to;
             was_dirty
         })
     }
@@ -165,6 +186,8 @@ impl raccd_snap::Snap for L1State {
             L1State::Modified => 0,
             L1State::Exclusive => 1,
             L1State::Shared => 2,
+            L1State::Forward => 3,
+            L1State::Owned => 4,
         });
     }
     fn load(r: &mut raccd_snap::SnapReader) -> Result<Self, raccd_snap::SnapError> {
@@ -172,6 +195,8 @@ impl raccd_snap::Snap for L1State {
             0 => Ok(L1State::Modified),
             1 => Ok(L1State::Exclusive),
             2 => Ok(L1State::Shared),
+            3 => Ok(L1State::Forward),
+            4 => Ok(L1State::Owned),
             _ => Err(raccd_snap::SnapError::Invalid("L1 state tag")),
         }
     }
@@ -293,6 +318,41 @@ mod tests {
         let flushed = l1.flush_page(page);
         assert_eq!(flushed.len(), 2);
         assert_eq!(l1.occupancy(), 1);
+    }
+
+    #[test]
+    fn every_l1_state_snap_roundtrips_byte_identically() {
+        use L1State::*;
+        // Fixed tags: re-encoding the decoded value must be byte-identical,
+        // and the tag assignment is part of the snapshot format (Forward=3,
+        // Owned=4 appended after the MESI trio — old snapshots stay valid).
+        for (state, tag) in [
+            (Modified, 0u8),
+            (Exclusive, 1),
+            (Shared, 2),
+            (Forward, 3),
+            (Owned, 4),
+        ] {
+            let bytes = raccd_snap::encode(&state);
+            assert_eq!(bytes, vec![tag], "{state:?} encodes as its fixed tag");
+            let back: L1State = raccd_snap::decode(&bytes).expect("decodes");
+            assert_eq!(back, state);
+            assert_eq!(raccd_snap::encode(&back), bytes, "re-encode byte-identical");
+        }
+        assert!(
+            raccd_snap::decode::<L1State>(&[5]).is_err(),
+            "unknown tag rejected"
+        );
+        // Full lines in the new states round-trip too, NC bit and all.
+        for state in [Forward, Owned] {
+            for nc in [false, true] {
+                let l = L1Line { state, nc, tid: 3 };
+                let bytes = raccd_snap::encode(&l);
+                let back: L1Line = raccd_snap::decode(&bytes).expect("decodes");
+                assert_eq!(back, l);
+                assert_eq!(raccd_snap::encode(&back), bytes);
+            }
+        }
     }
 
     #[test]

@@ -10,7 +10,7 @@
 
 use raccd_core::{CoherenceMode, Engine};
 use raccd_fault::FaultPlan;
-use raccd_sim::MachineConfig;
+use raccd_sim::{MachineConfig, ProtocolKind, Topology};
 use raccd_workloads::Scale;
 
 /// The unit of dedup and ledger accounting: one seeded execution of one
@@ -43,6 +43,10 @@ pub struct JobSpec {
     pub ratio: usize,
     /// Adaptive Directory Reduction enabled.
     pub adr: bool,
+    /// Coherence protocol variant the machine runs.
+    pub protocol: ProtocolKind,
+    /// NoC topology (single mesh or 2-socket NUMA).
+    pub topology: Topology,
     /// Simulation engine (results are engine-independent by construction).
     pub engine: Engine,
     /// Cycles of warm-up shared through the snapshot pool (0 = cold).
@@ -124,6 +128,8 @@ impl JobSpec {
             mode,
             ratio: 8,
             adr: false,
+            protocol: ProtocolKind::Mesi,
+            topology: Topology::Mesh,
             engine: Engine::Serial,
             warmup: 0,
             fault: None,
@@ -145,12 +151,14 @@ impl JobSpec {
             None => "-".to_string(),
         };
         format!(
-            "bench={} scale={} mode={} ratio={} adr={} engine={} warmup={} fault={}",
+            "bench={} scale={} mode={} ratio={} adr={} protocol={} topology={} engine={} warmup={} fault={}",
             self.bench.to_ascii_lowercase(),
             self.scale,
             mode_label(self.mode),
             self.ratio,
             self.adr as u8,
+            self.protocol.label(),
+            self.topology.label(),
             engine_token(self.engine),
             self.warmup,
             fault,
@@ -197,6 +205,14 @@ impl JobSpec {
                         "1" | "true" => true,
                         _ => return Err(format!("bad adr `{val}`")),
                     };
+                }
+                "protocol" => {
+                    spec.protocol =
+                        ProtocolKind::parse(val).ok_or_else(|| format!("bad protocol `{val}`"))?;
+                }
+                "topology" => {
+                    spec.topology =
+                        Topology::parse(val).ok_or_else(|| format!("bad topology `{val}`"))?;
                 }
                 "engine" => {
                     spec.engine = parse_engine(val).ok_or_else(|| format!("bad engine `{val}`"))?;
@@ -265,7 +281,10 @@ impl JobSpec {
             Scale::Paper => MachineConfig::paper(),
             _ => MachineConfig::scaled(),
         };
-        base.with_dir_ratio(self.ratio).with_adr(self.adr)
+        base.with_dir_ratio(self.ratio)
+            .with_adr(self.adr)
+            .with_protocol(self.protocol)
+            .with_topology(self.topology)
     }
 
     /// The parsed fault plan, if any (validated at parse time).
@@ -287,6 +306,8 @@ mod tests {
             mode: CoherenceMode::Raccd,
             ratio: 8,
             adr: true,
+            protocol: ProtocolKind::Mesi,
+            topology: Topology::Mesh,
             engine: Engine::EpochParallel { threads: 4 },
             warmup: 5_000,
             fault: Some("drop=0.02;dup=0.01".into()),
@@ -325,6 +346,37 @@ mod tests {
         a.fault = Some("drop=0.02".into());
         b.fault = Some("drop=2e-2".into());
         assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_protocol_and_topology() {
+        let base = spec();
+        let mut seen = std::collections::HashSet::new();
+        for protocol in ProtocolKind::ALL {
+            for topology in Topology::ALL {
+                let mut s = base.clone();
+                s.protocol = protocol;
+                s.topology = topology;
+                assert!(
+                    seen.insert(s.fingerprint()),
+                    "fingerprint collision at protocol={protocol} topology={topology}"
+                );
+                // And the variant round-trips through render/parse.
+                let parsed = JobSpec::parse(&s.render()).expect("parses");
+                assert_eq!(parsed.protocol, protocol);
+                assert_eq!(parsed.topology, topology);
+            }
+        }
+        assert_eq!(seen.len(), 6);
+    }
+
+    #[test]
+    fn legacy_lines_without_protocol_keys_default_to_mesi_mesh() {
+        let s = JobSpec::parse("bench=Jacobi scale=test mode=raccd seeds=1..2").expect("parses");
+        assert_eq!(s.protocol, ProtocolKind::Mesi);
+        assert_eq!(s.topology, Topology::Mesh);
+        assert!(JobSpec::parse("bench=Jacobi protocol=tokencoh").is_err());
+        assert!(JobSpec::parse("bench=Jacobi topology=torus").is_err());
     }
 
     #[test]

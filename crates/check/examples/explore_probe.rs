@@ -10,7 +10,7 @@
 //! failed closure.
 
 use raccd_check::{explore, ExploreConfig};
-use raccd_sim::MachineConfig;
+use raccd_sim::{MachineConfig, ProtocolKind};
 use std::time::Instant;
 
 fn tiny(dir_ratio: usize, dir_ways: usize, wt: bool, adr: bool) -> MachineConfig {
@@ -88,6 +88,28 @@ fn main() {
             },
         ),
     ];
+    // Per-protocol closures: MESIF and MOESI rerun the fully-closing
+    // 2-core scenarios — the F/O states enlarge the graph, but it must
+    // still close with zero violations (fwd-unique, dirty-SWMR and
+    // fwd-desync invariants checked in every visited state).
+    let mut scenarios = scenarios;
+    for protocol in [ProtocolKind::Mesif, ProtocolKind::Moesi] {
+        for (tag, blocks) in [("2c/1b", vec![0x40]), ("2c/2b", vec![0x40, 0x44])] {
+            let name = format!("{} {tag} wb", protocol.label().to_uppercase());
+            scenarios.push((
+                Box::leak(name.into_boxed_str()),
+                ExploreConfig {
+                    cfg: tiny(32, 1, false, false).with_protocol(protocol),
+                    cores: vec![0, 1],
+                    blocks,
+                    flush_nc: true,
+                    flush_pages: true,
+                    max_depth: 64,
+                    max_states: 1_000_000,
+                },
+            ));
+        }
+    }
     let mut failed = false;
     for (name, ec) in scenarios {
         let t = Instant::now();

@@ -11,8 +11,83 @@
 //! flit accounting for Figure 7c (NoC traffic). A control message is one
 //! flit; a data message carries a 64-byte cache line over `1 + 64/flit`
 //! flits (16-byte flits → 5 flits).
+//!
+//! Beyond the single-socket mesh, [`Mesh::numa2`] builds a **2-socket
+//! NUMA topology**: two k×k meshes joined by one inter-socket link with
+//! its own (higher) latency. Tiles `0..k²` are socket 0, `k²..2k²` socket
+//! 1; cross-socket messages route XY to the local gateway tile, traverse
+//! the inter-socket link (one hop at `xlink_cycles` instead of
+//! `link_cycles`), and route XY on to the destination. Each socket keeps
+//! its own corner memory controllers, and cross-link crossings are
+//! counted separately so sweeps can report NUMA traffic.
+
+use std::fmt;
 
 const BLOCK_SIZE: u64 = 64;
+
+/// Which interconnect a machine is built on (registry for the
+/// `--topology` flag and the campaign spec).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Topology {
+    /// Single k×k mesh (Table I).
+    #[default]
+    Mesh,
+    /// Two k×k mesh sockets joined by one inter-socket link.
+    Numa2,
+}
+
+impl Topology {
+    /// Every topology, in registry order.
+    pub const ALL: [Topology; 2] = [Topology::Mesh, Topology::Numa2];
+
+    /// Canonical lower-case label (round-trips through
+    /// [`Topology::parse`]).
+    pub fn label(self) -> &'static str {
+        match self {
+            Topology::Mesh => "mesh",
+            Topology::Numa2 => "numa2",
+        }
+    }
+
+    /// Parse a topology label (case-insensitive).
+    pub fn parse(s: &str) -> Option<Topology> {
+        match s.to_ascii_lowercase().as_str() {
+            "mesh" => Some(Topology::Mesh),
+            "numa2" => Some(Topology::Numa2),
+            _ => None,
+        }
+    }
+
+    /// Number of mesh sockets.
+    pub fn sockets(self) -> usize {
+        match self {
+            Topology::Mesh => 1,
+            Topology::Numa2 => 2,
+        }
+    }
+}
+
+impl fmt::Display for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl raccd_snap::Snap for Topology {
+    fn save(&self, w: &mut raccd_snap::SnapWriter) {
+        w.u8(match self {
+            Topology::Mesh => 0,
+            Topology::Numa2 => 1,
+        });
+    }
+    fn load(r: &mut raccd_snap::SnapReader) -> Result<Self, raccd_snap::SnapError> {
+        match r.u8()? {
+            0 => Ok(Topology::Mesh),
+            1 => Ok(Topology::Numa2),
+            _ => Err(raccd_snap::SnapError::Invalid("topology tag")),
+        }
+    }
+}
 
 /// Categories of NoC messages, counted separately for diagnostics.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -59,8 +134,13 @@ pub struct FaultTraffic {
 #[derive(Clone, Debug)]
 pub struct Mesh {
     k: usize,
+    /// Mesh sockets (1 = single mesh, 2 = NUMA pair).
+    sockets: usize,
     link_cycles: u64,
     router_cycles: u64,
+    /// Inter-socket link traversal cycles (replaces `link_cycles` for the
+    /// one cross-socket hop; unused when `sockets == 1`).
+    xlink_cycles: u64,
     flit_bytes: u64,
     /// Total flit·hops (the paper's "NoC traffic" metric is proportional to
     /// flits traversing links).
@@ -69,6 +149,8 @@ pub struct Mesh {
     flits_by_class: [u64; 4],
     /// Messages injected, by class.
     msgs_by_class: [u64; 4],
+    /// Messages that crossed the inter-socket link.
+    xlink_msgs: u64,
     /// Fault-attributable traffic (all zero without a fault plane).
     fault: FaultTraffic,
 }
@@ -80,51 +162,140 @@ impl Mesh {
         assert!(k > 0 && flit_bytes > 0);
         Mesh {
             k,
+            sockets: 1,
             link_cycles,
             router_cycles,
+            xlink_cycles: 0,
             flit_bytes,
             flit_hops: 0,
             flits_by_class: [0; 4],
             msgs_by_class: [0; 4],
+            xlink_msgs: 0,
             fault: FaultTraffic::default(),
         }
     }
 
-    /// Number of tiles.
+    /// Create a 2-socket NUMA topology: two k×k meshes joined by one
+    /// inter-socket link costing `xlink_cycles` per traversal. The
+    /// gateway tiles are the east end of socket 0's row 0 (local tile
+    /// `k-1`) and the west end of socket 1's row 0 (local tile `0`).
+    pub fn numa2(
+        k: usize,
+        link_cycles: u64,
+        router_cycles: u64,
+        flit_bytes: u64,
+        xlink_cycles: u64,
+    ) -> Self {
+        let mut m = Mesh::new(k, link_cycles, router_cycles, flit_bytes);
+        m.sockets = 2;
+        m.xlink_cycles = xlink_cycles;
+        m
+    }
+
+    /// Build for a [`Topology`]: the single mesh or the NUMA pair.
+    pub fn for_topology(
+        topology: Topology,
+        k: usize,
+        link_cycles: u64,
+        router_cycles: u64,
+        flit_bytes: u64,
+        xlink_cycles: u64,
+    ) -> Self {
+        match topology {
+            Topology::Mesh => Mesh::new(k, link_cycles, router_cycles, flit_bytes),
+            Topology::Numa2 => Mesh::numa2(k, link_cycles, router_cycles, flit_bytes, xlink_cycles),
+        }
+    }
+
+    /// Number of tiles (per-socket tiles × sockets).
     pub fn tiles(&self) -> usize {
-        self.k * self.k
+        self.sockets * self.k * self.k
     }
 
-    /// (x, y) coordinate of a tile id.
-    #[inline]
-    fn coords(&self, tile: usize) -> (usize, usize) {
-        (tile % self.k, tile / self.k)
+    /// Number of mesh sockets (1 or 2).
+    pub fn sockets(&self) -> usize {
+        self.sockets
     }
 
-    /// Manhattan hop distance between two tiles under XY routing.
+    /// Socket of a tile id.
     #[inline]
-    pub fn hops(&self, from: usize, to: usize) -> u64 {
+    pub fn socket_of(&self, tile: usize) -> usize {
+        tile / (self.k * self.k)
+    }
+
+    /// (socket, local tile) of a global tile id.
+    #[inline]
+    fn split(&self, tile: usize) -> (usize, usize) {
+        let per = self.k * self.k;
+        (tile / per, tile % per)
+    }
+
+    /// (x, y) coordinate of a *local* tile id within its socket.
+    #[inline]
+    fn coords(&self, local: usize) -> (usize, usize) {
+        (local % self.k, local / self.k)
+    }
+
+    /// Manhattan distance between two local tiles of one socket.
+    #[inline]
+    fn local_hops(&self, from: usize, to: usize) -> u64 {
         let (fx, fy) = self.coords(from);
         let (tx, ty) = self.coords(to);
         (fx.abs_diff(tx) + fy.abs_diff(ty)) as u64
     }
 
-    /// The memory controller tile serving a given home bank: nearest of the
-    /// four corner tiles (ties broken by lowest tile id).
+    /// The local gateway tile of a socket: socket 0 exits east of row 0
+    /// (local `k-1`), socket 1 exits west of row 0 (local `0`).
+    #[inline]
+    fn gateway(&self, socket: usize) -> usize {
+        if socket == 0 {
+            self.k - 1
+        } else {
+            0
+        }
+    }
+
+    /// Hop distance between two tiles: XY within a socket; cross-socket
+    /// routes gateway-to-gateway, the inter-socket link counting as one
+    /// hop.
+    #[inline]
+    pub fn hops(&self, from: usize, to: usize) -> u64 {
+        let (sf, lf) = self.split(from);
+        let (st, lt) = self.split(to);
+        if sf == st {
+            self.local_hops(lf, lt)
+        } else {
+            self.local_hops(lf, self.gateway(sf)) + 1 + self.local_hops(self.gateway(st), lt)
+        }
+    }
+
+    /// The memory controller tile serving a given home bank: nearest of
+    /// the home socket's four corner tiles (ties broken by lowest tile
+    /// id). Each NUMA socket keeps its own controllers — memory is
+    /// socket-local.
     pub fn mem_controller_for(&self, home: usize) -> usize {
+        let (socket, local) = self.split(home);
+        let base = socket * self.k * self.k;
         let corners = [0, self.k - 1, self.k * (self.k - 1), self.k * self.k - 1];
-        *corners
+        base + *corners
             .iter()
-            .min_by_key(|&&c| (self.hops(home, c), c))
+            .min_by_key(|&&c| (self.local_hops(local, c), c))
             .expect("corners non-empty")
     }
 
-    /// Latency in cycles of one message from `from` to `to`: every hop costs
-    /// a link plus a router traversal, plus one router at injection.
+    /// Latency in cycles of one message from `from` to `to`: every hop
+    /// costs a link plus a router traversal, plus one router at
+    /// injection. A cross-socket message pays `xlink_cycles` instead of
+    /// `link_cycles` for the inter-socket hop.
     #[inline]
     pub fn latency(&self, from: usize, to: usize) -> u64 {
         let h = self.hops(from, to);
-        self.router_cycles + h * (self.link_cycles + self.router_cycles)
+        let base = self.router_cycles + h * (self.link_cycles + self.router_cycles);
+        if self.socket_of(from) != self.socket_of(to) {
+            base - self.link_cycles + self.xlink_cycles
+        } else {
+            base
+        }
     }
 
     /// Flits of a message of `class` (head flit + payload flits).
@@ -145,7 +316,15 @@ impl Mesh {
         self.flit_hops += flits * hops.max(1); // local delivery still moves flits
         self.flits_by_class[class as usize] += flits;
         self.msgs_by_class[class as usize] += 1;
+        if self.socket_of(from) != self.socket_of(to) {
+            self.xlink_msgs += 1;
+        }
         self.latency(from, to)
+    }
+
+    /// Messages that crossed the inter-socket link (0 on a single mesh).
+    pub fn xlink_crossings(&self) -> u64 {
+        self.xlink_msgs
     }
 
     /// Total flit·hops so far (Figure 7c's traffic metric).
@@ -246,31 +425,39 @@ impl raccd_snap::Snap for FaultTraffic {
 impl raccd_snap::Snap for Mesh {
     fn save(&self, w: &mut raccd_snap::SnapWriter) {
         self.k.save(w);
+        self.sockets.save(w);
         w.u64(self.link_cycles);
         w.u64(self.router_cycles);
+        w.u64(self.xlink_cycles);
         w.u64(self.flit_bytes);
         w.u64(self.flit_hops);
         self.flits_by_class.save(w);
         self.msgs_by_class.save(w);
+        w.u64(self.xlink_msgs);
         self.fault.save(w);
     }
     fn load(r: &mut raccd_snap::SnapReader) -> Result<Self, raccd_snap::SnapError> {
         use raccd_snap::Snap;
         let k: usize = Snap::load(r)?;
+        let sockets: usize = Snap::load(r)?;
         let link_cycles = r.u64()?;
         let router_cycles = r.u64()?;
+        let xlink_cycles = r.u64()?;
         let flit_bytes = r.u64()?;
-        if k == 0 || flit_bytes == 0 {
+        if k == 0 || flit_bytes == 0 || !(1..=2).contains(&sockets) {
             return Err(raccd_snap::SnapError::Invalid("mesh geometry"));
         }
         Ok(Mesh {
             k,
+            sockets,
             link_cycles,
             router_cycles,
+            xlink_cycles,
             flit_bytes,
             flit_hops: r.u64()?,
             flits_by_class: Snap::load(r)?,
             msgs_by_class: Snap::load(r)?,
+            xlink_msgs: r.u64()?,
             fault: Snap::load(r)?,
         })
     }
@@ -385,5 +572,93 @@ mod tests {
         let m = Mesh::new(8, 1, 1, 16);
         assert_eq!(m.tiles(), 64);
         assert_eq!(m.hops(0, 63), 14);
+    }
+
+    #[test]
+    fn topology_labels_roundtrip() {
+        for t in Topology::ALL {
+            assert_eq!(Topology::parse(t.label()), Some(t));
+        }
+        assert_eq!(Topology::parse("NUMA2"), Some(Topology::Numa2));
+        assert_eq!(Topology::parse("torus"), None);
+        assert_eq!(Topology::Mesh.sockets(), 1);
+        assert_eq!(Topology::Numa2.sockets(), 2);
+    }
+
+    #[test]
+    fn numa2_has_two_sockets_of_tiles() {
+        let m = Mesh::numa2(2, 1, 1, 16, 8);
+        assert_eq!(m.tiles(), 8);
+        assert_eq!(m.sockets(), 2);
+        assert_eq!(m.socket_of(3), 0);
+        assert_eq!(m.socket_of(4), 1);
+    }
+
+    #[test]
+    fn numa2_intra_socket_routing_matches_single_mesh() {
+        let single = Mesh::new(2, 1, 1, 16);
+        let numa = Mesh::numa2(2, 1, 1, 16, 8);
+        for a in 0..4 {
+            for b in 0..4 {
+                assert_eq!(numa.hops(a, b), single.hops(a, b));
+                assert_eq!(numa.latency(a, b), single.latency(a, b));
+                // Socket 1 mirrors socket 0.
+                assert_eq!(numa.hops(4 + a, 4 + b), single.hops(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn numa2_cross_socket_pays_the_xlink() {
+        // k=2: socket-0 gateway = local 1, socket-1 gateway = local 0
+        // (global 4). Tile 0 → tile 4: 1 hop to the gateway, 1 cross-link
+        // hop, 0 hops on the far side.
+        let m = Mesh::numa2(2, 1, 1, 16, 8);
+        assert_eq!(m.hops(0, 4), 2);
+        assert_eq!(m.hops(1, 4), 1, "gateway to gateway is the link alone");
+        // Latency swaps the cross hop's link cycle for xlink_cycles:
+        // router + 2*(link+router) - link + xlink = 1 + 4 - 1 + 8.
+        assert_eq!(m.latency(0, 4), 12);
+        assert_eq!(m.latency(4, 0), m.latency(0, 4), "symmetric");
+        // Far corners: local 3 → gateway 1 (1 hop), link, gateway 4 →
+        // global 7 (local 3, 2 hops): 4 hops total.
+        assert_eq!(m.hops(3, 7), 4);
+    }
+
+    #[test]
+    fn numa2_counts_cross_link_crossings() {
+        let mut m = Mesh::numa2(2, 1, 1, 16, 8);
+        m.send(0, 1, MsgClass::Request);
+        assert_eq!(m.xlink_crossings(), 0);
+        m.send(0, 4, MsgClass::DataResponse);
+        m.send(7, 2, MsgClass::Control);
+        assert_eq!(m.xlink_crossings(), 2);
+        // Traffic counts the cross hop too: 1 flit × 1 hop (request) +
+        // 5 flits × 2 hops (data) + 1 flit × 5 hops (control, 7→2).
+        assert_eq!(m.hops(7, 2), 5);
+        assert_eq!(m.traffic(), 1 + 10 + 5);
+    }
+
+    #[test]
+    fn numa2_memory_is_socket_local() {
+        let m = Mesh::numa2(4, 1, 1, 16, 8);
+        assert_eq!(m.mem_controller_for(0), 0);
+        assert_eq!(m.mem_controller_for(5), 0);
+        // Socket 1 homes resolve to socket-1 corners.
+        assert_eq!(m.mem_controller_for(16), 16);
+        assert_eq!(m.mem_controller_for(16 + 7), 16 + 3);
+        assert_eq!(m.mem_controller_for(16 + 14), 16 + 15);
+    }
+
+    #[test]
+    fn numa2_snap_roundtrips() {
+        let mut m = Mesh::numa2(2, 1, 1, 16, 8);
+        m.send(0, 5, MsgClass::WriteBack);
+        let bytes = raccd_snap::encode(&m);
+        let back: Mesh = raccd_snap::decode(&bytes).expect("decodes");
+        assert_eq!(back.sockets(), 2);
+        assert_eq!(back.xlink_crossings(), 1);
+        assert_eq!(back.traffic(), m.traffic());
+        assert_eq!(back.latency(0, 5), m.latency(0, 5));
     }
 }

@@ -7,16 +7,26 @@
 //! or a lost directory entry leaves the protocol mid-handshake), so they
 //! surface as values the recovery machinery can act on instead.
 
+use crate::kind::ProtocolKind;
+use crate::mesi::DirState;
 use std::fmt;
 
 /// A malformed protocol transition or directory operation, surfaced as a
-/// recoverable value rather than a panic.
+/// recoverable value rather than a panic. Transition errors carry the
+/// protocol kind and the entry's directory state so an explorer
+/// counterexample trace identifies *which variant* produced the
+/// malformed step.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ProtocolError {
     /// A read fill was recorded while another core still owned the block;
     /// the owner must be downgraded (forwarded GetS) first.
     OwnerNotDowngraded {
-        /// The core still holding the block in E/M.
+        /// Protocol the entry was being driven under when the transition
+        /// failed.
+        protocol: ProtocolKind,
+        /// Directory state of the entry at the failed transition.
+        state: DirState,
+        /// The core still holding the block in E/M (MOESI: O).
         owner: u8,
         /// The core whose fill was attempted.
         requester: usize,
@@ -42,9 +52,15 @@ pub enum ProtocolError {
 impl fmt::Display for ProtocolError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ProtocolError::OwnerNotDowngraded { owner, requester } => write!(
+            ProtocolError::OwnerNotDowngraded {
+                protocol,
+                state,
+                owner,
+                requester,
+            } => write!(
                 f,
-                "GetS from core {requester} while core {owner} owns the block (downgrade first)"
+                "{protocol}: GetS from core {requester} while core {owner} owns the block \
+                 (entry state {state:?}; downgrade first)"
             ),
             ProtocolError::MissingEntry => write!(f, "no directory entry for the block"),
             ProtocolError::CoreOutOfRange { core } => {

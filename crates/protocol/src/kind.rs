@@ -1,0 +1,298 @@
+//! The protocol registry: which coherence protocol a machine runs.
+//!
+//! The simulator's transaction paths are protocol-parameterised through
+//! [`CoherenceProtocol`], a small decision surface extracted from the
+//! previously hardcoded MESI logic. Three implementations exist:
+//!
+//! * **MESI** — the paper's baseline: silent clean evictions, every
+//!   remote read of a dirty line writes it back to the LLC.
+//! * **MESIF** — adds a *Forward* state: one designated clean sharer
+//!   supplies read fills cache-to-cache instead of the LLC. The newest
+//!   sharer takes F; an F replacement notifies the directory (PutF) so
+//!   the forward pointer stays precise while plain sharers still evict
+//!   silently.
+//! * **MOESI** — adds an *Owned* state: a remote read of a dirty line
+//!   downgrades the owner M→O *without* a write-back. The O copy stays
+//!   the single dirty on-chip version, supplies every later read
+//!   cache-to-cache, and only writes back on replacement or
+//!   invalidation.
+//!
+//! All three share the directory machinery ([`EntryState`]) and the
+//! RaCCD non-coherent paths unchanged; the protocol only decides fill
+//! states, downgrade targets, who supplies data, and the victim message
+//! set. The shadow checker's invariants (SWMR over writable states,
+//! data-value, NC-exclusivity) are protocol-agnostic and hold for every
+//! variant.
+
+use crate::mesi::EntryState;
+use raccd_cache::L1State;
+use std::fmt;
+
+/// Which coherence protocol a machine runs. Selects a
+/// [`CoherenceProtocol`] implementation via [`ProtocolKind::protocol`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ProtocolKind {
+    /// Baseline directory MESI (the paper's Table I protocol).
+    #[default]
+    Mesi,
+    /// MESI + Forward: clean cache-to-cache supply by a designated sharer.
+    Mesif,
+    /// MESI + Owned: dirty sharing without LLC write-back on downgrade.
+    Moesi,
+}
+
+impl ProtocolKind {
+    /// Every protocol, in registry order.
+    pub const ALL: [ProtocolKind; 3] =
+        [ProtocolKind::Mesi, ProtocolKind::Mesif, ProtocolKind::Moesi];
+
+    /// Canonical lower-case label (round-trips through
+    /// [`ProtocolKind::parse`]).
+    pub fn label(self) -> &'static str {
+        match self {
+            ProtocolKind::Mesi => "mesi",
+            ProtocolKind::Mesif => "mesif",
+            ProtocolKind::Moesi => "moesi",
+        }
+    }
+
+    /// Parse a protocol label (case-insensitive).
+    pub fn parse(s: &str) -> Option<ProtocolKind> {
+        match s.to_ascii_lowercase().as_str() {
+            "mesi" => Some(ProtocolKind::Mesi),
+            "mesif" => Some(ProtocolKind::Mesif),
+            "moesi" => Some(ProtocolKind::Moesi),
+            _ => None,
+        }
+    }
+
+    /// The protocol's decision surface.
+    pub fn protocol(self) -> &'static dyn CoherenceProtocol {
+        match self {
+            ProtocolKind::Mesi => &Mesi,
+            ProtocolKind::Mesif => &Mesif,
+            ProtocolKind::Moesi => &Moesi,
+        }
+    }
+}
+
+impl fmt::Display for ProtocolKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl raccd_snap::Snap for ProtocolKind {
+    fn save(&self, w: &mut raccd_snap::SnapWriter) {
+        w.u8(match self {
+            ProtocolKind::Mesi => 0,
+            ProtocolKind::Mesif => 1,
+            ProtocolKind::Moesi => 2,
+        });
+    }
+    fn load(r: &mut raccd_snap::SnapReader) -> Result<Self, raccd_snap::SnapError> {
+        match r.u8()? {
+            0 => Ok(ProtocolKind::Mesi),
+            1 => Ok(ProtocolKind::Mesif),
+            2 => Ok(ProtocolKind::Moesi),
+            _ => Err(raccd_snap::SnapError::Invalid("protocol kind tag")),
+        }
+    }
+}
+
+/// What an L1 replacement in a given state owes the directory.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VictimAction {
+    /// Silent drop: no message (clean Shared under every protocol).
+    Silent,
+    /// Clean notification keeping the owner pointer precise (PutE) — a
+    /// control message, no data.
+    NotifyClean,
+    /// Clean notification clearing the directory's forward pointer
+    /// (PutF, MESIF only) — a control message, no data.
+    NotifyForward,
+    /// Dirty write-back (PutM / PutO): data travels to the LLC and the
+    /// owner pointer clears.
+    WriteBackDirty,
+}
+
+/// The per-protocol decision surface: which states fills install, how
+/// owners downgrade, who supplies data, and what replacements owe the
+/// directory. Implementations are stateless (`ProtocolKind` carries the
+/// identity); all bookkeeping lives in [`EntryState`] and the caches.
+pub trait CoherenceProtocol: Sync {
+    /// The registry tag of this protocol.
+    fn kind(&self) -> ProtocolKind;
+
+    /// State a coherent read fill installs when other private copies
+    /// exist (MESI/MOESI: `Shared`; MESIF: `Forward` — the newest sharer
+    /// becomes the designated clean supplier).
+    fn shared_fill_state(&self) -> L1State {
+        L1State::Shared
+    }
+
+    /// Target state of a *dirty* owner downgraded by a remote read, and
+    /// whether the downgrade writes the dirty data back to the LLC.
+    /// MESI/MESIF: `(Shared, true)`; MOESI: `(Owned, false)` — the O
+    /// copy stays the only up-to-date version on chip.
+    fn dirty_downgrade(&self) -> (L1State, bool) {
+        (L1State::Shared, true)
+    }
+
+    /// Whether the directory's owner pointer survives a dirty downgrade
+    /// (the MOESI Owned state keeps ownership; MESI/MESIF clear it).
+    fn owner_survives_downgrade(&self) -> bool {
+        false
+    }
+
+    /// Whether the directory tracks a designated clean forwarder (the
+    /// MESIF F pointer).
+    fn tracks_forwarder(&self) -> bool {
+        false
+    }
+
+    /// Which clean private cache, if any, supplies a read fill
+    /// cache-to-cache when no owner exists.
+    fn clean_supplier(&self, entry: &EntryState) -> Option<u8> {
+        let _ = entry;
+        None
+    }
+
+    /// What an L1 replacement in `state` owes the directory.
+    fn victim_action(&self, state: L1State) -> VictimAction {
+        match state {
+            L1State::Modified | L1State::Owned => VictimAction::WriteBackDirty,
+            L1State::Exclusive => VictimAction::NotifyClean,
+            L1State::Forward => VictimAction::NotifyForward,
+            L1State::Shared => VictimAction::Silent,
+        }
+    }
+
+    /// Whether a coherent write *hit* in `state` completes locally
+    /// (writable copy) or must upgrade through the directory first.
+    fn write_hit_is_local(&self, state: L1State) -> bool {
+        matches!(state, L1State::Modified | L1State::Exclusive)
+    }
+}
+
+/// Baseline directory MESI.
+pub struct Mesi;
+
+impl CoherenceProtocol for Mesi {
+    fn kind(&self) -> ProtocolKind {
+        ProtocolKind::Mesi
+    }
+}
+
+/// MESIF: MESI plus the clean Forward state.
+pub struct Mesif;
+
+impl CoherenceProtocol for Mesif {
+    fn kind(&self) -> ProtocolKind {
+        ProtocolKind::Mesif
+    }
+
+    fn shared_fill_state(&self) -> L1State {
+        L1State::Forward
+    }
+
+    fn tracks_forwarder(&self) -> bool {
+        true
+    }
+
+    fn clean_supplier(&self, entry: &EntryState) -> Option<u8> {
+        entry.fwd
+    }
+}
+
+/// MOESI: MESI plus the dirty-sharing Owned state.
+pub struct Moesi;
+
+impl CoherenceProtocol for Moesi {
+    fn kind(&self) -> ProtocolKind {
+        ProtocolKind::Moesi
+    }
+
+    fn dirty_downgrade(&self) -> (L1State, bool) {
+        (L1State::Owned, false)
+    }
+
+    fn owner_survives_downgrade(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_roundtrip() {
+        for kind in ProtocolKind::ALL {
+            assert_eq!(ProtocolKind::parse(kind.label()), Some(kind));
+            assert_eq!(kind.protocol().kind(), kind);
+        }
+        assert_eq!(ProtocolKind::parse("MOESI"), Some(ProtocolKind::Moesi));
+        assert_eq!(ProtocolKind::parse("mosi"), None);
+    }
+
+    #[test]
+    fn decision_surfaces_differ_where_they_should() {
+        let (mesi, mesif, moesi) = (
+            ProtocolKind::Mesi.protocol(),
+            ProtocolKind::Mesif.protocol(),
+            ProtocolKind::Moesi.protocol(),
+        );
+        assert_eq!(mesi.shared_fill_state(), L1State::Shared);
+        assert_eq!(mesif.shared_fill_state(), L1State::Forward);
+        assert_eq!(moesi.shared_fill_state(), L1State::Shared);
+        assert_eq!(mesi.dirty_downgrade(), (L1State::Shared, true));
+        assert_eq!(moesi.dirty_downgrade(), (L1State::Owned, false));
+        assert!(moesi.owner_survives_downgrade());
+        assert!(mesif.tracks_forwarder());
+        // Every protocol: only M/E write hits are local; S/F/O upgrade.
+        for p in [mesi, mesif, moesi] {
+            assert!(p.write_hit_is_local(L1State::Modified));
+            assert!(p.write_hit_is_local(L1State::Exclusive));
+            assert!(!p.write_hit_is_local(L1State::Shared));
+            assert!(!p.write_hit_is_local(L1State::Forward));
+            assert!(!p.write_hit_is_local(L1State::Owned));
+        }
+    }
+
+    #[test]
+    fn victim_actions() {
+        let p = ProtocolKind::Moesi.protocol();
+        assert_eq!(
+            p.victim_action(L1State::Owned),
+            VictimAction::WriteBackDirty
+        );
+        assert_eq!(p.victim_action(L1State::Shared), VictimAction::Silent);
+        let p = ProtocolKind::Mesif.protocol();
+        assert_eq!(
+            p.victim_action(L1State::Forward),
+            VictimAction::NotifyForward
+        );
+        assert_eq!(
+            p.victim_action(L1State::Exclusive),
+            VictimAction::NotifyClean
+        );
+    }
+
+    #[test]
+    fn snap_roundtrip_is_byte_stable() {
+        use raccd_snap::{Snap, SnapReader, SnapWriter};
+        for (kind, tag) in [
+            (ProtocolKind::Mesi, 0u8),
+            (ProtocolKind::Mesif, 1),
+            (ProtocolKind::Moesi, 2),
+        ] {
+            let mut w = SnapWriter::new();
+            kind.save(&mut w);
+            let bytes = w.into_bytes();
+            assert_eq!(bytes, vec![tag], "{kind} must encode as its tag byte");
+            let mut r = SnapReader::new(&bytes);
+            assert_eq!(ProtocolKind::load(&mut r).unwrap(), kind);
+        }
+    }
+}

@@ -22,9 +22,11 @@
 pub mod adr;
 pub mod directory;
 pub mod error;
+pub mod kind;
 pub mod mesi;
 
 pub use adr::{Adr, AdrConfig, ResizeDirection};
 pub use directory::{DirEntry, DirEviction, DirectoryBank};
 pub use error::ProtocolError;
+pub use kind::{CoherenceProtocol, ProtocolKind, VictimAction};
 pub use mesi::{ApplyEffect, DirMsg, DirState};

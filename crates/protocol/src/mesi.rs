@@ -15,6 +15,7 @@
 //! `tests/mesi_idempotence.rs`).
 
 use crate::error::ProtocolError;
+use crate::kind::ProtocolKind;
 
 /// Directory-visible state of a tracked block.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -23,20 +24,28 @@ pub enum DirState {
     Uncached,
     /// One or more private caches may hold the block read-only.
     Shared,
-    /// Exactly one private cache holds the block in E or M.
+    /// Exactly one private cache holds the block in E or M (or, under
+    /// MOESI, dirty-shares it in O).
     Owned,
 }
 
 /// One directory entry: state + sharer bit-vector + owner pointer, matching
 /// the paper's "3 bytes to store the state of the cache block and the
-/// bit-vector of sharer cores" (§V-A5, 16 cores).
+/// bit-vector of sharer cores" (§V-A5, 16 cores). Under MESIF the entry
+/// additionally tracks the designated clean forwarder (`fwd`); under MESI
+/// and MOESI that pointer is always `None`.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct EntryState {
     /// Bit `i` set ⇒ core `i` may hold the block (possibly stale under
     /// silent evictions).
     pub sharers: u64,
-    /// Core holding the block in E or M, if any.
+    /// Core holding the block in E or M (MOESI: also O), if any.
     pub owner: Option<u8>,
+    /// MESIF only: the clean sharer designated to supply read fills
+    /// cache-to-cache. Always a current sharer; kept precise by PutF
+    /// replacement notifications (unlike plain sharers, which evict
+    /// silently). `None` ⇒ the LLC supplies.
+    pub fwd: Option<u8>,
 }
 
 impl EntryState {
@@ -66,13 +75,21 @@ impl EntryState {
         was_empty
     }
 
+    /// Record a read (GetS) fill into `core`'s private cache while the
+    /// owner pointer survives (MOESI: the owner dirty-shares in O). Never
+    /// grants exclusivity.
+    pub fn record_gets_keep_owner(&mut self, core: usize) {
+        self.sharers |= 1 << core;
+    }
+
     /// Record a write (GetX/Upgrade) by `core`: it becomes the owner, all
-    /// other sharer bits clear. Returns the bitmask of cores that must be
-    /// invalidated.
+    /// other sharer bits clear (and any forward pointer with them).
+    /// Returns the bitmask of cores that must be invalidated.
     pub fn record_getx(&mut self, core: usize) -> u64 {
         let to_invalidate = (self.sharers | self.owner.map_or(0, |o| 1 << o)) & !(1u64 << core);
         self.sharers = 1 << core;
         self.owner = Some(core as u8);
+        self.fwd = None;
         to_invalidate
     }
 
@@ -89,7 +106,28 @@ impl EntryState {
         if self.owner == Some(core as u8) {
             self.owner = None;
         }
+        if self.fwd == Some(core as u8) {
+            self.fwd = None;
+        }
         self.sharers &= !(1u64 << core);
+    }
+
+    /// Designate `core` as the MESIF clean forwarder. The core must
+    /// already be tracked as a sharer.
+    pub fn set_fwd(&mut self, core: usize) {
+        debug_assert!(self.sharers & (1 << core) != 0, "forwarder must share");
+        self.fwd = Some(core as u8);
+    }
+
+    /// The forwarder replaced its clean F line (PutF): the pointer — and,
+    /// because PutF notifies precisely, the sharer bit — clears. From a
+    /// non-forwarder the message is stale (a duplicate racing a later
+    /// GetS that moved the pointer) and ignored.
+    pub fn forwarder_eviction(&mut self, core: usize) {
+        if self.fwd == Some(core as u8) {
+            self.fwd = None;
+            self.sharers &= !(1u64 << core);
+        }
     }
 
     /// All private copies (sharers + owner) as a bitmask — the set to
@@ -99,21 +137,42 @@ impl EntryState {
     }
 
     /// Fallible [`EntryState::record_gets`]: rejects an un-downgraded
-    /// owner or an out-of-range core instead of asserting.
+    /// owner or an out-of-range core instead of asserting. MESI/MESIF
+    /// semantics (an owner must be downgraded before a foreign read
+    /// records); see [`EntryState::try_record_gets_for`] for the
+    /// protocol-parameterised form.
     pub fn try_record_gets(&mut self, core: usize) -> Result<bool, ProtocolError> {
+        self.try_record_gets_for(ProtocolKind::Mesi, core)
+    }
+
+    /// Protocol-parameterised fallible GetS. Under MESI/MESIF an
+    /// un-downgraded foreign owner is a malformed transition; under MOESI
+    /// it is the normal dirty-sharing path — the owner keeps the pointer
+    /// (its line is O) and the requester records as a plain sharer.
+    pub fn try_record_gets_for(
+        &mut self,
+        protocol: ProtocolKind,
+        core: usize,
+    ) -> Result<bool, ProtocolError> {
         if core >= 64 {
             return Err(ProtocolError::CoreOutOfRange { core });
         }
         if let Some(owner) = self.owner {
-            if owner as usize != core {
-                return Err(ProtocolError::OwnerNotDowngraded {
-                    owner,
-                    requester: core,
-                });
+            if owner as usize == core {
+                // The owner re-reading its own block (a duplicated GetS):
+                // it already holds E/M/O, nothing to change.
+                return Ok(false);
             }
-            // The owner re-reading its own block (a duplicated GetS): it
-            // already holds E/M, nothing to change.
-            return Ok(false);
+            if protocol.protocol().owner_survives_downgrade() {
+                self.record_gets_keep_owner(core);
+                return Ok(false);
+            }
+            return Err(ProtocolError::OwnerNotDowngraded {
+                protocol,
+                state: self.state(),
+                owner,
+                requester: core,
+            });
         }
         Ok(self.record_gets(core))
     }
@@ -126,15 +185,34 @@ impl EntryState {
         Ok(self.record_getx(core))
     }
 
-    /// Apply one directory-bound message, returning its side effects or a
-    /// typed error for malformed transitions. Duplicate delivery of any
-    /// message leaves the entry in the same state (idempotence — the
-    /// receiver-side property the fault plane's duplication site relies
-    /// on).
+    /// Apply one directory-bound message under baseline MESI. Duplicate
+    /// delivery of any message leaves the entry in the same state
+    /// (idempotence — the receiver-side property the fault plane's
+    /// duplication site relies on).
     pub fn apply(&mut self, msg: DirMsg) -> Result<ApplyEffect, ProtocolError> {
+        self.apply_for(ProtocolKind::Mesi, msg)
+    }
+
+    /// Apply one directory-bound message under `protocol`, returning its
+    /// side effects or a typed error for malformed transitions. Duplicate
+    /// delivery of any message is idempotent for every protocol.
+    pub fn apply_for(
+        &mut self,
+        protocol: ProtocolKind,
+        msg: DirMsg,
+    ) -> Result<ApplyEffect, ProtocolError> {
         match msg {
             DirMsg::GetS { core } => {
-                let exclusive = self.try_record_gets(core)?;
+                let exclusive = self.try_record_gets_for(protocol, core)?;
+                // MESIF: the newest sharer takes the forward pointer —
+                // also on the exclusive-hint path, so a duplicated GetS
+                // re-derives the identical entry (idempotence).
+                if protocol.protocol().tracks_forwarder()
+                    && self.owner.is_none()
+                    && self.sharers & (1 << core) != 0
+                {
+                    self.set_fwd(core);
+                }
                 Ok(ApplyEffect {
                     exclusive,
                     invalidate: 0,
@@ -154,8 +232,20 @@ impl EntryState {
                 self.owner_writeback(core);
                 Ok(ApplyEffect::default())
             }
+            DirMsg::PutF { core } => {
+                if core >= 64 {
+                    return Err(ProtocolError::CoreOutOfRange { core });
+                }
+                self.forwarder_eviction(core);
+                Ok(ApplyEffect::default())
+            }
             DirMsg::Downgrade => {
-                self.downgrade_owner();
+                if protocol.protocol().owner_survives_downgrade() {
+                    // MOESI: the downgrade is L1-side (M→O); the
+                    // directory's owner pointer survives unchanged.
+                } else {
+                    self.downgrade_owner();
+                }
                 Ok(ApplyEffect::default())
             }
         }
@@ -176,12 +266,21 @@ pub enum DirMsg {
         /// Requesting core.
         core: usize,
     },
-    /// Owner write-back (PutM / PutE) from `core`.
+    /// Owner write-back (PutM / PutE / PutO) from `core`.
     PutM {
         /// The (former) owner.
         core: usize,
     },
-    /// Downgrade the current owner to a sharer (forwarded-GetS ack).
+    /// MESIF forwarder replacement notification from `core`: the clean F
+    /// line was dropped, so the directory's forward pointer (and the
+    /// notifying sharer bit) clears.
+    PutF {
+        /// The (former) forwarder.
+        core: usize,
+    },
+    /// Downgrade the current owner on a forwarded GetS. MESI/MESIF: the
+    /// owner becomes a plain sharer. MOESI: the downgrade happens in the
+    /// owner's L1 (M→O) and the directory pointer survives.
     Downgrade,
 }
 
@@ -198,12 +297,14 @@ impl raccd_snap::Snap for EntryState {
     fn save(&self, w: &mut raccd_snap::SnapWriter) {
         w.u64(self.sharers);
         self.owner.save(w);
+        self.fwd.save(w);
     }
     fn load(r: &mut raccd_snap::SnapReader) -> Result<Self, raccd_snap::SnapError> {
         use raccd_snap::Snap;
         Ok(EntryState {
             sharers: r.u64()?,
             owner: Snap::load(r)?,
+            fwd: Snap::load(r)?,
         })
     }
 }
@@ -211,6 +312,23 @@ impl raccd_snap::Snap for EntryState {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn entry_with_forward_pointer_snap_roundtrips_byte_identically() {
+        for fwd in [None, Some(0u8), Some(5), Some(63)] {
+            let mut e = EntryState::uncached();
+            e.record_gets(3);
+            if let Some(fc) = fwd {
+                e.record_gets(fc as usize);
+                e.set_fwd(fc as usize);
+            }
+            let bytes = raccd_snap::encode(&e);
+            let back: EntryState = raccd_snap::decode(&bytes).expect("decodes");
+            assert_eq!(back, e);
+            assert_eq!(back.fwd, fwd);
+            assert_eq!(raccd_snap::encode(&back), bytes, "re-encode byte-identical");
+        }
+    }
 
     #[test]
     fn fresh_entry_is_uncached() {

@@ -21,6 +21,7 @@ fn entry_strategy() -> impl Strategy<Value = EntryState> {
         let mut e = EntryState {
             sharers: sh as u64,
             owner: (owner_sel < 16).then_some(owner_sel as u8),
+            fwd: None,
         };
         if let Some(o) = e.owner {
             e.sharers |= 1 << o;
@@ -91,7 +92,12 @@ proptest! {
         let before = e;
         prop_assert_eq!(
             e.apply(DirMsg::GetS { core: requester }),
-            Err(ProtocolError::OwnerNotDowngraded { owner: owner as u8, requester })
+            Err(ProtocolError::OwnerNotDowngraded {
+                protocol: raccd_protocol::ProtocolKind::Mesi,
+                state: before.state(),
+                owner: owner as u8,
+                requester,
+            })
         );
         prop_assert_eq!(e, before, "rejected GetS must not mutate");
         // After the downgrade the retry succeeds — the NACK+retry path.

@@ -104,14 +104,20 @@ pub enum CheckEvent {
         /// Whether the invalidated line was dirty (written back).
         dirty: bool,
     },
-    /// The owner downgraded Modified/Exclusive → Shared on a remote GetS.
+    /// The owner (or MESIF forwarder) downgraded on a remote GetS:
+    /// Modified/Exclusive → Shared under MESI, Forward → Shared on a MESIF
+    /// handoff, Modified → Owned under MOESI (dirty data stays private).
     L1Downgraded {
         /// Previous owner.
         core: usize,
         /// Block downgraded.
         block: BlockAddr,
-        /// Whether dirty data was written back to the LLC.
+        /// Whether the line was dirty before the downgrade. Data is
+        /// written back to the LLC only when the target state does not
+        /// retain it (i.e. `to` is not Owned).
         was_dirty: bool,
+        /// State the line transitioned to.
+        to: L1State,
     },
     /// `raccd_invalidate` flushed one NC line.
     L1FlushedNc {
@@ -563,6 +569,8 @@ impl ShadowChecker {
         let mut push = |code, detail| out.push(Violation { code, detail });
         let mut coherent = 0usize;
         let mut exclusive_holders = 0usize;
+        let mut dirty_holders = 0usize;
+        let mut forward_holders = 0usize;
         for (c, m) in self.l1.iter().enumerate() {
             if let Some(l) = m.get(&b) {
                 if self.write_through && l.state == L1State::Modified {
@@ -573,8 +581,16 @@ impl ShadowChecker {
                 }
                 if !l.nc {
                     coherent += 1;
-                    if l.state != L1State::Shared {
+                    // M/E exclude every other coherent copy; MOESI Owned
+                    // and MESIF Forward legally coexist with Shared.
+                    if matches!(l.state, L1State::Modified | L1State::Exclusive) {
                         exclusive_holders += 1;
+                    }
+                    if matches!(l.state, L1State::Modified | L1State::Owned) {
+                        dirty_holders += 1;
+                    }
+                    if l.state == L1State::Forward {
+                        forward_holders += 1;
                     }
                 }
             }
@@ -586,6 +602,18 @@ impl ShadowChecker {
                     "block {b:#x}: {exclusive_holders} M/E holder(s) among \
                      {coherent} coherent copies"
                 ),
+            );
+        }
+        if dirty_holders > 1 {
+            push(
+                "swmr",
+                format!("block {b:#x}: {dirty_holders} dirty (M/O) holders"),
+            );
+        }
+        if forward_holders > 1 {
+            push(
+                "fwd-unique",
+                format!("block {b:#x}: {forward_holders} Forward holders"),
             );
         }
         let llc = self.llc.get(&b);
@@ -755,13 +783,50 @@ impl ShadowChecker {
                                 ),
                             );
                         }
-                        if l.state != L1State::Shared && entry.owner != Some(c as u8) {
+                        if matches!(
+                            l.state,
+                            L1State::Modified | L1State::Exclusive | L1State::Owned
+                        ) && entry.owner != Some(c as u8)
+                        {
                             push(
                                 "swmr",
                                 format!(
                                     "core {c} holds {block:?} in {:?} but the \
                                      directory owner is {:?}",
                                     l.state, entry.owner
+                                ),
+                            );
+                        }
+                        if l.state == L1State::Forward && entry.fwd != Some(c as u8) {
+                            push(
+                                "fwd-desync",
+                                format!(
+                                    "core {c} holds {block:?} in Forward but the \
+                                     directory forward pointer is {:?}",
+                                    entry.fwd
+                                ),
+                            );
+                        }
+                    }
+                }
+                if let Some(fc) = entry.fwd {
+                    if holders & (1u64 << fc) == 0 {
+                        push(
+                            "fwd-desync",
+                            format!(
+                                "directory forward pointer for {block:?} names core \
+                                 {fc}, which is not a tracked sharer"
+                            ),
+                        );
+                    }
+                    if let Some(l) = self.l1[fc as usize].get(&block.0) {
+                        if !l.nc && l.state != L1State::Forward {
+                            push(
+                                "fwd-desync",
+                                format!(
+                                    "directory forward pointer for {block:?} names core \
+                                     {fc}, whose resident line is {:?}",
+                                    l.state
                                 ),
                             );
                         }
@@ -853,6 +918,10 @@ impl ShadowChecker {
             }
             if let Some(e) = m.dir_bank(home).probe(BlockAddr(b)) {
                 let _ = write!(s, " dir{:?}/{:x}", e.owner, e.all_holders());
+                if let Some(fc) = e.fwd {
+                    // Rendered only when set, so MESI keys are unchanged.
+                    let _ = write!(s, "f{fc}");
+                }
             }
             for (c, lm) in self.l1.iter().enumerate() {
                 if let Some(l) = lm.get(&b) {
@@ -860,6 +929,8 @@ impl ShadowChecker {
                         L1State::Modified => 'M',
                         L1State::Exclusive => 'E',
                         L1State::Shared => 'S',
+                        L1State::Forward => 'F',
+                        L1State::Owned => 'O',
                     };
                     let _ = write!(
                         s,
@@ -1004,7 +1075,7 @@ impl ShadowChecker {
                                 ),
                             );
                         }
-                        if l.state == L1State::Modified {
+                        if matches!(l.state, L1State::Modified | L1State::Owned) {
                             // NC write-backs fall through to memory when the
                             // LLC replaced the line; coherent ones cannot
                             // (inclusion keeps the line resident).
@@ -1033,7 +1104,7 @@ impl ShadowChecker {
                     );
                 }
                 if let Some(l) = line {
-                    if (l.state == L1State::Modified) != dirty {
+                    if matches!(l.state, L1State::Modified | L1State::Owned) != dirty {
                         self.violation(
                             "mirror-desync",
                             format!(
@@ -1054,6 +1125,7 @@ impl ShadowChecker {
                 core,
                 block,
                 was_dirty,
+                to,
             } => {
                 let b = block.0;
                 self.touched.insert(b);
@@ -1067,11 +1139,11 @@ impl ShadowChecker {
                     }
                     Some(l) => {
                         let prev = *l;
-                        l.state = L1State::Shared;
+                        l.state = to;
                         prev
                     }
                 };
-                if (prev.state == L1State::Modified) != was_dirty {
+                if matches!(prev.state, L1State::Modified | L1State::Owned) != was_dirty {
                     self.violation(
                         "mirror-desync",
                         format!(
@@ -1081,7 +1153,9 @@ impl ShadowChecker {
                         ),
                     );
                 }
-                if was_dirty {
+                if was_dirty && to != L1State::Owned {
+                    // MOESI's Owned keeps the dirty data private; every
+                    // other dirty downgrade pushes it into the LLC.
                     self.writeback(b, prev.ver, false, "downgrade write-back");
                 }
             }
@@ -1120,7 +1194,7 @@ impl ShadowChecker {
                         format!("page flush of {block:?} at core {core}: no shadow line"),
                     ),
                     Some(l) => {
-                        if state == L1State::Modified {
+                        if matches!(state, L1State::Modified | L1State::Owned) {
                             self.writeback(b, l.ver, true, "page flush write-back");
                         }
                     }
@@ -1302,6 +1376,8 @@ impl CheckSink for ShadowChecker {
 const KNOWN_CODES: &[&str] = &[
     "data-value",
     "dir-inclusion",
+    "fwd-desync",
+    "fwd-unique",
     "l1-inclusion",
     "lost-dirty",
     "mirror-desync",

@@ -12,6 +12,9 @@
 //!   sizes in `raccd-workloads` preserves every shape while keeping
 //!   simulations laptop-fast (DESIGN.md §2).
 
+use raccd_noc::Topology;
+use raccd_protocol::ProtocolKind;
+
 /// The seven directory-size configurations of the evaluation: `1:N` means
 /// the directory has `N×` fewer entries than the LLC (§V-A).
 pub const DIR_RATIOS: [usize; 7] = [1, 2, 4, 8, 16, 64, 256];
@@ -38,6 +41,10 @@ pub struct Latencies {
     pub link: u64,
     /// Mesh router traversal (Table I: 1 cycle).
     pub router: u64,
+    /// Inter-socket link traversal for the `numa2` topology: a message
+    /// crossing sockets pays this instead of one mesh-link cycle on the
+    /// gateway hop. Ignored by the single-socket mesh.
+    pub xlink: u64,
 }
 
 impl Default for Latencies {
@@ -52,6 +59,7 @@ impl Default for Latencies {
             ncrt: 1,
             link: 1,
             router: 1,
+            xlink: 40,
         }
     }
 }
@@ -107,8 +115,14 @@ impl Default for RuntimeCosts {
 pub struct MachineConfig {
     /// Number of cores / tiles / LLC banks / directory banks (Table I: 16).
     pub ncores: usize,
-    /// Mesh dimension (Table I: 4×4).
+    /// Mesh dimension (Table I: 4×4). Under [`Topology::Numa2`] this is
+    /// the per-socket dimension: the machine has `2·mesh_k²` tiles.
     pub mesh_k: usize,
+    /// Coherence protocol variant driving the directory and the private
+    /// caches (Table I baseline: MESI).
+    pub protocol: ProtocolKind,
+    /// Interconnect topology (Table I baseline: single-socket mesh).
+    pub topology: Topology,
     /// L1 data cache bytes per core (Table I: 32 KiB).
     pub l1_bytes: u64,
     /// L1 associativity (Table I: 2).
@@ -181,6 +195,8 @@ impl MachineConfig {
         MachineConfig {
             ncores: 16,
             mesh_k: 4,
+            protocol: ProtocolKind::Mesi,
+            topology: Topology::Mesh,
             l1_bytes: 32 * 1024,
             l1_ways: 2,
             llc_entries_per_bank: 32768, // 2 MiB per bank
@@ -249,6 +265,23 @@ impl MachineConfig {
         self
     }
 
+    /// Select the coherence protocol variant.
+    pub fn with_protocol(mut self, protocol: ProtocolKind) -> Self {
+        self.protocol = protocol;
+        self
+    }
+
+    /// Select the interconnect topology. `mesh_k` stays the *per-socket*
+    /// dimension and `ncores` is re-derived as `sockets · mesh_k²`:
+    /// `numa2` on the Table I machine means *two* 4×4-mesh sockets
+    /// (32 cores), each socket a full copy of the single-socket tile
+    /// grid, joined by the inter-socket link.
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        self.topology = topology;
+        self.ncores = topology.sockets() * self.mesh_k * self.mesh_k;
+        self
+    }
+
     /// Hardware contexts (cores × SMT ways).
     pub fn ncontexts(&self) -> usize {
         self.ncores * self.smt_ways
@@ -312,7 +345,10 @@ impl MachineConfig {
             self.lat.llc,
             self.llc_ways
         ));
-        s.push_str("Coherence         MESI, silent shared evictions\n");
+        s.push_str(&format!(
+            "Coherence         {}, silent shared evictions\n",
+            self.protocol.label().to_uppercase()
+        ));
         s.push_str(&format!(
             "Directory         total {} entries, banked {} entries/core, {} cycles, {}-way, pseudoLRU (1:{})\n",
             self.dir_entries_total(),
@@ -321,10 +357,16 @@ impl MachineConfig {
             self.dir_ways,
             self.dir_ratio
         ));
-        s.push_str(&format!(
-            "NoC               {}x{} mesh, link {} cycle, router {} cycle\n",
-            self.mesh_k, self.mesh_k, self.lat.link, self.lat.router
-        ));
+        match self.topology {
+            Topology::Mesh => s.push_str(&format!(
+                "NoC               {}x{} mesh, link {} cycle, router {} cycle\n",
+                self.mesh_k, self.mesh_k, self.lat.link, self.lat.router
+            )),
+            Topology::Numa2 => s.push_str(&format!(
+                "NoC               2 sockets x {}x{} mesh, link {} cycle, router {} cycle, x-link {} cycles\n",
+                self.mesh_k, self.mesh_k, self.lat.link, self.lat.router, self.lat.xlink
+            )),
+        }
         s.push_str(&format!(
             "NCRT              {} entries/core, {} cycle access time\n",
             self.ncrt_entries, self.lat.ncrt
@@ -400,5 +442,33 @@ mod tests {
         assert!(t.contains("524288"));
         assert!(t.contains("4x4 mesh"));
         assert!(t.contains("32 entries/core"));
+        assert!(t.contains("MESI,"));
+    }
+
+    #[test]
+    fn protocol_and_topology_default_to_table1() {
+        let c = MachineConfig::paper();
+        assert_eq!(c.protocol, ProtocolKind::Mesi);
+        assert_eq!(c.topology, Topology::Mesh);
+    }
+
+    #[test]
+    fn numa2_doubles_the_socket() {
+        let c = MachineConfig::paper().with_topology(Topology::Numa2);
+        assert_eq!(c.ncores, 32, "two 4x4 sockets");
+        assert_eq!(c.mesh_k, 4, "mesh_k stays per-socket");
+        let back = c.with_topology(Topology::Mesh);
+        assert_eq!(back.ncores, 16);
+        let t = c.table1();
+        assert!(t.contains("2 sockets x 4x4 mesh"), "{t}");
+        assert!(t.contains("x-link 40 cycles"), "{t}");
+    }
+
+    #[test]
+    fn protocol_choice_renders_in_table1() {
+        let t = MachineConfig::paper()
+            .with_protocol(ProtocolKind::Moesi)
+            .table1();
+        assert!(t.contains("MOESI,"), "{t}");
     }
 }

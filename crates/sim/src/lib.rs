@@ -33,5 +33,7 @@ pub use check::{CheckEvent, CheckReport, CheckSink, CheckStats, ShadowChecker, V
 pub use config::{Latencies, MachineConfig, RuntimeCosts, SchedPolicy, DIR_RATIOS};
 pub use machine::{CoherenceEvent, CoreShard, L1LookupResult, Machine, TimedEvent};
 pub use raccd_fault::{Backoff, FaultPlan, FaultPlane, FaultSite, FaultStats, Watchdog};
+pub use raccd_noc::Topology;
+pub use raccd_protocol::ProtocolKind;
 pub use spec::{speculate_hit_prefix, HitPrefix, SpecRef};
 pub use stats::Stats;

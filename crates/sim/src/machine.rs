@@ -34,7 +34,10 @@ use raccd_fault::{FaultPlan, FaultPlane, FaultSite, FaultStats, MsgOutcome};
 use raccd_mem::{BlockAddr, PAddr, PageNum, PageTable, Tlb, VAddr};
 use raccd_noc::{Mesh, MsgClass};
 use raccd_prof::{Prof, Site};
-use raccd_protocol::{Adr, AdrConfig, DirEntry, DirEviction, DirectoryBank, ResizeDirection};
+use raccd_protocol::{
+    Adr, AdrConfig, CoherenceProtocol, DirEntry, DirEviction, DirectoryBank, ResizeDirection,
+    VictimAction,
+};
 use std::time::Instant;
 
 /// A protocol-level event, recorded when `MachineConfig::record_events`
@@ -207,6 +210,9 @@ pub struct Machine {
     /// Scratch: whether the last coherent fill was granted Shared (vs
     /// Exclusive). Set by `coherent_fill_path`, consumed by `miss_fill`.
     last_fill_shared: bool,
+    /// Scratch: whether the last coherent read fill was granted Forward
+    /// (MESIF: the newest sharer becomes the designated clean supplier).
+    last_fill_fwd: bool,
     /// Scratch: whether the last coherent fill was served cache-to-cache.
     last_fill_from_owner: bool,
     /// Optional shadow coherence checker (see [`crate::check`]); receives a
@@ -246,7 +252,12 @@ impl Machine {
 
     /// Build with an explicit page table (tests use permuted frames).
     pub fn with_page_table(cfg: MachineConfig, page_table: PageTable) -> Self {
-        assert_eq!(cfg.ncores, cfg.mesh_k * cfg.mesh_k, "one core per tile");
+        assert_eq!(
+            cfg.ncores,
+            cfg.topology.sockets() * cfg.mesh_k * cfg.mesh_k,
+            "one core per tile across {} socket(s)",
+            cfg.topology.sockets()
+        );
         assert!(cfg.ncores.is_power_of_two());
         let bank_bits = cfg.ncores.trailing_zeros();
         let cores = (0..cfg.ncores)
@@ -275,7 +286,14 @@ impl Machine {
             Vec::new()
         };
         let mut m = Machine {
-            noc: Mesh::new(cfg.mesh_k, cfg.lat.link, cfg.lat.router, cfg.flit_bytes),
+            noc: Mesh::for_topology(
+                cfg.topology,
+                cfg.mesh_k,
+                cfg.lat.link,
+                cfg.lat.router,
+                cfg.flit_bytes,
+                cfg.lat.xlink,
+            ),
             bank_busy: vec![0; cfg.ncores],
             events: Vec::new(),
             cfg,
@@ -286,6 +304,7 @@ impl Machine {
             adr,
             stats: Stats::default(),
             last_fill_shared: false,
+            last_fill_fwd: false,
             last_fill_from_owner: false,
             checker: None,
             faults: None,
@@ -701,6 +720,12 @@ impl Machine {
         (block.0 % self.cfg.ncores as u64) as usize
     }
 
+    /// The coherence-protocol decision surface in force.
+    #[inline]
+    fn proto(&self) -> &'static dyn CoherenceProtocol {
+        self.cfg.protocol.protocol()
+    }
+
     /// Record a protocol event when event recording is enabled.
     #[inline]
     fn event(&mut self, now: u64, ev: CoherenceEvent) {
@@ -895,26 +920,25 @@ impl Machine {
         } else {
             L1State::Modified
         };
-        let result = match (nc, state) {
-            // NC writes and coherent E/M writes complete locally.
-            (true, _) | (false, L1State::Exclusive) | (false, L1State::Modified) => {
-                self.cores[core]
-                    .l1
-                    .probe_mut(block)
-                    .expect("line just seen")
-                    .state = written_state;
-                L1LookupResult::Hit { cycles: lat_l1, nc }
-            }
-            // Coherent write hit in Shared: upgrade through the directory.
-            (false, L1State::Shared) => {
-                let cycles = lat_l1 + self.upgrade(core, block, now);
-                self.cores[core]
-                    .l1
-                    .probe_mut(block)
-                    .expect("line just seen")
-                    .state = written_state;
-                L1LookupResult::Hit { cycles, nc: false }
-            }
+        // NC writes and coherent E/M writes complete locally; coherent
+        // write hits in S/F/O upgrade through the directory (Owned data
+        // is already local and dirty, but the *other* sharers must still
+        // be invalidated before the store globally performs).
+        let result = if nc || self.proto().write_hit_is_local(state) {
+            self.cores[core]
+                .l1
+                .probe_mut(block)
+                .expect("line just seen")
+                .state = written_state;
+            L1LookupResult::Hit { cycles: lat_l1, nc }
+        } else {
+            let cycles = lat_l1 + self.upgrade(core, block, now);
+            self.cores[core]
+                .l1
+                .probe_mut(block)
+                .expect("line just seen")
+                .state = written_state;
+            L1LookupResult::Hit { cycles, nc: false }
         };
         self.check_ev(CheckEvent::L1Hit {
             core,
@@ -1082,12 +1106,16 @@ impl Machine {
             self.coherent_fill_path(core, block, write, now)
         };
         // Install in L1. NC fills take E (or M on write); coherent GetS may
-        // have been granted S — `coherent_fill_path` stashes that decision
-        // in `self.last_fill_shared`.
+        // have been granted S — or F under MESIF — `coherent_fill_path`
+        // stashes that decision in the `last_fill_*` scratch flags.
         let state = if write && !self.cfg.l1_write_through {
             L1State::Modified
         } else if !nc && self.last_fill_shared && !write {
-            L1State::Shared
+            if self.last_fill_fwd {
+                L1State::Forward
+            } else {
+                L1State::Shared
+            }
         } else {
             L1State::Exclusive
         };
@@ -1168,7 +1196,9 @@ impl Machine {
         cycles += self.bank_service(home, now + cycles, self.cfg.lat.dir.max(self.cfg.lat.llc));
         self.dir_touch(home, now);
         self.last_fill_shared = false;
+        self.last_fill_fwd = false;
         self.last_fill_from_owner = false;
+        let proto = self.proto();
 
         if self.dir[home].lookup(block).is_some() {
             // Directory hit ⇒ coherent LLC line present (inclusivity).
@@ -1202,12 +1232,25 @@ impl Machine {
             } else {
                 if let Some(o) = owner.filter(|&o| o as usize != core) {
                     // Forward GetS to the owner; it downgrades and supplies
-                    // data; dirty data is also written back to the LLC.
+                    // data. MESI/MESIF: dirty data is written back to the
+                    // LLC and the owner drops to Shared. MOESI: a dirty
+                    // owner keeps the only up-to-date copy in Owned — no
+                    // write-back — and stays the directory owner.
                     self.stats.owner_forwards += 1;
                     cycles += self.xmit(home, o as usize, MsgClass::Control, now);
                     self.touch_core(o as usize);
-                    if let Some(was_dirty) = self.cores[o as usize].l1.downgrade_to_shared(block) {
-                        if was_dirty {
+                    let dirty_now = self.cores[o as usize]
+                        .l1
+                        .probe(block)
+                        .is_some_and(|l| l.dirty());
+                    let (dg_state, wb) = if dirty_now {
+                        proto.dirty_downgrade()
+                    } else {
+                        (L1State::Shared, false)
+                    };
+                    if let Some(was_dirty) = self.cores[o as usize].l1.downgrade_to(block, dg_state)
+                    {
+                        if was_dirty && wb {
                             self.xmit(o as usize, home, MsgClass::WriteBack, now);
                             self.stats.l1_writebacks += 1;
                             if let Some(l) = self.llc[home].probe_mut(block) {
@@ -1218,11 +1261,23 @@ impl Machine {
                             core: o as usize,
                             block,
                             was_dirty,
+                            to: dg_state,
                         });
                     }
                     let e = self.dir[home].lookup(block).expect("entry");
-                    e.downgrade_owner();
-                    e.record_gets(core);
+                    if dg_state == L1State::Owned {
+                        // The Owned copy still answers snoops: the owner
+                        // pointer must survive the downgrade.
+                        e.record_gets_keep_owner(core);
+                    } else {
+                        e.downgrade_owner();
+                        e.record_gets(core);
+                        if proto.tracks_forwarder() {
+                            // MESIF: the newest sharer takes Forward.
+                            e.set_fwd(core);
+                            self.last_fill_fwd = true;
+                        }
+                    }
                     self.last_fill_shared = true;
                     self.last_fill_from_owner = true;
                     cycles += self.xmit(o as usize, core, MsgClass::DataResponse, now);
@@ -1233,11 +1288,46 @@ impl Machine {
                         // so a later silent E→M write stays tracked.
                         e.record_getx(core);
                         self.last_fill_shared = false;
+                        cycles += self.xmit(home, core, MsgClass::DataResponse, now);
                     } else {
+                        // Existing sharers. MESIF: the designated Forward
+                        // sharer (when still resident) supplies the data
+                        // cache-to-cache and hands Forward to the newest
+                        // sharer, dropping itself to Shared; otherwise the
+                        // home LLC supplies, exactly as MESI/MOESI.
+                        let supplier = proto
+                            .clean_supplier(e)
+                            .filter(|&fc| fc as usize != core)
+                            .filter(|&fc| self.cores[fc as usize].l1.probe(block).is_some());
+                        let e = self.dir[home].lookup(block).expect("entry");
                         e.record_gets(core);
+                        if proto.tracks_forwarder() {
+                            e.set_fwd(core);
+                            self.last_fill_fwd = true;
+                        }
                         self.last_fill_shared = true;
+                        if let Some(fc) = supplier {
+                            let fc = fc as usize;
+                            self.stats.owner_forwards += 1;
+                            self.last_fill_from_owner = true;
+                            cycles += self.xmit(home, fc, MsgClass::Control, now);
+                            self.touch_core(fc);
+                            if let Some(was_dirty) =
+                                self.cores[fc].l1.downgrade_to(block, L1State::Shared)
+                            {
+                                debug_assert!(!was_dirty, "Forward lines are clean");
+                                self.check_ev(CheckEvent::L1Downgraded {
+                                    core: fc,
+                                    block,
+                                    was_dirty,
+                                    to: L1State::Shared,
+                                });
+                            }
+                            cycles += self.xmit(fc, core, MsgClass::DataResponse, now);
+                        } else {
+                            cycles += self.xmit(home, core, MsgClass::DataResponse, now);
+                        }
                     }
-                    cycles += self.xmit(home, core, MsgClass::DataResponse, now);
                 }
             }
         } else {
@@ -1402,9 +1492,9 @@ impl Machine {
             }
             return;
         }
-        match line.state {
-            L1State::Modified => {
-                // PutM: update directory, write data into the LLC.
+        match self.proto().victim_action(line.state) {
+            VictimAction::WriteBackDirty => {
+                // PutM / PutO: update directory, write data into the LLC.
                 self.xmit(core, home, MsgClass::WriteBack, now);
                 self.stats.l1_writebacks += 1;
                 self.dir_touch(home, now);
@@ -1415,7 +1505,7 @@ impl Machine {
                     l.dirty = true;
                 }
             }
-            L1State::Exclusive => {
+            VictimAction::NotifyClean => {
                 // PutE: clean notification so the owner pointer stays exact.
                 self.xmit(core, home, MsgClass::Control, now);
                 self.dir_touch(home, now);
@@ -1423,7 +1513,16 @@ impl Machine {
                     e.owner_writeback(core);
                 }
             }
-            L1State::Shared => {
+            VictimAction::NotifyForward => {
+                // PutF: clear the forward pointer (and this sharer bit) so
+                // the directory never names an absent clean supplier.
+                self.xmit(core, home, MsgClass::Control, now);
+                self.dir_touch(home, now);
+                if let Some(e) = self.dir[home].lookup(block) {
+                    e.forwarder_eviction(core);
+                }
+            }
+            VictimAction::Silent => {
                 // Silent eviction (Table I); the stale sharer bit may earn a
                 // spurious invalidation later.
             }
@@ -1867,7 +1966,11 @@ impl Machine {
         s.put("machine/stats", &self.stats);
         s.put(
             "machine/scratch",
-            &(self.last_fill_shared, self.last_fill_from_owner),
+            &(
+                self.last_fill_shared,
+                self.last_fill_from_owner,
+                self.last_fill_fwd,
+            ),
         );
         if let Some(f) = &self.faults {
             s.put("machine/faults", f.as_ref());
@@ -1917,9 +2020,10 @@ impl Machine {
         self.bank_busy = bank_busy;
         self.events = s.get("machine/events")?;
         self.stats = s.get("machine/stats")?;
-        let (fs, fo): (bool, bool) = s.get("machine/scratch")?;
+        let (fs, fo, ff): (bool, bool, bool) = s.get("machine/scratch")?;
         self.last_fill_shared = fs;
         self.last_fill_from_owner = fo;
+        self.last_fill_fwd = ff;
         self.faults = if s.has("machine/faults") {
             Some(Box::new(s.get::<FaultPlane>("machine/faults")?))
         } else {

@@ -59,8 +59,9 @@ pub struct HitPrefix {
 /// * TLB miss — the serial path walks the shared page table;
 /// * L1 miss — the serial path enters a fill transaction;
 /// * any write when `cfg.l1_write_through` — stores propagate to the LLC;
-/// * a coherent write hit in Shared — the serial path upgrades through
-///   the directory.
+/// * a coherent write hit in any non-exclusive state (Shared, MESIF
+///   Forward, MOESI Owned) — the serial path upgrades through the
+///   directory.
 pub fn speculate_hit_prefix(
     cfg: &MachineConfig,
     mut shard: CoreShard,
@@ -87,7 +88,9 @@ pub fn speculate_hit_prefix(
             if cfg.l1_write_through {
                 break;
             }
-            if !nc && state == L1State::Shared {
+            if !nc && !matches!(state, L1State::Modified | L1State::Exclusive) {
+                // S (and MESIF F / MOESI O) write hits upgrade through the
+                // directory — not a private action.
                 break;
             }
         }
