@@ -305,16 +305,16 @@ fn main() {
     }
 
     if chosen.contains(&"sched") {
-        use raccd_sim::SchedPolicy;
+        use raccd_sim::SchedKind;
         println!("# Ablation: scheduler policy (locality vs migration, §II-B premise)");
         println!("policy\tmode\tcycles\tmigrations\tnc_pct");
-        for policy in [SchedPolicy::CentralFifo, SchedPolicy::WorkStealing] {
+        for policy in SchedKind::ALL {
             for mode in [CoherenceMode::PageTable, CoherenceMode::Raccd] {
                 let mut cfg = base;
                 cfg.sched = policy;
                 let rs = run_all(cfg, mode, scale, &tel);
                 println!(
-                    "{policy:?}\t{mode}\t{:.0}\t{:.0}\t{:.1}",
+                    "{policy}\t{mode}\t{:.0}\t{:.0}\t{:.1}",
                     avg_cycles(&rs),
                     mean(
                         &rs.iter()

@@ -78,7 +78,7 @@ fn main() {
         base_cfg.permuted_pages = true;
     }
     if args.iter().any(|a| a == "--steal") {
-        base_cfg.sched = raccd_sim::SchedPolicy::WorkStealing;
+        base_cfg.sched = raccd_sim::SchedKind::Steal;
     }
 
     let engine = engine_from_args(&args);
@@ -105,9 +105,10 @@ fn main() {
         base_cfg.topology.label(),
     );
     println!(
-        "# machine: protocol={} topology={} ncores={}",
+        "# machine: protocol={} topology={} sched={} ncores={}",
         base_cfg.protocol.label(),
         base_cfg.topology.label(),
+        base_cfg.sched.label(),
         base_cfg.ncores,
     );
     let t0 = std::time::Instant::now();

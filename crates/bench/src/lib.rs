@@ -17,7 +17,7 @@ pub mod perfjson;
 use raccd_campaign::{PoolTask, WorkerPool};
 use raccd_core::{CoherenceMode, Engine, Experiment, RunResult};
 use raccd_obs::{Recorder, RecorderConfig, RunMetrics};
-use raccd_sim::{MachineConfig, ProtocolKind, Topology};
+use raccd_sim::{MachineConfig, ProtocolKind, SchedKind, Topology};
 use raccd_workloads::{all_benchmarks, Scale};
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
@@ -230,9 +230,10 @@ pub fn run_matrix_engine(
     // records which protocol/topology produced the numbers; `#`-prefixed
     // so data consumers skip it like the perf summary line.
     println!(
-        "# machine: protocol={} topology={} ncores={}",
+        "# machine: protocol={} topology={} sched={} ncores={}",
         base_cfg.protocol.label(),
         base_cfg.topology.label(),
+        base_cfg.sched.label(),
         base_cfg.ncores,
     );
     let t0 = std::time::Instant::now();
@@ -419,13 +420,29 @@ pub fn topology_from_args(args: &[String]) -> Topology {
     }
 }
 
-/// [`config_for_scale`] plus the `--protocol`/`--topology` CLI overrides —
-/// the standard machine preamble of every figure binary. A `numa2`
-/// topology doubles `ncores` (two sockets of the scale's mesh).
+/// Parse `--sched fifo|steal|priority|locality|quantum` from argv
+/// (default: fifo, the paper's central ready queue).
+pub fn sched_from_args(args: &[String]) -> SchedKind {
+    match args
+        .iter()
+        .position(|a| a == "--sched")
+        .and_then(|i| args.get(i + 1))
+    {
+        Some(name) => SchedKind::parse(name).unwrap_or_else(|| {
+            panic!("--sched: unknown policy `{name}` (fifo|steal|priority|locality|quantum)")
+        }),
+        None => SchedKind::Fifo,
+    }
+}
+
+/// [`config_for_scale`] plus the `--protocol`/`--topology`/`--sched` CLI
+/// overrides — the standard machine preamble of every figure binary. A
+/// `numa2` topology doubles `ncores` (two sockets of the scale's mesh).
 pub fn config_from_args(scale: Scale, args: &[String]) -> MachineConfig {
     config_for_scale(scale)
         .with_protocol(protocol_from_args(args))
         .with_topology(topology_from_args(args))
+        .with_sched(sched_from_args(args))
 }
 
 /// Format a TSV row.
@@ -512,6 +529,22 @@ mod tests {
         assert_eq!(cfg.protocol, ProtocolKind::Moesi);
         assert_eq!(cfg.topology, Topology::Numa2);
         assert_eq!(cfg.ncores, 2 * cfg.mesh_k * cfg.mesh_k);
+    }
+
+    #[test]
+    fn sched_parsing() {
+        let args = |s: &[&str]| s.iter().map(|x| x.to_string()).collect::<Vec<_>>();
+        assert_eq!(sched_from_args(&args(&[])), SchedKind::Fifo);
+        assert_eq!(
+            sched_from_args(&args(&["--sched", "locality"])),
+            SchedKind::Locality
+        );
+        assert_eq!(
+            sched_from_args(&args(&["--sched", "QUANTUM"])),
+            SchedKind::Quantum
+        );
+        let cfg = config_from_args(Scale::Test, &args(&["--sched", "steal"]));
+        assert_eq!(cfg.sched, SchedKind::Steal);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 
 use raccd_core::{CoherenceMode, Engine};
 use raccd_fault::FaultPlan;
-use raccd_sim::{MachineConfig, ProtocolKind, Topology};
+use raccd_sim::{MachineConfig, ProtocolKind, SchedKind, Topology};
 use raccd_workloads::Scale;
 
 /// The unit of dedup and ledger accounting: one seeded execution of one
@@ -47,6 +47,8 @@ pub struct JobSpec {
     pub protocol: ProtocolKind,
     /// NoC topology (single mesh or 2-socket NUMA).
     pub topology: Topology,
+    /// Ready-queue scheduling policy.
+    pub sched: SchedKind,
     /// Simulation engine (results are engine-independent by construction).
     pub engine: Engine,
     /// Cycles of warm-up shared through the snapshot pool (0 = cold).
@@ -130,6 +132,7 @@ impl JobSpec {
             adr: false,
             protocol: ProtocolKind::Mesi,
             topology: Topology::Mesh,
+            sched: SchedKind::Fifo,
             engine: Engine::Serial,
             warmup: 0,
             fault: None,
@@ -151,7 +154,7 @@ impl JobSpec {
             None => "-".to_string(),
         };
         format!(
-            "bench={} scale={} mode={} ratio={} adr={} protocol={} topology={} engine={} warmup={} fault={}",
+            "bench={} scale={} mode={} ratio={} adr={} protocol={} topology={} sched={} engine={} warmup={} fault={}",
             self.bench.to_ascii_lowercase(),
             self.scale,
             mode_label(self.mode),
@@ -159,6 +162,7 @@ impl JobSpec {
             self.adr as u8,
             self.protocol.label(),
             self.topology.label(),
+            self.sched.label(),
             engine_token(self.engine),
             self.warmup,
             fault,
@@ -213,6 +217,10 @@ impl JobSpec {
                 "topology" => {
                     spec.topology =
                         Topology::parse(val).ok_or_else(|| format!("bad topology `{val}`"))?;
+                }
+                "sched" => {
+                    spec.sched =
+                        SchedKind::parse(val).ok_or_else(|| format!("bad sched `{val}`"))?;
                 }
                 "engine" => {
                     spec.engine = parse_engine(val).ok_or_else(|| format!("bad engine `{val}`"))?;
@@ -285,6 +293,7 @@ impl JobSpec {
             .with_adr(self.adr)
             .with_protocol(self.protocol)
             .with_topology(self.topology)
+            .with_sched(self.sched)
     }
 
     /// The parsed fault plan, if any (validated at parse time).
@@ -308,6 +317,7 @@ mod tests {
             adr: true,
             protocol: ProtocolKind::Mesi,
             topology: Topology::Mesh,
+            sched: SchedKind::Fifo,
             engine: Engine::EpochParallel { threads: 4 },
             warmup: 5_000,
             fault: Some("drop=0.02;dup=0.01".into()),
@@ -377,6 +387,31 @@ mod tests {
         assert_eq!(s.topology, Topology::Mesh);
         assert!(JobSpec::parse("bench=Jacobi protocol=tokencoh").is_err());
         assert!(JobSpec::parse("bench=Jacobi topology=torus").is_err());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_sched_and_legacy_lines_default_to_fifo() {
+        // Every policy fingerprints distinctly and round-trips.
+        let base = spec();
+        let mut seen = std::collections::HashSet::new();
+        for sched in SchedKind::ALL {
+            let mut s = base.clone();
+            s.sched = sched;
+            assert!(
+                seen.insert(s.fingerprint()),
+                "fingerprint collision at sched={sched}"
+            );
+            let parsed = JobSpec::parse(&s.render()).expect("parses");
+            assert_eq!(parsed.sched, sched);
+        }
+        // Ledger lines written before the sched key existed replay and
+        // dedup exactly as an explicit sched=fifo line does.
+        let legacy = JobSpec::parse("bench=Jacobi scale=test mode=raccd seeds=1..2").unwrap();
+        assert_eq!(legacy.sched, SchedKind::Fifo);
+        let explicit =
+            JobSpec::parse("bench=Jacobi scale=test mode=raccd sched=fifo seeds=1..2").unwrap();
+        assert_eq!(legacy.fingerprint(), explicit.fingerprint());
+        assert!(JobSpec::parse("bench=Jacobi sched=roundrobin").is_err());
     }
 
     #[test]

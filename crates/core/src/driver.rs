@@ -25,16 +25,15 @@ use crate::tlbclass::TlbClassifier;
 use raccd_mem::{SimMemory, VAddr};
 use raccd_obs::{Event, Gauges, Recorder};
 use raccd_prof::{Prof, ProfReport, Site};
-use raccd_runtime::{
-    MemRef, Program, ReadyQueue, RetryBook, RetryDecision, StealQueues, TaskCtx, TaskGraph,
-};
+use raccd_runtime::{MemRef, Program, RetryBook, RetryDecision, TaskCtx, TaskGraph};
+use raccd_sched::{PreemptRecord, SchedKind, SchedParams, Scheduler};
 use raccd_sim::{
     CheckEvent, CheckReport, CoherenceEvent, FaultPlan, FaultPlane, L1LookupResult, Machine,
-    MachineConfig, SchedPolicy, Stats, TimedEvent, Watchdog,
+    MachineConfig, Stats, TimedEvent, Watchdog,
 };
 use raccd_snap::{SnapError, Snapshot};
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, BinaryHeap};
 
 /// References processed per core turn before re-entering the heap.
 /// Small enough to interleave finely, large enough to amortise heap cost.
@@ -59,32 +58,27 @@ pub(crate) struct Running {
     pub(crate) fail_at: Option<usize>,
 }
 
-/// The runtime's ready-task store, per the configured scheduling policy.
-enum Sched {
-    Central(ReadyQueue),
-    Steal(StealQueues),
-}
-
-impl Sched {
-    fn push(&mut self, ctx: usize, task: raccd_runtime::TaskId) {
-        match self {
-            Sched::Central(q) => q.push(task),
-            Sched::Steal(q) => q.push(ctx, task),
-        }
-    }
-
-    fn pop(&mut self, ctx: usize) -> Option<raccd_runtime::TaskId> {
-        match self {
-            Sched::Central(q) => q.pop(),
-            Sched::Steal(q) => q.pop(ctx),
-        }
-    }
-
-    fn len(&self) -> usize {
-        match self {
-            Sched::Central(q) => q.len(),
-            Sched::Steal(q) => q.len(),
-        }
+/// Scheduler construction inputs derived from the machine shape and the
+/// task graph. Everything here is recomputable, so restore rebuilds it
+/// instead of reading it from the snapshot: critical-path priorities are
+/// computed only when the `priority` policy will consume them (and must
+/// be computed *before* graph replay consumes the dependent lists).
+fn sched_params(cfg: &MachineConfig, graph: &TaskGraph) -> SchedParams {
+    let nctx = cfg.ncontexts();
+    let tiles_per_socket = cfg.mesh_k * cfg.mesh_k;
+    let ctx_socket = (0..nctx)
+        .map(|ctx| (ctx / cfg.smt_ways) / tiles_per_socket)
+        .collect();
+    let priorities = if cfg.sched == SchedKind::Priority {
+        raccd_sched::critical_path_priorities(graph.len(), |id| graph.dependents(id))
+    } else {
+        Vec::new()
+    };
+    SchedParams {
+        nctx,
+        ctx_socket,
+        priorities,
+        quantum: cfg.sched_quantum,
     }
 }
 
@@ -117,6 +111,10 @@ pub struct DriverOutput {
     /// otherwise. Host wall-time attribution only — never affects the
     /// simulated outcome.
     pub prof: Option<ProfReport>,
+    /// The scheduler's append-only quantum-preemption audit log (empty
+    /// for every policy but `quantum`). Deterministic: identical runs
+    /// produce identical logs, serial or epoch-parallel.
+    pub audit: Vec<PreemptRecord>,
 }
 
 /// Run a program to completion on a machine configured per `cfg` under the
@@ -258,29 +256,6 @@ impl raccd_snap::Snap for Running {
     }
 }
 
-impl raccd_snap::Snap for Sched {
-    fn save(&self, w: &mut raccd_snap::SnapWriter) {
-        match self {
-            Sched::Central(q) => {
-                w.u8(0);
-                q.save(w);
-            }
-            Sched::Steal(q) => {
-                w.u8(1);
-                q.save(w);
-            }
-        }
-    }
-    fn load(r: &mut raccd_snap::SnapReader) -> Result<Self, raccd_snap::SnapError> {
-        use raccd_snap::Snap;
-        Ok(match r.u8()? {
-            0 => Sched::Central(Snap::load(r)?),
-            1 => Sched::Steal(Snap::load(r)?),
-            _ => return Err(raccd_snap::SnapError::Invalid("sched tag")),
-        })
-    }
-}
-
 /// The main simulation loop reified as a resumable struct.
 ///
 /// `Driver::new` + repeated [`Driver::step`] + [`Driver::finish`] is
@@ -310,7 +285,13 @@ pub struct Driver {
     pt: PageClassifier,
     tlbc: TlbClassifier,
     census: Census,
-    ready: Sched,
+    ready: Box<dyn Scheduler>,
+    /// Quantum-preempted tasks awaiting re-dispatch: their trace and
+    /// progress survive here while their id waits in the ready queue.
+    parked: BTreeMap<raccd_runtime::TaskId, Running>,
+    /// Cycle at which each context's current task was (re)dispatched —
+    /// the quantum clock for [`SchedKind::Quantum`].
+    quantum_start: Vec<u64>,
     pub(crate) running: Vec<Option<Running>>,
     waker_core: Vec<Option<u32>>,
     wake_time: Vec<u64>,
@@ -369,10 +350,7 @@ impl Driver {
         let degrade = fplan.map(|p| DegradeController::new(&p));
         let ncrts = (0..nctx).map(|_| Ncrt::new(cfg.ncrt_entries)).collect();
 
-        let mut ready = match cfg.sched {
-            SchedPolicy::CentralFifo => Sched::Central(ReadyQueue::new()),
-            SchedPolicy::WorkStealing => Sched::Steal(StealQueues::new(nctx)),
-        };
+        let mut ready = raccd_sched::build(cfg.sched, &sched_params(&cfg, &graph));
         // Telemetry: announce the TDG and the initial ready set at cycle 0.
         if let Some(r) = rec.as_deref_mut() {
             for t in 0..graph.len() {
@@ -416,6 +394,8 @@ impl Driver {
             tlbc: TlbClassifier::new(),
             census: Census::new(),
             ready,
+            parked: BTreeMap::new(),
+            quantum_start: vec![0u64; nctx],
             running: (0..nctx).map(|_| None).collect(),
             waker_core,
             wake_time,
@@ -605,11 +585,14 @@ impl Driver {
         // the unified stream stays roughly time-ordered.
         if let Some(r) = rec.as_deref_mut() {
             if r.sample_due(t) {
+                let c = self.ready.counters();
                 let gauges = Gauges {
                     dir_occupied: self.machine.dir_occupied_total(),
                     dir_capacity: self.machine.dir_capacity_total(),
                     ready_tasks: self.ready.len() as u64,
                     busy_contexts: self.running.iter().filter(|x| x.is_some()).count() as u32,
+                    sched_popped: c.popped,
+                    sched_steals: c.steals,
                 };
                 r.maybe_sample(t, &self.machine.stats, gauges);
             }
@@ -635,6 +618,22 @@ impl Driver {
                     if let Some(w) = self.waker_core[task] {
                         if w as usize != core {
                             self.machine.stats.task_migrations += 1;
+                            // Migration-aware NCRT hand-off: the task's
+                            // regions were produced (or, after preemption,
+                            // previously registered and flushed) on `w`;
+                            // the register loop below re-registers them on
+                            // this core. Count the churn RaCCD pays for it.
+                            if eff_mode == CoherenceMode::Raccd {
+                                self.machine.stats.ncrt_migrations += 1;
+                            }
+                            if let Some(r) = rec.as_deref_mut() {
+                                r.record(Event::TaskMigrated {
+                                    cycle: now,
+                                    task: task as u32,
+                                    from_core: w,
+                                    to_core: core as u32,
+                                });
+                            }
                         }
                     }
                     if let Some(r) = rec.as_deref_mut() {
@@ -703,40 +702,54 @@ impl Driver {
                             });
                         }
                     }
-                    // Run the body functionally, recording the trace.
-                    let t_body = raccd_prof::t0(self.machine.prof());
-                    let body = self.graph.take_body(task);
-                    let mut trace = std::mem::take(&mut self.trace_pool[ctx]);
-                    trace.clear();
-                    {
-                        let mut tcx = TaskCtx::new(&mut self.mem, &mut trace);
-                        body(&mut tcx);
-                        tcx.stack_traffic(self.cfg.runtime.stack_words_per_task);
-                    }
-                    raccd_prof::rec(self.machine.prof(), Site::TaskBody, t_body);
-                    self.machine.stats.tasks_executed += 1;
-                    // Fault plane: roll this dispatch for a straggler
-                    // delay and/or a mid-replay failure point.
-                    let mut fail_at = None;
-                    let trace_len = trace.len();
-                    if let Some(inj) = self
-                        .machine
-                        .faults_mut()
-                        .map(|f| f.roll_task(now, trace_len))
-                    {
-                        fail_at = inj.fail_at;
-                        if inj.straggle > 0 {
-                            self.machine.stats.task_straggles += 1;
-                            now += inj.straggle;
+                    if let Some(run) = self.parked.remove(&task) {
+                        // Resuming a quantum-preempted task: its trace and
+                        // progress survived in the parked map, its body
+                        // already ran, and the register loop above just
+                        // re-armed the NCRT on this (possibly different)
+                        // core — the migration hand-off. The quantum clock
+                        // restarts from this dispatch.
+                        debug_assert_eq!(run.tid, task);
+                        self.quantum_start[ctx] = now;
+                        self.running[ctx] = Some(run);
+                        self.heap.push(Reverse((now, ctx)));
+                    } else {
+                        // Run the body functionally, recording the trace.
+                        let t_body = raccd_prof::t0(self.machine.prof());
+                        let body = self.graph.take_body(task);
+                        let mut trace = std::mem::take(&mut self.trace_pool[ctx]);
+                        trace.clear();
+                        {
+                            let mut tcx = TaskCtx::new(&mut self.mem, &mut trace);
+                            body(&mut tcx);
+                            tcx.stack_traffic(self.cfg.runtime.stack_words_per_task);
                         }
+                        raccd_prof::rec(self.machine.prof(), Site::TaskBody, t_body);
+                        self.machine.stats.tasks_executed += 1;
+                        // Fault plane: roll this dispatch for a straggler
+                        // delay and/or a mid-replay failure point.
+                        let mut fail_at = None;
+                        let trace_len = trace.len();
+                        if let Some(inj) = self
+                            .machine
+                            .faults_mut()
+                            .map(|f| f.roll_task(now, trace_len))
+                        {
+                            fail_at = inj.fail_at;
+                            if inj.straggle > 0 {
+                                self.machine.stats.task_straggles += 1;
+                                now += inj.straggle;
+                            }
+                        }
+                        self.quantum_start[ctx] = now;
+                        self.running[ctx] = Some(Running {
+                            tid: task,
+                            trace,
+                            pos: 0,
+                            fail_at,
+                        });
+                        self.heap.push(Reverse((now, ctx)));
                     }
-                    self.running[ctx] = Some(Running {
-                        tid: task,
-                        trace,
-                        pos: 0,
-                        fail_at,
-                    });
-                    self.heap.push(Reverse((now, ctx)));
                 } else {
                     // Nothing ready: park until a wake-up re-arms us.
                     raccd_prof::rec(self.machine.prof(), Site::Schedule, t_sched);
@@ -863,8 +876,72 @@ impl Driver {
                         }
                     }
                 } else if run.pos < run.trace.len() {
-                    self.running[ctx] = Some(run);
-                    self.heap.push(Reverse((now, ctx)));
+                    // Quantum preemption (SchedKind::Quantum only):
+                    // decided deterministically at batch boundaries, and
+                    // only when another task is actually waiting — a lone
+                    // task never bounces. The preempted task flushes its
+                    // NC residue exactly like a completing task (the NCRT
+                    // hand-off is re-registration at the next dispatch),
+                    // re-enters the ready queue at the back, and the
+                    // decision lands in the append-only audit log.
+                    let expired = self
+                        .ready
+                        .quantum()
+                        .is_some_and(|q| now.saturating_sub(self.quantum_start[ctx]) >= q);
+                    if expired && !self.ready.is_empty() {
+                        if self.mode == CoherenceMode::Raccd {
+                            let flt = if self.cfg.smt_ways > 1 && self.cfg.smt_selective_flush {
+                                Some(tid)
+                            } else {
+                                None
+                            };
+                            let inv_start = now;
+                            let flushed_before = self.machine.stats.nc_lines_flushed;
+                            let t_inv = raccd_prof::t0(self.machine.prof());
+                            let cycles = self.machine.flush_nc_filtered(core, flt, now);
+                            raccd_prof::rec(self.machine.prof(), Site::NcInvalidate, t_inv);
+                            self.machine.stats.invalidate_cycles += cycles;
+                            now += cycles;
+                            self.ncrts[ctx].clear();
+                            if self.machine.has_checker() && self.cfg.smt_ways == 1 {
+                                self.machine.check_note(CheckEvent::NcInvalidate { core });
+                            }
+                            if let Some(r) = rec.as_deref_mut() {
+                                r.record(Event::NcrtInvalidate {
+                                    cycle: inv_start,
+                                    ctx: ctx as u32,
+                                    core: core as u32,
+                                    task: run.tid as u32,
+                                    dur: cycles,
+                                    lines_flushed: self.machine.stats.nc_lines_flushed
+                                        - flushed_before,
+                                });
+                            }
+                        }
+                        self.machine.stats.preemptions += 1;
+                        self.ready.note_preempt(PreemptRecord {
+                            cycle: now,
+                            task: run.tid,
+                            ctx,
+                            pos: run.pos,
+                            remaining: run.trace.len() - run.pos,
+                        });
+                        self.waker_core[run.tid] = Some(core as u32);
+                        self.wake_time[run.tid] = now;
+                        if let Some(r) = rec.as_deref_mut() {
+                            r.record(Event::TaskWoken {
+                                cycle: now,
+                                task: run.tid as u32,
+                                waker_core: Some(core as u32),
+                            });
+                        }
+                        self.ready.push(ctx, run.tid);
+                        self.parked.insert(run.tid, run);
+                        self.heap.push(Reverse((now, ctx)));
+                    } else {
+                        self.running[ctx] = Some(run);
+                        self.heap.push(Reverse((now, ctx)));
+                    }
                 } else {
                     // Invalidate non-coherent data (RaCCD only), then the
                     // wake-up phase.
@@ -964,7 +1041,13 @@ impl Driver {
         s.put("driver/pt", &self.pt);
         s.put("driver/tlbc", &self.tlbc);
         s.put("driver/census", &self.census);
-        s.put("driver/sched", &self.ready);
+        // The scheduler serialises behind its registry tag; machine-shape
+        // inputs (sockets, priorities, quantum) are rebuilt on restore.
+        let mut w = raccd_snap::SnapWriter::new();
+        raccd_sched::save(self.ready.as_ref(), &mut w);
+        s.put_raw("driver/sched", w.into_bytes());
+        s.put("driver/parked", &self.parked);
+        s.put("driver/quantum_start", &self.quantum_start);
         s.put("driver/running", &self.running);
         s.put("driver/waker_core", &self.waker_core);
         s.put("driver/wake_time", &self.wake_time);
@@ -1006,6 +1089,10 @@ impl Driver {
             return Err(SnapError::Invalid("program shape mismatch"));
         }
         let nctx = cfg.ncontexts();
+        // Scheduler params must be derived while the graph is still
+        // pristine: the replay below consumes the dependent lists the
+        // critical-path priorities are computed from.
+        let sched_params = sched_params(&cfg, &graph);
         let completion_order: Vec<raccd_runtime::TaskId> = s.get("driver/completion_order")?;
         let running: Vec<Option<Running>> = s.get("driver/running")?;
         let ncrts: Vec<Ncrt> = s.get("driver/ncrts")?;
@@ -1044,6 +1131,41 @@ impl Driver {
             seen[run.tid] = true;
             drop(graph.take_body(run.tid));
         }
+        // Quantum-preempted tasks: dispatched (body consumed) but neither
+        // running nor complete. Sections are optional so pre-scheduler
+        // snapshots restore with the empty defaults.
+        let parked: BTreeMap<raccd_runtime::TaskId, Running> = if s.has("driver/parked") {
+            s.get("driver/parked")?
+        } else {
+            BTreeMap::new()
+        };
+        for (&id, run) in &parked {
+            if id >= ntasks || seen[id] || run.tid != id {
+                return Err(SnapError::Invalid("parked task id"));
+            }
+            seen[id] = true;
+            drop(graph.take_body(id));
+        }
+        let quantum_start: Vec<u64> = if s.has("driver/quantum_start") {
+            s.get("driver/quantum_start")?
+        } else {
+            vec![0u64; nctx]
+        };
+        if quantum_start.len() != nctx {
+            return Err(SnapError::Invalid("quantum clock geometry"));
+        }
+        let ready = {
+            let bytes = s.raw("driver/sched")?;
+            let mut r = raccd_snap::SnapReader::new(bytes);
+            let sched = raccd_sched::load(&mut r, &sched_params)?;
+            if r.remaining() != 0 {
+                return Err(SnapError::TrailingBytes);
+            }
+            if sched.kind() != cfg.sched {
+                return Err(SnapError::Invalid("sched policy mismatch"));
+            }
+            sched
+        };
         Ok(Driver {
             cfg,
             mode,
@@ -1059,7 +1181,9 @@ impl Driver {
             pt: s.get("driver/pt")?,
             tlbc: s.get("driver/tlbc")?,
             census: s.get("driver/census")?,
-            ready: s.get("driver/sched")?,
+            ready,
+            parked,
+            quantum_start,
             running,
             waker_core,
             wake_time,
@@ -1107,6 +1231,13 @@ impl Driver {
                 });
             }
         }
+        // Unified scheduler counters land in Stats just before the final
+        // freeze, so every policy reports them symmetrically.
+        let c = self.ready.counters();
+        self.machine.stats.sched_pushed = c.pushed;
+        self.machine.stats.sched_popped = c.popped;
+        self.machine.stats.sched_local_pops = c.local_pops;
+        self.machine.stats.sched_steals = c.steals;
         let stats = self.machine.finalize(self.end_time);
         if let Some(r) = rec {
             r.finish(
@@ -1117,6 +1248,8 @@ impl Driver {
                     dir_capacity: self.machine.dir_capacity_total(),
                     ready_tasks: 0,
                     busy_contexts: 0,
+                    sched_popped: c.popped,
+                    sched_steals: c.steals,
                 },
             );
         }
@@ -1140,6 +1273,7 @@ impl Driver {
             check,
             fault,
             prof,
+            audit: self.ready.audit().to_vec(),
         }
     }
 }

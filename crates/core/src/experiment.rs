@@ -118,6 +118,7 @@ impl Experiment {
             events: _,
             check: _,
             fault: _,
+            audit: _,
             prof,
         } = out;
         let verify = workload.verify(&mem);

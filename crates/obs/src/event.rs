@@ -63,6 +63,20 @@ pub enum Event {
         /// References the task replayed.
         refs: u64,
     },
+    /// A ready task was dispatched to a different core than the one whose
+    /// wake-up phase released it (or, for preempted tasks, the core it last
+    /// ran on). Under RaCCD a migration forces the NCRT hand-off: the old
+    /// core's registrations are gone and the new core re-registers.
+    TaskMigrated {
+        /// Simulated cycle (dispatch time).
+        cycle: u64,
+        /// Task id.
+        task: u32,
+        /// Core the task was woken from / last ran on.
+        from_core: u32,
+        /// Core it was dispatched to.
+        to_core: u32,
+    },
     /// One `raccd_register` instruction (per task dependence, §III-B).
     NcrtRegister {
         /// Cycle the instruction issued.
@@ -210,6 +224,7 @@ impl Event {
             | Event::TaskWoken { cycle, .. }
             | Event::TaskScheduled { cycle, .. }
             | Event::TaskCompleted { cycle, .. }
+            | Event::TaskMigrated { cycle, .. }
             | Event::NcrtRegister { cycle, .. }
             | Event::NcrtInvalidate { cycle, .. }
             | Event::PtTransition { cycle, .. }
@@ -228,6 +243,7 @@ impl Event {
             Event::TaskWoken { .. } => "task_woken",
             Event::TaskScheduled { .. } => "task_scheduled",
             Event::TaskCompleted { .. } => "task_completed",
+            Event::TaskMigrated { .. } => "task_migrated",
             Event::NcrtRegister { .. } => "ncrt_register",
             Event::NcrtInvalidate { .. } => "ncrt_invalidate",
             Event::PtTransition { .. } => "pt_transition",

@@ -56,6 +56,15 @@ pub fn event_json(names: &[String], ev: &Event) -> String {
             .u64("task", task as u64)
             .u64("ctx", ctx as u64)
             .u64("refs", refs),
+        Event::TaskMigrated {
+            task,
+            from_core,
+            to_core,
+            ..
+        } => o
+            .u64("task", task as u64)
+            .u64("from_core", from_core as u64)
+            .u64("to_core", to_core as u64),
         Event::NcrtRegister {
             ctx,
             core,
@@ -237,6 +246,8 @@ pub const CSV_COLUMNS: &[&str] = &[
     "dir_capacity",
     "ready_tasks",
     "busy_contexts",
+    "sched_popped",
+    "sched_steals",
     "nc_fill_frac",
     "d_dir_accesses",
     "d_nc_fills",
@@ -256,13 +267,15 @@ pub fn write_series_csv(samples: &[Sample], w: &mut dyn Write) -> io::Result<()>
     for s in samples {
         writeln!(
             w,
-            "{},{:.6},{},{},{},{},{:.6},{},{},{},{},{},{},{},{},{},{}",
+            "{},{:.6},{},{},{},{},{},{},{:.6},{},{},{},{},{},{},{},{},{},{}",
             s.cycle,
             s.dir_occupancy,
             s.dir_occupied,
             s.dir_capacity,
             s.ready_tasks,
             s.busy_contexts,
+            s.sched_popped,
+            s.sched_steals,
             s.nc_fill_frac,
             s.d_dir_accesses,
             s.d_nc_fills,
@@ -581,6 +594,25 @@ pub fn chrome_trace_json(rec: &Recorder) -> String {
                 );
                 push(&mut entries, ts, o);
             }
+            Event::TaskMigrated {
+                task,
+                from_core,
+                to_core,
+                ..
+            } => {
+                let o = trace_base("i", "task_migrated", ts, PID_MACHINE, 0)
+                    .str("cat", "machine")
+                    .str("s", "g")
+                    .raw(
+                        "args",
+                        Obj::new()
+                            .u64("task", task as u64)
+                            .u64("from_core", from_core as u64)
+                            .u64("to_core", to_core as u64)
+                            .render(),
+                    );
+                push(&mut entries, ts, o);
+            }
             Event::TaskCreated { .. } | Event::TaskWoken { .. } => {}
         }
     }
@@ -675,6 +707,12 @@ mod tests {
             core: 1,
             wait_cycles: 5,
         });
+        r.record(Event::TaskMigrated {
+            cycle: 5,
+            task: 0,
+            from_core: 0,
+            to_core: 1,
+        });
         r.record(Event::NcrtRegister {
             cycle: 5,
             ctx: 1,
@@ -712,6 +750,8 @@ mod tests {
                 dir_capacity: 8,
                 ready_tasks: 1,
                 busy_contexts: 1,
+                sched_popped: 1,
+                sched_steals: 0,
             },
         );
         r.finish(40, &stats, Gauges::default());
@@ -736,6 +776,7 @@ mod tests {
                 "task_created",
                 "task_woken",
                 "task_scheduled",
+                "task_migrated",
                 "ncrt_register",
                 "ncrt_invalidate",
                 "task_completed"
@@ -811,6 +852,7 @@ mod tests {
         }
         assert_eq!(depth, 0, "every B has a matching E");
         assert!(text.contains("raccd_register"));
+        assert!(text.contains("task_migrated"));
         assert!(text.contains("dir_occupancy"));
         assert!(text.contains("thread_name"));
     }

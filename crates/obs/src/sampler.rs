@@ -20,6 +20,10 @@ pub struct Gauges {
     pub ready_tasks: u64,
     /// Hardware contexts currently executing a task.
     pub busy_contexts: u32,
+    /// Cumulative scheduler pops so far (every policy counts these).
+    pub sched_popped: u64,
+    /// Cumulative cross-context steals so far (0 for non-stealing policies).
+    pub sched_steals: u64,
 }
 
 /// One point of the interval time-series.
@@ -37,6 +41,10 @@ pub struct Sample {
     pub ready_tasks: u64,
     /// Contexts executing a task.
     pub busy_contexts: u32,
+    /// Cumulative scheduler pops at this sample.
+    pub sched_popped: u64,
+    /// Cumulative cross-context steals at this sample.
+    pub sched_steals: u64,
     /// Fraction of this interval's L1 fills that were non-coherent.
     pub nc_fill_frac: f64,
     /// Directory bank accesses in this interval.
@@ -157,6 +165,8 @@ impl IntervalSampler {
             dir_capacity: gauges.dir_capacity,
             ready_tasks: gauges.ready_tasks,
             busy_contexts: gauges.busy_contexts,
+            sched_popped: gauges.sched_popped,
+            sched_steals: gauges.sched_steals,
             nc_fill_frac: if fills == 0 {
                 0.0
             } else {
@@ -211,8 +221,7 @@ mod tests {
         Gauges {
             dir_occupied: occ,
             dir_capacity: cap,
-            ready_tasks: 0,
-            busy_contexts: 0,
+            ..Default::default()
         }
     }
 

@@ -51,6 +51,12 @@ fn fixture() -> Recorder {
         core: 0,
         wait_cycles: 100,
     });
+    rec.record(Event::TaskMigrated {
+        cycle: 100,
+        task: 0,
+        from_core: 1,
+        to_core: 0,
+    });
     rec.record(Event::NcrtRegister {
         cycle: 110,
         ctx: 0,
@@ -138,6 +144,8 @@ fn fixture() -> Recorder {
         dir_capacity: 2048,
         ready_tasks: 1,
         busy_contexts: 1,
+        sched_popped: 1,
+        sched_steals: 0,
     };
     rec.maybe_sample(4096, &stats, gauges);
     rec.finish(8000, &stats, gauges);
@@ -187,16 +195,23 @@ fn events_jsonl_matches_golden_and_parses() {
     assert_eq!(lines[2].get("waker_core"), Some(&Value::Null));
     // The later wake carries its waking core.
     assert_eq!(
-        lines[9].get("waker_core").and_then(Value::as_f64),
+        lines[10].get("waker_core").and_then(Value::as_f64),
         Some(0.0)
     );
+    // The migration event carries both cores.
+    assert_eq!(
+        lines[4].get("kind").and_then(Value::as_str),
+        Some("task_migrated")
+    );
+    assert_eq!(lines[4].get("from_core").and_then(Value::as_f64), Some(1.0));
+    assert_eq!(lines[4].get("to_core").and_then(Value::as_f64), Some(0.0));
     // Numeric payloads survive.
     assert_eq!(
-        lines[4].get("tlb_lookups").and_then(Value::as_f64),
+        lines[5].get("tlb_lookups").and_then(Value::as_f64),
         Some(4.0)
     );
     assert_eq!(
-        lines[5].get("kind").and_then(Value::as_str),
+        lines[6].get("kind").and_then(Value::as_str),
         Some("coherent_fill")
     );
 }
@@ -228,6 +243,8 @@ fn chrome_trace_matches_golden_and_parses() {
     let b = phases.iter().position(|p| *p == "B");
     let e = phases.iter().position(|p| *p == "E");
     assert!(b.is_some() && e.is_some() && b < e, "task span B before E");
+    // The migration instant landed on the machine track.
+    assert!(text.contains("task_migrated"), "migration instant exported");
 }
 
 #[test]

@@ -149,6 +149,13 @@ impl TaskGraph {
         self.tasks[id].dependents.len()
     }
 
+    /// Direct dependents of a task (every edge goes to a *higher* id, so
+    /// critical-path depths are computable in one reverse sweep). Call
+    /// before executing tasks — wake-up consumes the dependent lists.
+    pub fn dependents(&self, id: TaskId) -> &[TaskId] {
+        &self.tasks[id].dependents
+    }
+
     /// Take a task's body for execution. Panics if taken twice.
     pub fn take_body(&mut self, id: TaskId) -> TaskBody {
         self.tasks[id].body.take().expect("task body already taken")

@@ -18,13 +18,15 @@
 //! * [`graph`] — TDG construction (block-granularity last-writer/reader
 //!   tracking, like Nanos++'s region analysis) and completion wake-up.
 //! * [`builder`] — the [`builder::ProgramBuilder`] façade workloads use.
-//! * [`scheduler`] — the central FIFO ready queue of §II-C.
+//!
+//! The ready-queue policies of §II-C live in the `raccd-sched` crate:
+//! schedulers are pluggable (`SchedKind`), and the driver wires them to
+//! this crate's TDG wake-ups.
 
 pub mod builder;
 pub mod graph;
 pub mod region;
 pub mod retry;
-pub mod scheduler;
 pub mod task;
 pub mod trace;
 pub mod workload;
@@ -33,7 +35,6 @@ pub use builder::{Program, ProgramBuilder};
 pub use graph::{TaskGraph, TaskId};
 pub use region::{Dep, DepDir};
 pub use retry::{RetryBook, RetryDecision};
-pub use scheduler::{ReadyQueue, StealQueues};
 pub use task::TaskCtx;
 pub use trace::MemRef;
 pub use workload::Workload;

@@ -1,0 +1,400 @@
+//! The five scheduling policies behind the [`Scheduler`] trait.
+
+use crate::{
+    scan_victims, PreemptRecord, SchedCounters, SchedKind, SchedParams, Scheduler, TaskId,
+};
+use raccd_snap::{Snap, SnapError, SnapReader, SnapWriter};
+use std::collections::VecDeque;
+
+/// One central FIFO ready queue shared by every context (the original
+/// `CentralFifo`). The pushing and popping contexts are ignored, so a
+/// woken task runs on whichever context drains the queue next — maximum
+/// migration pressure, the paper's baseline dynamic-scheduler behaviour.
+#[derive(Clone, Debug, Default)]
+pub struct Fifo {
+    queue: VecDeque<TaskId>,
+    pushed: u64,
+    popped: u64,
+}
+
+impl Fifo {
+    /// Empty queue.
+    pub fn new() -> Fifo {
+        Fifo::default()
+    }
+
+    pub(crate) fn load_body(r: &mut SnapReader) -> Result<Fifo, SnapError> {
+        Ok(Fifo {
+            queue: Snap::load(r)?,
+            pushed: r.u64()?,
+            popped: r.u64()?,
+        })
+    }
+}
+
+impl Scheduler for Fifo {
+    fn kind(&self) -> SchedKind {
+        SchedKind::Fifo
+    }
+    fn push(&mut self, _ctx: usize, task: TaskId) {
+        self.pushed += 1;
+        self.queue.push_back(task);
+    }
+    fn pop(&mut self, _ctx: usize) -> Option<TaskId> {
+        let t = self.queue.pop_front();
+        if t.is_some() {
+            self.popped += 1;
+        }
+        t
+    }
+    fn len(&self) -> usize {
+        self.queue.len()
+    }
+    fn counters(&self) -> SchedCounters {
+        SchedCounters {
+            pushed: self.pushed,
+            popped: self.popped,
+            local_pops: self.popped,
+            steals: 0,
+        }
+    }
+    // Legacy `ReadyQueue` encoding: queue, pushed, popped.
+    fn save_body(&self, w: &mut SnapWriter) {
+        self.queue.save(w);
+        w.u64(self.pushed);
+        w.u64(self.popped);
+    }
+}
+
+/// Per-context work-stealing deques (the original `WorkStealing`): the
+/// owner pops its own deque LIFO (hot caches), thieves scan the other
+/// contexts in `(ctx + d) % n` order and pop the victim's oldest task
+/// FIFO. On a multi-socket machine the scan prefers same-socket victims
+/// (cross-socket steals drag a task's working set over the inter-socket
+/// link); on one socket it is byte-for-byte the legacy scan.
+#[derive(Clone, Debug)]
+pub struct Steal {
+    deques: Vec<VecDeque<TaskId>>,
+    steals: u64,
+    local_pops: u64,
+    /// Context → socket; rebuilt from [`SchedParams`], never serialised.
+    sockets: Vec<usize>,
+}
+
+impl Steal {
+    /// Empty deques, one per context.
+    pub fn new(params: &SchedParams) -> Steal {
+        assert!(params.nctx > 0, "work stealing needs at least one context");
+        Steal {
+            deques: vec![VecDeque::new(); params.nctx],
+            steals: 0,
+            local_pops: 0,
+            sockets: params.ctx_socket.clone(),
+        }
+    }
+
+    pub(crate) fn load_body(r: &mut SnapReader, params: &SchedParams) -> Result<Steal, SnapError> {
+        let q = Steal {
+            deques: Snap::load(r)?,
+            steals: r.u64()?,
+            local_pops: r.u64()?,
+            sockets: params.ctx_socket.clone(),
+        };
+        if q.deques.is_empty() {
+            return Err(SnapError::Invalid("steal queues empty"));
+        }
+        Ok(q)
+    }
+}
+
+impl Scheduler for Steal {
+    fn kind(&self) -> SchedKind {
+        SchedKind::Steal
+    }
+    fn push(&mut self, ctx: usize, task: TaskId) {
+        self.deques[ctx].push_back(task);
+    }
+    fn pop(&mut self, ctx: usize) -> Option<TaskId> {
+        if let Some(t) = self.deques[ctx].pop_back() {
+            self.local_pops += 1;
+            return Some(t);
+        }
+        let victim = scan_victims(&self.deques, &self.sockets, ctx)?;
+        let t = self.deques[victim].pop_front();
+        debug_assert!(t.is_some());
+        self.steals += 1;
+        t
+    }
+    fn len(&self) -> usize {
+        self.deques.iter().map(VecDeque::len).sum()
+    }
+    fn counters(&self) -> SchedCounters {
+        // The legacy encoding only persists steals/local_pops; pushed and
+        // popped are exact invariants of them and the queued remainder.
+        let popped = self.local_pops + self.steals;
+        SchedCounters {
+            pushed: popped + self.len() as u64,
+            popped,
+            local_pops: self.local_pops,
+            steals: self.steals,
+        }
+    }
+    // Legacy `StealQueues` encoding: deques, steals, local_pops.
+    fn save_body(&self, w: &mut SnapWriter) {
+        self.deques.save(w);
+        w.u64(self.steals);
+        w.u64(self.local_pops);
+    }
+}
+
+/// Central ready queue drained in critical-path order: every task's
+/// priority is `1 +` the longest dependent chain below it, computed once
+/// from the task graph ([`crate::critical_path_priorities`]). Ties break
+/// deterministically by lowest `TaskId`, so the pop sequence is a pure
+/// function of the graph.
+#[derive(Clone, Debug)]
+pub struct Priority {
+    ready: Vec<TaskId>,
+    pushed: u64,
+    popped: u64,
+    /// Task → critical-path priority; rebuilt from [`SchedParams`].
+    prio: Vec<u64>,
+}
+
+impl Priority {
+    /// Empty queue over the given priority table.
+    pub fn new(params: &SchedParams) -> Priority {
+        Priority {
+            ready: Vec::new(),
+            pushed: 0,
+            popped: 0,
+            prio: params.priorities.clone(),
+        }
+    }
+
+    pub(crate) fn load_body(
+        r: &mut SnapReader,
+        params: &SchedParams,
+    ) -> Result<Priority, SnapError> {
+        Ok(Priority {
+            ready: Snap::load(r)?,
+            pushed: r.u64()?,
+            popped: r.u64()?,
+            prio: params.priorities.clone(),
+        })
+    }
+
+    fn prio_of(&self, t: TaskId) -> u64 {
+        self.prio.get(t).copied().unwrap_or(0)
+    }
+}
+
+impl Scheduler for Priority {
+    fn kind(&self) -> SchedKind {
+        SchedKind::Priority
+    }
+    fn push(&mut self, _ctx: usize, task: TaskId) {
+        self.pushed += 1;
+        self.ready.push(task);
+    }
+    fn pop(&mut self, _ctx: usize) -> Option<TaskId> {
+        if self.ready.is_empty() {
+            return None;
+        }
+        let mut best = 0;
+        for i in 1..self.ready.len() {
+            let (t, b) = (self.ready[i], self.ready[best]);
+            if self.prio_of(t) > self.prio_of(b) || (self.prio_of(t) == self.prio_of(b) && t < b) {
+                best = i;
+            }
+        }
+        self.popped += 1;
+        Some(self.ready.remove(best))
+    }
+    fn len(&self) -> usize {
+        self.ready.len()
+    }
+    fn counters(&self) -> SchedCounters {
+        SchedCounters {
+            pushed: self.pushed,
+            popped: self.popped,
+            local_pops: self.popped,
+            steals: 0,
+        }
+    }
+    fn save_body(&self, w: &mut SnapWriter) {
+        self.ready.save(w);
+        w.u64(self.pushed);
+        w.u64(self.popped);
+    }
+}
+
+/// Waker-local FIFO queues: a woken task waits on the queue of the
+/// context that produced its inputs, and each context drains its own
+/// queue first, then same-socket neighbours, then the whole machine.
+/// Tasks therefore preferentially run where their producer ran, cutting
+/// `task_migrations` and the NCRT invalidate/re-register churn a
+/// migration costs RaCCD.
+#[derive(Clone, Debug)]
+pub struct Locality {
+    deques: Vec<VecDeque<TaskId>>,
+    steals: u64,
+    local_pops: u64,
+    /// Context → socket; rebuilt from [`SchedParams`], never serialised.
+    sockets: Vec<usize>,
+}
+
+impl Locality {
+    /// Empty queues, one per context.
+    pub fn new(params: &SchedParams) -> Locality {
+        assert!(
+            params.nctx > 0,
+            "locality affinity needs at least one context"
+        );
+        Locality {
+            deques: vec![VecDeque::new(); params.nctx],
+            steals: 0,
+            local_pops: 0,
+            sockets: params.ctx_socket.clone(),
+        }
+    }
+
+    pub(crate) fn load_body(
+        r: &mut SnapReader,
+        params: &SchedParams,
+    ) -> Result<Locality, SnapError> {
+        let q = Locality {
+            deques: Snap::load(r)?,
+            steals: r.u64()?,
+            local_pops: r.u64()?,
+            sockets: params.ctx_socket.clone(),
+        };
+        if q.deques.is_empty() {
+            return Err(SnapError::Invalid("locality queues empty"));
+        }
+        Ok(q)
+    }
+}
+
+impl Scheduler for Locality {
+    fn kind(&self) -> SchedKind {
+        SchedKind::Locality
+    }
+    fn push(&mut self, ctx: usize, task: TaskId) {
+        self.deques[ctx].push_back(task);
+    }
+    fn pop(&mut self, ctx: usize) -> Option<TaskId> {
+        if let Some(t) = self.deques[ctx].pop_front() {
+            self.local_pops += 1;
+            return Some(t);
+        }
+        let victim = scan_victims(&self.deques, &self.sockets, ctx)?;
+        let t = self.deques[victim].pop_front();
+        debug_assert!(t.is_some());
+        self.steals += 1;
+        t
+    }
+    fn len(&self) -> usize {
+        self.deques.iter().map(VecDeque::len).sum()
+    }
+    fn counters(&self) -> SchedCounters {
+        let popped = self.local_pops + self.steals;
+        SchedCounters {
+            pushed: popped + self.len() as u64,
+            popped,
+            local_pops: self.local_pops,
+            steals: self.steals,
+        }
+    }
+    // Same body layout as `Steal` (the kind tag distinguishes them).
+    fn save_body(&self, w: &mut SnapWriter) {
+        self.deques.save(w);
+        w.u64(self.steals);
+        w.u64(self.local_pops);
+    }
+}
+
+/// Central FIFO with deterministic cycle-quantum preemption: the driver
+/// consults [`Scheduler::quantum`] after each mem-ref batch and, when a
+/// task has held its context for a full quantum while other tasks wait,
+/// requeues it at the back and records the decision in an append-only
+/// audit log. The log serialises with the queue, so a restored run
+/// replays the identical preemption sequence.
+#[derive(Clone, Debug)]
+pub struct Quantum {
+    queue: VecDeque<TaskId>,
+    pushed: u64,
+    popped: u64,
+    audit: Vec<PreemptRecord>,
+    /// Quantum length in cycles; rebuilt from [`SchedParams`].
+    quantum: u64,
+}
+
+impl Quantum {
+    /// Empty queue with the configured quantum.
+    pub fn new(params: &SchedParams) -> Quantum {
+        Quantum {
+            queue: VecDeque::new(),
+            pushed: 0,
+            popped: 0,
+            audit: Vec::new(),
+            quantum: params.quantum,
+        }
+    }
+
+    pub(crate) fn load_body(
+        r: &mut SnapReader,
+        params: &SchedParams,
+    ) -> Result<Quantum, SnapError> {
+        Ok(Quantum {
+            queue: Snap::load(r)?,
+            pushed: r.u64()?,
+            popped: r.u64()?,
+            audit: Snap::load(r)?,
+            quantum: params.quantum,
+        })
+    }
+}
+
+impl Scheduler for Quantum {
+    fn kind(&self) -> SchedKind {
+        SchedKind::Quantum
+    }
+    fn push(&mut self, _ctx: usize, task: TaskId) {
+        self.pushed += 1;
+        self.queue.push_back(task);
+    }
+    fn pop(&mut self, _ctx: usize) -> Option<TaskId> {
+        let t = self.queue.pop_front();
+        if t.is_some() {
+            self.popped += 1;
+        }
+        t
+    }
+    fn len(&self) -> usize {
+        self.queue.len()
+    }
+    fn counters(&self) -> SchedCounters {
+        SchedCounters {
+            pushed: self.pushed,
+            popped: self.popped,
+            local_pops: self.popped,
+            steals: 0,
+        }
+    }
+    fn quantum(&self) -> Option<u64> {
+        Some(self.quantum)
+    }
+    fn note_preempt(&mut self, rec: PreemptRecord) {
+        self.audit.push(rec);
+    }
+    fn audit(&self) -> &[PreemptRecord] {
+        &self.audit
+    }
+    fn save_body(&self, w: &mut SnapWriter) {
+        self.queue.save(w);
+        w.u64(self.pushed);
+        w.u64(self.popped);
+        self.audit.save(w);
+    }
+}

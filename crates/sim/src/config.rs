@@ -14,6 +14,7 @@
 
 use raccd_noc::Topology;
 use raccd_protocol::ProtocolKind;
+use raccd_sched::SchedKind;
 
 /// The seven directory-size configurations of the evaluation: `1:N` means
 /// the directory has `N×` fewer entries than the LLC (§V-A).
@@ -62,18 +63,6 @@ impl Default for Latencies {
             xlink: 40,
         }
     }
-}
-
-/// Task-scheduling policy of the simulated runtime (§II-C describes the
-/// central ready queue; work stealing is the locality-preserving
-/// alternative used for the scheduler-sensitivity ablation).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum SchedPolicy {
-    /// One central FIFO ready queue (Nanos++ default; maximum migration).
-    CentralFifo,
-    /// Per-core deques: wake-ups enqueue on the waking core (LIFO pop for
-    /// the owner, FIFO steal for thieves) — minimum migration.
-    WorkStealing,
 }
 
 /// Cycle costs of the runtime-system phases of Figure 3 and of the RaCCD
@@ -161,8 +150,13 @@ pub struct MachineConfig {
     /// Record protocol-level [`crate::machine::CoherenceEvent`]s (testing
     /// and trace tooling; off for performance).
     pub record_events: bool,
-    /// Task-scheduling policy (§II-C; default: the paper's central queue).
-    pub sched: SchedPolicy,
+    /// Task-scheduling policy (§II-C; default: the paper's central FIFO
+    /// queue). See `raccd-sched` for the registry.
+    pub sched: SchedKind,
+    /// Preemption quantum in cycles for [`SchedKind::Quantum`] (ignored
+    /// by every other policy). The driver checks the quantum at mem-ref
+    /// batch boundaries, so effective slices round up to batch ends.
+    pub sched_quantum: u64,
     /// Allocate physical frames pseudo-randomly instead of contiguously.
     /// The paper observes Linux maps its datasets contiguously (§III-C2),
     /// so contiguous is the default; the permuted mode forces multi-entry
@@ -212,7 +206,8 @@ impl MachineConfig {
             adr_theta_inc: 0.80,
             adr_theta_dec: 0.20,
             smt_selective_flush: true,
-            sched: SchedPolicy::CentralFifo,
+            sched: SchedKind::Fifo,
+            sched_quantum: 5_000,
             record_events: false,
             permuted_pages: false,
             bank_contention: false,
@@ -279,6 +274,12 @@ impl MachineConfig {
     pub fn with_topology(mut self, topology: Topology) -> Self {
         self.topology = topology;
         self.ncores = topology.sockets() * self.mesh_k * self.mesh_k;
+        self
+    }
+
+    /// Select the task-scheduling policy.
+    pub fn with_sched(mut self, sched: SchedKind) -> Self {
+        self.sched = sched;
         self
     }
 

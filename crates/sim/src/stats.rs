@@ -109,6 +109,22 @@ pub struct Stats {
     /// them (dynamic-scheduler migration — what makes data *temporarily
     /// private*, §II-B).
     pub task_migrations: u64,
+    /// Migrations that forced an NCRT hand-off under RaCCD: the task's
+    /// regions re-registered on a core other than its waker's (the
+    /// re-registration churn a migratory scheduler costs RaCCD).
+    pub ncrt_migrations: u64,
+    /// Quantum preemptions (SchedKind::Quantum): tasks descheduled at a
+    /// batch boundary after exhausting their cycle quantum.
+    pub preemptions: u64,
+    /// Tasks pushed into the ready structure (unified across policies).
+    pub sched_pushed: u64,
+    /// Tasks popped out of the ready structure (unified across policies).
+    pub sched_popped: u64,
+    /// Pops served from the popping context's own queue (central
+    /// policies count every pop here).
+    pub sched_local_pops: u64,
+    /// Pops served by raiding another context's queue.
+    pub sched_steals: u64,
 
     // --- Fault plane / resilience (all zero without an attached plane) ---
     /// Faults injected across every site.
@@ -231,6 +247,12 @@ impl Stats {
             busy_cycles,
             contexts,
             task_migrations,
+            ncrt_migrations,
+            preemptions,
+            sched_pushed,
+            sched_popped,
+            sched_local_pops,
+            sched_steals,
             faults_injected,
             msg_retries,
             msg_nacks,
@@ -297,6 +319,12 @@ impl Stats {
         self.busy_cycles += busy_cycles;
         self.contexts = self.contexts.max(contexts);
         self.task_migrations += task_migrations;
+        self.ncrt_migrations += ncrt_migrations;
+        self.preemptions += preemptions;
+        self.sched_pushed += sched_pushed;
+        self.sched_popped += sched_popped;
+        self.sched_local_pops += sched_local_pops;
+        self.sched_steals += sched_steals;
         self.faults_injected += faults_injected;
         self.msg_retries += msg_retries;
         self.msg_nacks += msg_nacks;
@@ -354,6 +382,12 @@ impl raccd_snap::Snap for Stats {
             busy_cycles,
             contexts,
             task_migrations,
+            ncrt_migrations,
+            preemptions,
+            sched_pushed,
+            sched_popped,
+            sched_local_pops,
+            sched_steals,
             faults_injected,
             msg_retries,
             msg_nacks,
@@ -404,6 +438,12 @@ impl raccd_snap::Snap for Stats {
         w.u64(busy_cycles);
         contexts.save(w);
         w.u64(task_migrations);
+        w.u64(ncrt_migrations);
+        w.u64(preemptions);
+        w.u64(sched_pushed);
+        w.u64(sched_popped);
+        w.u64(sched_local_pops);
+        w.u64(sched_steals);
         w.u64(faults_injected);
         w.u64(msg_retries);
         w.u64(msg_nacks);
@@ -457,6 +497,12 @@ impl raccd_snap::Snap for Stats {
             busy_cycles: r.u64()?,
             contexts: Snap::load(r)?,
             task_migrations: r.u64()?,
+            ncrt_migrations: r.u64()?,
+            preemptions: r.u64()?,
+            sched_pushed: r.u64()?,
+            sched_popped: r.u64()?,
+            sched_local_pops: r.u64()?,
+            sched_steals: r.u64()?,
             faults_injected: r.u64()?,
             msg_retries: r.u64()?,
             msg_nacks: r.u64()?,
@@ -624,6 +670,12 @@ mod tests {
             busy_cycles: 35,
             contexts: 36,
             task_migrations: 37,
+            ncrt_migrations: 49,
+            preemptions: 50,
+            sched_pushed: 51,
+            sched_popped: 52,
+            sched_local_pops: 53,
+            sched_steals: 54,
             faults_injected: 38,
             msg_retries: 39,
             msg_nacks: 40,

@@ -22,7 +22,10 @@
 //!   time-series sampler, log2 latency histograms, and JSONL / CSV /
 //!   Chrome-trace (Perfetto) exporters.
 //! * [`runtime`] — the task-dataflow runtime: dependences, task dependence
-//!   graph, ready queue, scheduler.
+//!   graph, and completion wake-up.
+//! * [`sched`] — pluggable ready-queue schedulers (`SchedKind`): central
+//!   FIFO, NUMA-aware work stealing, critical-path priority, locality
+//!   affinity, and audited quantum preemption.
 //! * [`core`] — the paper's contribution: the NCRT, `raccd_register` /
 //!   `raccd_invalidate`, the Page-Table (PT) baseline classifier, and the
 //!   [`core::Experiment`] driver that ties runtime and machine together.
@@ -62,5 +65,6 @@ pub use raccd_obs as obs;
 pub use raccd_prof as prof;
 pub use raccd_protocol as protocol;
 pub use raccd_runtime as runtime;
+pub use raccd_sched as sched;
 pub use raccd_sim as sim;
 pub use raccd_workloads as workloads;

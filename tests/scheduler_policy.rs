@@ -7,7 +7,7 @@ use raccd::core::{CoherenceMode, Experiment, RunResult};
 use raccd::mem::addr::VRange;
 use raccd::mem::SimMemory;
 use raccd::runtime::{Dep, Program, ProgramBuilder, Workload};
-use raccd::sim::{MachineConfig, SchedPolicy};
+use raccd::sim::{MachineConfig, SchedKind};
 use raccd::workloads::{all_benchmarks, jacobi::Jacobi, Scale};
 
 /// 32 independent chains of 8 tasks, each chain repeatedly updating its
@@ -50,7 +50,7 @@ impl Workload for Chains {
     }
 }
 
-fn cfg(policy: SchedPolicy) -> MachineConfig {
+fn cfg(policy: SchedKind) -> MachineConfig {
     let mut c = MachineConfig::scaled();
     c.sched = policy;
     c
@@ -65,7 +65,7 @@ fn jacobi() -> Jacobi {
     }
 }
 
-fn run(policy: SchedPolicy, mode: CoherenceMode) -> RunResult {
+fn run(policy: SchedKind, mode: CoherenceMode) -> RunResult {
     let r = Experiment::new(cfg(policy), mode).run(&jacobi());
     assert!(r.verified, "{mode}: {:?}", r.verify_error);
     r
@@ -75,7 +75,7 @@ fn run(policy: SchedPolicy, mode: CoherenceMode) -> RunResult {
 fn work_stealing_verifies_all_benchmarks() {
     for w in all_benchmarks(Scale::Test) {
         for mode in CoherenceMode::ALL {
-            let r = Experiment::new(cfg(SchedPolicy::WorkStealing), mode).run(w.as_ref());
+            let r = Experiment::new(cfg(SchedKind::Steal), mode).run(w.as_ref());
             assert!(
                 r.verified,
                 "{} under {mode}: {:?}",
@@ -88,8 +88,8 @@ fn work_stealing_verifies_all_benchmarks() {
 
 #[test]
 fn work_stealing_reduces_task_migration() {
-    let central = run(SchedPolicy::CentralFifo, CoherenceMode::FullCoh);
-    let steal = run(SchedPolicy::WorkStealing, CoherenceMode::FullCoh);
+    let central = run(SchedKind::Fifo, CoherenceMode::FullCoh);
+    let steal = run(SchedKind::Steal, CoherenceMode::FullCoh);
     assert!(
         steal.stats.task_migrations < central.stats.task_migrations,
         "stealing {} vs central {}",
@@ -108,10 +108,10 @@ fn pt_benefits_from_locality_raccd_does_not_need_it() {
         assert!(r.verified, "{mode}: {:?}", r.verify_error);
         r.census.noncoherent_pct()
     };
-    let pt_central = go(SchedPolicy::CentralFifo, CoherenceMode::PageTable);
-    let pt_steal = go(SchedPolicy::WorkStealing, CoherenceMode::PageTable);
-    let rc_central = go(SchedPolicy::CentralFifo, CoherenceMode::Raccd);
-    let rc_steal = go(SchedPolicy::WorkStealing, CoherenceMode::Raccd);
+    let pt_central = go(SchedKind::Fifo, CoherenceMode::PageTable);
+    let pt_steal = go(SchedKind::Steal, CoherenceMode::PageTable);
+    let rc_central = go(SchedKind::Fifo, CoherenceMode::Raccd);
+    let rc_steal = go(SchedKind::Steal, CoherenceMode::Raccd);
     assert!(
         pt_steal > pt_central + 20.0,
         "PT: steal {pt_steal:.1}% vs central {pt_central:.1}%"
@@ -123,8 +123,29 @@ fn pt_benefits_from_locality_raccd_does_not_need_it() {
 }
 
 #[test]
-fn both_policies_deterministic() {
-    for policy in [SchedPolicy::CentralFifo, SchedPolicy::WorkStealing] {
+fn locality_affinity_reduces_migrations_and_ncrt_churn() {
+    // The Locality policy dispatches to the waker's context first, so on
+    // Jacobi it should migrate (and re-register NCRTs for) fewer tasks
+    // than the central queue, which scatters dependents round-robin.
+    let fifo = run(SchedKind::Fifo, CoherenceMode::Raccd);
+    let loc = run(SchedKind::Locality, CoherenceMode::Raccd);
+    assert!(
+        loc.stats.task_migrations < fifo.stats.task_migrations,
+        "locality {} vs fifo {} migrations",
+        loc.stats.task_migrations,
+        fifo.stats.task_migrations
+    );
+    assert!(
+        loc.stats.ncrt_migrations < fifo.stats.ncrt_migrations,
+        "locality {} vs fifo {} NCRT hand-offs",
+        loc.stats.ncrt_migrations,
+        fifo.stats.ncrt_migrations
+    );
+}
+
+#[test]
+fn all_policies_deterministic() {
+    for policy in SchedKind::ALL {
         let a = run(policy, CoherenceMode::Raccd);
         let b = run(policy, CoherenceMode::Raccd);
         assert_eq!(a.stats.cycles, b.stats.cycles, "{policy:?}");
